@@ -1,0 +1,77 @@
+"""Ablation F — run-counter width: datapath vs program-length trade.
+
+The SP's operation word dedicates ``run_width`` bits to the free-run
+count.  A narrow counter shrinks the word and the down-counter but
+forces the compiler to *split* long free runs into continuation
+operations (more ROM words, identical cycle behaviour — proven by the
+equivalence tests).  A wide counter does the reverse.  This bench
+sweeps the width for a burst-heavy schedule (Viterbi-like, 198-cycle
+free runs) and reports ROM bits, operation count and mapped area —
+the design-space knob DESIGN.md calls out for the compiler.
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler import CompilerOptions, compile_schedule
+from repro.core.synthesis import synthesize_wrapper
+from repro.ips.viterbi import viterbi_schedule
+
+from _bench_common import write_result
+
+WIDTHS = (2, 4, 6, 8, 10)
+
+
+def _sweep():
+    schedule = viterbi_schedule(run_cycles=198)
+    rows = []
+    for width in WIDTHS:
+        options = CompilerOptions(run_width=width)
+        program = compile_schedule(schedule, options)
+        result = synthesize_wrapper(
+            schedule, "sp", rom_style="block",
+            compiler_options=options,
+        )
+        rows.append((width, program, result.report))
+    return schedule, rows
+
+
+def test_run_width_tradeoff(benchmark):
+    schedule, rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    op_counts = [len(p.ops) for _w, p, _r in rows]
+    # Narrow counters need continuation ops; wide ones do not.
+    assert op_counts[0] > op_counts[-1]
+    assert op_counts[-1] == len(schedule.points)
+    # Every width preserves the enabled-cycle budget.
+    for _w, program, _r in rows:
+        assert (
+            program.enabled_cycles_per_period()
+            == schedule.period_cycles
+        )
+    # Area stays in the same small class across the sweep (the counter
+    # is a few bits either way).
+    slices = [r.slices for _w, _p, r in rows]
+    assert max(slices) - min(slices) <= 8
+
+    lines = [
+        "Run-counter width vs program size "
+        f"(Viterbi schedule, {schedule.stats()})",
+        "",
+        f"{'width':>6} | {'ops':>5} {'cont.':>6} {'word bits':>9} "
+        f"{'ROM bits':>9} | {'slices':>7} {'MHz':>6}",
+        "-" * 60,
+    ]
+    for width, program, report in rows:
+        conts = sum(1 for op in program.ops if not op.is_head)
+        lines.append(
+            f"{width:>6} | {len(program.ops):>5} {conts:>6} "
+            f"{program.fmt.word_width:>9} {program.rom_bits:>9} | "
+            f"{report.slices:>7} {report.fmax_mhz:>6.0f}"
+        )
+    lines.append("")
+    lines.append(
+        "Splitting long free runs into continuation operations trades "
+        "ROM words for counter bits; cycle behaviour is unchanged "
+        "(tests/test_equivalence.py proves it at the RTL level)."
+    )
+    write_result("run_width.txt", "\n".join(lines))

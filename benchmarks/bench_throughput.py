@@ -1,0 +1,115 @@
+"""Ablation D — relay-station insertion vs system throughput.
+
+The LIS methodology's bargain: relay stations fix wire timing but add
+latency, and in feedback loops latency costs throughput.  We sweep the
+number of relay stations on one edge of a 3-process ring and compare
+measured steady-state throughput against the analytic maximum-cycle-
+ratio bound (tokens / cycle latency) from repro.lis.throughput.
+
+This is the system-level context that motivates small wrappers: the
+paper's SP keeps the *wrapper* out of the critical path so the relay
+budget — and hence this curve — is set by the interconnect alone.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.schedule import IOSchedule, SyncPoint
+from repro.core.wrappers import SPWrapper
+from repro.lis.pearl import FunctionPearl
+from repro.lis.simulator import Simulation
+from repro.lis.system import System
+from repro.lis.throughput import MarkedGraph
+
+from _bench_common import write_result
+
+RELAY_SWEEP = (0, 1, 2, 4, 8)
+N_NODES = 3
+CYCLES = 1200
+
+
+def _ring(extra_relays: int):
+    schedule = IOSchedule(["x"], ["y"], [SyncPoint({"x"}, {"y"})])
+
+    def make(name):
+        def fn(index, popped):
+            return {"y": popped["x"]}
+
+        return FunctionPearl(name, schedule, fn)
+
+    system = System("ring")
+    shells = [
+        system.add_patient(SPWrapper(make(f"n{i}")))
+        for i in range(N_NODES)
+    ]
+    for i in range(N_NODES):
+        latency = 1 + (extra_relays if i == 0 else 0)
+        system.connect(
+            shells[i], "y", shells[(i + 1) % N_NODES], "x",
+            latency=latency,
+        )
+    # Prime the loop with one credit token.
+    shells[0].in_ports["x"]._fifo.append(0)
+    return system, shells
+
+
+def _analytic(extra_relays: int) -> Fraction:
+    graph = MarkedGraph()
+    for i in range(N_NODES):
+        latency = 1 + (extra_relays if i == 0 else 0)
+        graph.add_channel(
+            f"n{i}",
+            f"n{(i + 1) % N_NODES}",
+            latency=latency,
+            tokens=1 if i == N_NODES - 1 else 0,
+        )
+    return graph.throughput_enumerated()
+
+
+def _sweep():
+    rows = []
+    for extra in RELAY_SWEEP:
+        system, shells = _ring(extra)
+        Simulation(system).run(CYCLES)
+        measured = shells[0].enabled_cycles / CYCLES
+        expected = float(_analytic(extra))
+        rows.append((extra, measured, expected))
+    return rows
+
+
+def test_relay_insertion_throughput(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    for extra, measured, expected in rows:
+        # Steady-state measurement within 10 % of the MCR bound.
+        assert measured == pytest.approx(expected, rel=0.1), extra
+    # Monotone: more relay stations on a loop = lower throughput.
+    measured_values = [m for _e, m, _x in rows]
+    assert measured_values == sorted(measured_values, reverse=True)
+
+    benchmark.extra_info.update(
+        sweep=[(e, round(m, 4), round(x, 4)) for e, m, x in rows]
+    )
+    lines = [
+        f"Relay-station insertion vs ring throughput "
+        f"({N_NODES}-process loop, 1 credit token, {CYCLES} cycles)",
+        "",
+        f"{'relays':>7} | {'measured thr':>12} {'analytic MCR':>13} "
+        f"{'rel err':>8}",
+        "-" * 48,
+    ]
+    for extra, measured, expected in rows:
+        err = abs(measured - expected) / expected
+        lines.append(
+            f"{extra:>7} | {measured:>12.4f} {expected:>13.4f} "
+            f"{err:>7.1%}"
+        )
+    lines.append("")
+    lines.append(
+        "Throughput = loop tokens / loop latency (Carloni's bound); "
+        "each relay station on the cycle costs one latency unit."
+    )
+    write_result("throughput.txt", "\n".join(lines))

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: wrap an IP in a synchronization processor.
+
+Covers the library's core loop end to end in ~60 lines of user code:
+
+1. describe an IP's cyclic I/O schedule;
+2. compile it into a synchronization-processor program;
+3. generate synthesizable Verilog for the SP wrapper;
+4. estimate area/frequency on the Virtex-II-class FPGA model;
+5. drop the IP into a latency-insensitive system and simulate it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    IOSchedule,
+    Simulation,
+    SPWrapper,
+    SyncPoint,
+    System,
+    synthesize_wrapper,
+)
+from repro.core import compile_schedule
+from repro.lis import FunctionPearl
+
+# 1. The IP: a multiply-accumulate engine.  Each period it pops one
+#    sample, runs 3 internal cycles, then emits one result.  Note the
+#    partial-port behaviour: "x_in" and "y_out" are touched at
+#    *different* sync points — exactly what Carloni's combinational
+#    wrapper cannot express and the SP handles natively.
+schedule = IOSchedule(
+    inputs=["x_in"],
+    outputs=["y_out"],
+    points=[
+        SyncPoint({"x_in"}, set(), run=3),  # pop, then 3 compute cycles
+        SyncPoint(set(), {"y_out"}),        # push the result
+    ],
+)
+print("schedule complexity (ports/wait/run):", schedule.stats())
+
+# 2. Compile to an SP program — the operation stream the paper's
+#    processor executes from its operations memory.
+program = compile_schedule(schedule)
+print("\nSP program:")
+print(program.listing())
+
+# 3 + 4. Synthesize the wrapper: Verilog out, slices/fmax estimated.
+result = synthesize_wrapper(schedule, style="sp")
+print("\nsynthesis:", result.report.summary())
+print("\ngenerated Verilog:")
+print(result.verilog)
+
+# 5. Simulate the patient process inside a LIS system with a jittery
+#    source (tokens only every other cycle) and a 3-cycle channel
+#    (2 relay stations inserted automatically).
+state = {"acc": 0}
+
+
+def mac_step(index, popped):
+    if index == 0:
+        state["acc"] = state["acc"] * 2 + popped["x_in"]
+        return {}
+    return {"y_out": state["acc"]}
+
+
+pearl = FunctionPearl("mac", schedule, mac_step)
+system = System("quickstart")
+shell = system.add_patient(SPWrapper(pearl))
+system.connect_source(
+    "stimulus", range(10), shell, "x_in",
+    latency=3, gaps=[True, False],
+)
+sink = system.connect_sink(shell, "y_out", "results")
+Simulation(system).run(200)
+
+print("results received:", sink.received)
+print(
+    f"pearl enabled {shell.enabled_cycles} cycles, "
+    f"stalled {shell.stall_cycles} (latency-insensitive: the stream "
+    "is correct regardless of channel latency and source jitter)"
+)
+
+assert sink.received[0] == 0 and sink.received[1] == 1
+print("\nquickstart OK")

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The paper's second evaluation IP: a Reed-Solomon decoder.
+
+A DVB-style RS(204,188) transport stream with burst errors flows
+through a relay-station-segmented link into the streaming RS decoder
+pearl.  The example then synthesizes wrappers at the paper's RS
+complexity point (4 ports / 2957 sync ops / 1 run cycle) — the
+schedule-length regime where the FSM wrapper explodes and the SP's
+schedule-independence pays off (Table 1's -99 % area row).
+
+Run:  python examples/reed_solomon_decoder.py
+"""
+
+import random
+
+from repro import Simulation, SPWrapper, System, synthesize_wrapper
+from repro.core import program_summary
+from repro.ips import RSCode, RSDecoderPearl, ReedSolomon
+from repro.ips.signatures import rs_table1_schedule
+from repro.lis import burst_gaps
+
+random.seed(188)
+
+# --- 1. A DVB-like transport stream with burst errors ------------------
+CODE = RSCode(204, 188)  # shortened RS, t = 8 symbol corrections
+N_WORDS = 3
+
+rs = ReedSolomon(CODE)
+payload: list[list[int]] = []
+stream: list[int] = []
+for w in range(N_WORDS):
+    message = [random.randrange(256) for _ in range(CODE.k)]
+    payload.append(message)
+    codeword = rs.encode(message)
+    burst_start = random.randrange(0, CODE.n - 8)
+    for offset in range(6):  # 6-symbol burst (within t = 8)
+        codeword[burst_start + offset] ^= random.randrange(1, 256)
+    stream.extend(codeword)
+print(
+    f"stream: {N_WORDS} x RS({CODE.n},{CODE.k}) codewords, "
+    "6-symbol error burst per word"
+)
+
+# --- 2. Decode through the latency-insensitive fabric ------------------
+pearl = RSDecoderPearl("rs_dec", CODE, decode_run=32)
+system = System("rs_soc")
+shell = system.add_patient(SPWrapper(pearl))
+system.connect_source(
+    "channel", stream, shell, "sym_in",
+    latency=5, gaps=burst_gaps(8, 3),  # 5-cycle link, bursty arrivals
+)
+data_sink = system.connect_sink(shell, "sym_out", "data", latency=2)
+status_sink = system.connect_sink(shell, "err_out", "status")
+
+sim = Simulation(system)
+sim.run_until(
+    lambda: len(status_sink.received) == N_WORDS, max_cycles=50_000
+)
+expected = [s for msg in payload for s in msg]
+assert data_sink.received == expected, "corrected payload mismatch"
+print(
+    f"decoded {len(data_sink.received)} payload symbols in "
+    f"{sim.cycle} cycles; per-word corrections: {status_sink.received}"
+)
+assert status_sink.received == [6] * N_WORDS
+
+# --- 3. Wrapper synthesis at the paper's RS complexity point -----------
+signature = rs_table1_schedule()
+print(f"\nTable-1 signature: {signature.stats()} (ports/wait/run)")
+
+sp = synthesize_wrapper(signature, "sp", rom_style="block")
+print("SP program:", program_summary(sp.program))
+print(f"  {'sp':>14}: {sp.report.slices:>5} slices, "
+      f"{sp.report.fmax_mhz:6.1f} MHz, "
+      f"{sp.report.mapping.brams} BRAM (operations memory)")
+for style in ("fsm-onehot", "fsm"):
+    report = synthesize_wrapper(signature, style).report
+    print(f"  {style:>14}: {report.slices:>5} slices, "
+          f"{report.fmax_mhz:6.1f} MHz")
+print(
+    "\nThe FSM pays one state per schedule cycle (2958 states); the "
+    "SP's datapath is fixed and the schedule lives in dense ROM bits."
+)
+print("\nreed-solomon example OK")

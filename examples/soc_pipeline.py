@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""A multi-IP SoC: fork/join DSP pipeline with mixed wrapper styles.
+
+Demonstrates the system-level promises of latency-insensitive design:
+
+* IPs wrapped in *different* wrapper styles (SP, FSM, combinational)
+  compose into one functionally correct SoC;
+* channel latencies (relay-station counts) change performance but
+  never the computed streams — shown by sweeping latencies and
+  comparing outputs;
+* the analytic throughput bound from the marked-graph model predicts
+  the measured steady-state rate of a feedback loop;
+* a global static schedule lets shift-register wrappers run the same
+  feed-forward pipeline when (and only when) traffic is regular.
+
+Run:  python examples/soc_pipeline.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    CombinationalWrapper,
+    FSMWrapper,
+    IOSchedule,
+    ShiftRegisterWrapper,
+    Simulation,
+    SPWrapper,
+    SyncPoint,
+    System,
+)
+from repro.ips import FIRPearl, fir_reference
+from repro.lis import FunctionPearl, MarkedGraph
+from repro.sched import ChannelSpec, ProcessSpec, compute_static_schedule
+
+SAMPLES = list(range(48))
+COEFFS_A = (1, 2, 1)
+COEFFS_B = (2, 1)
+
+
+def split_fn(index, popped):
+    return {"y1": popped["x"], "y2": popped["x"]}
+
+
+def join_fn(index, popped):
+    return {"y": popped["a"] - popped["b"]}
+
+
+SPLIT_SCHED = IOSchedule(
+    ["x"], ["y1", "y2"], [SyncPoint({"x"}, {"y1", "y2"})]
+)
+JOIN_SCHED = IOSchedule(
+    ["a", "b"], ["y"], [SyncPoint({"a", "b"}, {"y"})]
+)
+
+
+def build_and_run(latencies, cycles=3000):
+    """source -> split -> (FIR_A | FIR_B) -> join -> sink."""
+    l1, l2, l3 = latencies
+    system = System("soc")
+    split = system.add_patient(
+        SPWrapper(FunctionPearl("split", SPLIT_SCHED, split_fn))
+    )
+    fir_a = system.add_patient(FSMWrapper(FIRPearl("fir_a", COEFFS_A)))
+    fir_b = system.add_patient(SPWrapper(FIRPearl("fir_b", COEFFS_B)))
+    join = system.add_patient(
+        CombinationalWrapper(
+            FunctionPearl("join", JOIN_SCHED, join_fn), port_depth=4
+        )
+    )
+    system.connect_source("src", SAMPLES, split, "x")
+    system.connect(split, "y1", fir_a, "x_in", latency=l1)
+    system.connect(split, "y2", fir_b, "x_in", latency=l2)
+    system.connect(fir_a, "y_out", join, "a", latency=1)
+    system.connect(fir_b, "y_out", join, "b", latency=l3)
+    sink = system.connect_sink(join, "y", "snk")
+    Simulation(system).run(cycles)
+    return system, sink.received
+
+
+expected = [
+    a - b
+    for a, b in zip(
+        fir_reference(SAMPLES, COEFFS_A), fir_reference(SAMPLES, COEFFS_B)
+    )
+]
+
+print("=== latency-insensitivity across relay-station budgets ===")
+for latencies in [(1, 1, 1), (4, 1, 2), (1, 6, 3), (5, 5, 5)]:
+    system, received = build_and_run(latencies)
+    status = "exact" if received == expected else (
+        f"prefix ({len(received)}/{len(expected)})"
+    )
+    assert received == expected[: len(received)]
+    assert len(received) >= len(expected) - 1
+    print(
+        f"  latencies {latencies}: {system.relay_station_count():>2} "
+        f"relay stations -> stream {status}"
+    )
+
+print("\n=== feedback loop: measured vs analytic throughput ===")
+LOOP_SCHED = IOSchedule(["x"], ["y"], [SyncPoint({"x"}, {"y"})])
+loop_system = System("loop")
+nodes = []
+for i in range(3):
+    pearl = FunctionPearl(f"n{i}", LOOP_SCHED,
+                          lambda idx, popped: {"y": popped["x"]})
+    nodes.append(loop_system.add_patient(SPWrapper(pearl)))
+for i in range(3):
+    loop_system.connect(
+        nodes[i], "y", nodes[(i + 1) % 3], "x",
+        latency=3 if i == 0 else 1,
+    )
+nodes[0].in_ports["x"]._fifo.append(0)  # one credit token primes the loop
+Simulation(loop_system).run(1200)
+measured = nodes[0].enabled_cycles / 1200
+
+analytic = MarkedGraph()
+analytic.add_channel("n0", "n1", latency=3, tokens=0)
+analytic.add_channel("n1", "n2", latency=1, tokens=0)
+analytic.add_channel("n2", "n0", latency=1, tokens=1)
+bound = analytic.throughput_enumerated()
+print(f"  measured {measured:.4f} vs analytic {float(bound):.4f} "
+      f"({bound}) — relay stations on the loop set the rate")
+assert abs(measured - float(bound)) < 0.01
+
+print("\n=== static scheduling (Casu-Macchiarulo regime) ===")
+fir1 = FIRPearl("fir1", COEFFS_A)
+fir2 = FIRPearl("fir2", COEFFS_B)
+plan = compute_static_schedule(
+    [ProcessSpec("fir1", fir1.schedule), ProcessSpec("fir2", fir2.schedule)],
+    [ChannelSpec("fir1", "y_out", "fir2", "x_in", latency=2)],
+    periods_per_loop=2,
+    external_inputs={"fir1": 1},
+)
+print(f"  offsets: {plan.offsets}, loop length {plan.loop_length}")
+static_system = System("static")
+s1 = static_system.add_patient(
+    ShiftRegisterWrapper(fir1, pattern=plan.pattern_for("fir1"),
+                         port_depth=4)
+)
+s2 = static_system.add_patient(
+    ShiftRegisterWrapper(fir2, pattern=plan.pattern_for("fir2"),
+                         port_depth=4)
+)
+static_system.connect(s1, "y_out", s2, "x_in", latency=2)
+static_system.connect_source("src", list(range(600)), s1, "x_in")
+static_sink = static_system.connect_sink(s2, "y_out", "snk")
+Simulation(static_system).run(plan.loop_length * 8)
+chained = fir_reference(fir_reference(list(range(600)), COEFFS_A),
+                        COEFFS_B)
+assert static_sink.received == chained[: len(static_sink.received)]
+assert static_sink.received
+print(
+    f"  shift-register wrappers ran {len(static_sink.received)} samples "
+    "with zero port checks — valid because the computed static schedule "
+    "guarantees regularity"
+)
+
+print("\nsoc pipeline example OK")

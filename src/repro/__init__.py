@@ -1,0 +1,87 @@
+"""repro — Synchronization Processor Synthesis for Latency Insensitive
+Systems (Bomel, Martin, Boutillon; DATE 2005) — full reproduction.
+
+Public API tour:
+
+>>> from repro import IOSchedule, SyncPoint, synthesize_wrapper
+>>> schedule = IOSchedule(
+...     ["a"], ["y"],
+...     [SyncPoint({"a"}, set(), run=3), SyncPoint(set(), {"y"})],
+... )
+>>> result = synthesize_wrapper(schedule, style="sp")
+>>> result.report.slices >= 1
+True
+
+Sub-packages:
+
+* :mod:`repro.core` — schedules, the SP compiler/processor, wrapper
+  shells, RTL generators, equivalence checking, synthesis flow;
+* :mod:`repro.lis` — the latency-insensitive substrate (patient
+  processes, relay stations, system simulator, throughput analysis);
+* :mod:`repro.rtl` — RTL IR, Verilog emission, simulation, bit-blasting
+  and FPGA technology mapping;
+* :mod:`repro.ips` — Reed-Solomon / Viterbi / FIR pearls;
+* :mod:`repro.sched` — schedule extraction and static scheduling;
+* :mod:`repro.synthesis` — flow entry point and Table-1 reporting.
+"""
+
+from .core import (
+    CombinationalWrapper,
+    CompilerOptions,
+    FSMWrapper,
+    IOSchedule,
+    Operation,
+    OperationFormat,
+    RTLShell,
+    SPProgram,
+    SPWrapper,
+    ShiftRegisterWrapper,
+    SyncPoint,
+    SyncProcessor,
+    compile_schedule,
+    make_wrapper,
+    synthesize_all_styles,
+    synthesize_wrapper,
+    uniform_schedule,
+)
+from .lis import (
+    Pearl,
+    RelayStation,
+    Simulation,
+    Sink,
+    Source,
+    System,
+)
+from .synthesis import PAPER_TABLE1, format_table1, synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CombinationalWrapper",
+    "CompilerOptions",
+    "FSMWrapper",
+    "IOSchedule",
+    "Operation",
+    "OperationFormat",
+    "PAPER_TABLE1",
+    "Pearl",
+    "RTLShell",
+    "RelayStation",
+    "SPProgram",
+    "SPWrapper",
+    "ShiftRegisterWrapper",
+    "Simulation",
+    "Sink",
+    "Source",
+    "SyncPoint",
+    "SyncProcessor",
+    "System",
+    "__version__",
+    "compile_schedule",
+    "format_table1",
+    "make_wrapper",
+    "synthesize",
+    "synthesize_all_styles",
+    "synthesize_wrapper",
+    "uniform_schedule",
+]

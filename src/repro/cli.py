@@ -1,0 +1,146 @@
+"""Command-line wrapper synthesis — ``python -m repro``.
+
+Subcommands:
+
+* ``synth`` — schedule JSON in, wrapper artifacts out (Verilog, report,
+  ROM image, optional self-checking testbench);
+* ``stats`` — print a schedule's Table-1 complexity triple and the
+  compiled SP program summary;
+* ``table1`` — regenerate the paper's Table 1 from the built-in
+  signature schedules;
+* ``compare`` — synthesize every wrapper style for one schedule and
+  print the comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .core.compiler import compile_schedule, program_summary
+from .core.io import export_wrapper, load_schedule
+from .core.rtlgen.testbench import generate_sp_testbench
+from .core.synthesis import SYNTH_STYLES, synthesize_wrapper
+from .ips.signatures import rs_table1_schedule, viterbi_table1_schedule
+from .synthesis.report import ComparisonRow, format_table1
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    schedule = load_schedule(args.schedule)
+    result = synthesize_wrapper(
+        schedule,
+        style=args.style,
+        name=args.name,
+        rom_style=args.rom_style,
+    )
+    written = export_wrapper(result, args.out)
+    if args.testbench and result.program is not None:
+        tb = generate_sp_testbench(
+            result.program,
+            schedule=schedule,
+            module_name=result.module.name,
+            cycles=args.tb_cycles,
+        )
+        tb_path = pathlib.Path(args.out) / f"{result.module.name}_tb.v"
+        tb_path.write_text(tb)
+        written.append(tb_path.name)
+    print(result.summary())
+    print(f"wrote {', '.join(written)} to {args.out}/")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    schedule = load_schedule(args.schedule)
+    print(f"complexity (ports/wait/run): {schedule.stats()}")
+    program = compile_schedule(schedule)
+    for key, value in program_summary(program).items():
+        print(f"  {key}: {value}")
+    if args.listing:
+        print(program.listing())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = []
+    for name, factory in (
+        ("Viterbi", viterbi_table1_schedule),
+        ("RS", rs_table1_schedule),
+    ):
+        schedule = factory()
+        stats = schedule.stats()
+        fsm = synthesize_wrapper(schedule, "fsm-onehot")
+        sp = synthesize_wrapper(schedule, "sp", rom_style="block")
+        rows.append(
+            ComparisonRow(
+                name, stats.ports, stats.waits, stats.run,
+                fsm.report.slices, fsm.report.fmax_mhz,
+                sp.report.slices, sp.report.fmax_mhz,
+            )
+        )
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    schedule = load_schedule(args.schedule)
+    print(f"schedule: {schedule.stats()} (ports/wait/run)")
+    for style in SYNTH_STYLES:
+        report = synthesize_wrapper(schedule, style).report
+        print(
+            f"  {style:>14}: {report.slices:>6} slices "
+            f"{report.fmax_mhz:8.1f} MHz  ({report.mapping.luts} LUT / "
+            f"{report.mapping.ffs} FF / {report.mapping.brams} BRAM)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Synchronization-processor wrapper synthesis for latency "
+            "insensitive systems (DATE'05 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="synthesize one wrapper")
+    synth.add_argument("schedule", help="schedule JSON file")
+    synth.add_argument("--style", default="sp", choices=SYNTH_STYLES)
+    synth.add_argument("--name", default=None, help="module name")
+    synth.add_argument(
+        "--rom-style", default="auto",
+        choices=("auto", "block", "distributed"),
+    )
+    synth.add_argument("--out", default="wrapper_out")
+    synth.add_argument(
+        "--testbench", action="store_true",
+        help="also write a self-checking Verilog testbench (SP style)",
+    )
+    synth.add_argument("--tb-cycles", type=int, default=500)
+    synth.set_defaults(fn=_cmd_synth)
+
+    stats = sub.add_parser("stats", help="schedule/program statistics")
+    stats.add_argument("schedule")
+    stats.add_argument("--listing", action="store_true")
+    stats.set_defaults(fn=_cmd_stats)
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's table")
+    table1.set_defaults(fn=_cmd_table1)
+
+    compare = sub.add_parser(
+        "compare", help="all wrapper styles for one schedule"
+    )
+    compare.add_argument("schedule")
+    compare.set_defaults(fn=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

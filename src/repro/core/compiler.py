@@ -1,0 +1,182 @@
+"""Schedule -> synchronization-processor program compiler.
+
+The compiler turns a cyclic :class:`~repro.core.schedule.IOSchedule`
+into the operation stream the SP executes:
+
+1. each sync point becomes one *head* operation carrying the point's
+   input/output masks and free-run count;
+2. free-run counts wider than the run counter are **split** into the
+   head plus unconditional *continuation* operations (empty masks fire
+   immediately), preserving the exact enabled-cycle sequence;
+3. optionally, unconditional points are **fused** into the preceding
+   operation's run count when they fit (the inverse of splitting) —
+   the peephole a schedule produced by a HLS tool such as GAUT
+   typically benefits from.
+
+A disassembler reverses the mapping for round-trip checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtl.ast import clog2
+from .operations import Operation, OperationError, OperationFormat, SPProgram
+from .schedule import IOSchedule, ScheduleError, SyncPoint
+
+
+class CompileError(ValueError):
+    """Raised when a schedule cannot be compiled to the given format."""
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Knobs of the SP compiler.
+
+    ``run_width``: run-counter bits; ``None`` auto-sizes to the largest
+    free-run count in the (fused) schedule.  ``fuse``: apply the
+    unconditional-point fusion peephole first.
+    """
+
+    run_width: int | None = None
+    fuse: bool = True
+
+
+def auto_run_width(schedule: IOSchedule) -> int:
+    """Counter width that fits every free-run count without splitting."""
+    longest = max((point.run for point in schedule.points), default=0)
+    return max(1, clog2(longest + 1))
+
+
+def compile_schedule(
+    schedule: IOSchedule, options: CompilerOptions | None = None
+) -> SPProgram:
+    """Compile ``schedule`` into an :class:`SPProgram`."""
+    options = options or CompilerOptions()
+    working = schedule.normalized() if options.fuse else schedule
+    run_width = (
+        options.run_width
+        if options.run_width is not None
+        else auto_run_width(working)
+    )
+    if run_width < 1:
+        raise CompileError("run counter width must be >= 1")
+    fmt = OperationFormat(
+        n_inputs=len(schedule.inputs),
+        n_outputs=len(schedule.outputs),
+        run_width=run_width,
+    )
+    ops: list[Operation] = []
+    for index, point in enumerate(working.points):
+        ops.extend(_lower_point(working, index, point, fmt))
+    program = SPProgram(fmt=fmt, ops=tuple(ops))
+    _check_equivalence(working, program)
+    return program
+
+
+def _lower_point(
+    schedule: IOSchedule,
+    index: int,
+    point: SyncPoint,
+    fmt: OperationFormat,
+) -> list[Operation]:
+    """One sync point -> head op (+ continuation ops on overflow)."""
+    in_mask = schedule.input_mask(point)
+    out_mask = schedule.output_mask(point)
+    cap = fmt.max_run
+    remaining = point.run
+    head_run = min(remaining, cap)
+    ops = [
+        Operation(
+            in_mask=in_mask,
+            out_mask=out_mask,
+            run=head_run,
+            point_index=index,
+            is_head=True,
+        )
+    ]
+    remaining -= head_run
+    phase = head_run
+    while remaining > 0:
+        # The continuation op's own fire cycle is one run phase, its run
+        # field covers up to ``cap`` more.
+        grant = min(remaining - 1, cap)
+        ops.append(
+            Operation(
+                in_mask=0,
+                out_mask=0,
+                run=grant,
+                point_index=index,
+                is_head=False,
+                first_phase=phase,
+            )
+        )
+        phase += 1 + grant
+        remaining -= 1 + grant
+    return ops
+
+
+def _check_equivalence(schedule: IOSchedule, program: SPProgram) -> None:
+    """Defensive invariant: the program executes the same enabled-cycle
+    count per period as the schedule."""
+    if program.enabled_cycles_per_period() != schedule.period_cycles:
+        raise CompileError(
+            "internal error: compiled program period "
+            f"{program.enabled_cycles_per_period()} != schedule period "
+            f"{schedule.period_cycles}"
+        )
+
+
+def decompile_program(
+    program: SPProgram,
+    inputs: tuple[str, ...],
+    outputs: tuple[str, ...],
+) -> IOSchedule:
+    """Rebuild a schedule from a program (continuations re-fused).
+
+    The result equals the *normalized* source schedule, making
+    ``decompile(compile(s)) == s.normalized()`` a testable round trip.
+    """
+    if len(inputs) != program.fmt.n_inputs:
+        raise CompileError(
+            f"{len(inputs)} input names for {program.fmt.n_inputs}-bit mask"
+        )
+    if len(outputs) != program.fmt.n_outputs:
+        raise CompileError(
+            f"{len(outputs)} output names for "
+            f"{program.fmt.n_outputs}-bit mask"
+        )
+    points: list[SyncPoint] = []
+    for op in program.ops:
+        in_names = frozenset(
+            name for bit, name in enumerate(inputs) if op.in_mask >> bit & 1
+        )
+        out_names = frozenset(
+            name
+            for bit, name in enumerate(outputs)
+            if op.out_mask >> bit & 1
+        )
+        if op.is_unconditional and points:
+            last = points[-1]
+            points[-1] = SyncPoint(
+                last.inputs, last.outputs, last.run + op.enabled_cycles
+            )
+        else:
+            points.append(SyncPoint(in_names, out_names, op.run))
+    try:
+        return IOSchedule(inputs, outputs, points)
+    except ScheduleError as exc:  # pragma: no cover - defensive
+        raise CompileError(f"decompiled schedule invalid: {exc}") from exc
+
+
+def program_summary(program: SPProgram) -> dict[str, int]:
+    """Size metrics used by the benches and EXPERIMENTS.md."""
+    return {
+        "operations": len(program.ops),
+        "word_width": program.fmt.word_width,
+        "rom_bits": program.rom_bits,
+        "addr_width": program.addr_width,
+        "run_width": program.fmt.run_width,
+        "continuations": sum(1 for op in program.ops if not op.is_head),
+        "enabled_cycles_per_period": program.enabled_cycles_per_period(),
+    }

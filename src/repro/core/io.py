@@ -1,0 +1,158 @@
+"""Serialization: schedules as JSON, programs as memory images.
+
+The wrapper-synthesis flow's external interfaces:
+
+* **schedule JSON** — the hand-off format from an HLS tool (the paper's
+  GAUT) or from trace extraction to wrapper synthesis;
+* **memh images** — `$readmemh`-compatible dumps of the operations
+  memory, for loading the SP program into simulation or an FPGA
+  initialization flow;
+* **export bundle** — one call writing the Verilog, the ROM image and
+  the synthesis report of a wrapper into a directory.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from .operations import Operation, OperationFormat, SPProgram
+from .schedule import IOSchedule, ScheduleError, SyncPoint
+
+
+class IOError_(ValueError):
+    """Raised for malformed serialized artifacts."""
+
+
+# -- schedules ----------------------------------------------------------------
+
+
+def schedule_to_dict(schedule: IOSchedule) -> dict[str, Any]:
+    """JSON-ready representation of a schedule."""
+    return {
+        "inputs": list(schedule.inputs),
+        "outputs": list(schedule.outputs),
+        "points": [
+            {
+                "inputs": sorted(point.inputs),
+                "outputs": sorted(point.outputs),
+                "run": point.run,
+            }
+            for point in schedule.points
+        ],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> IOSchedule:
+    """Inverse of :func:`schedule_to_dict`, with validation."""
+    try:
+        points = [
+            SyncPoint(
+                frozenset(p.get("inputs", [])),
+                frozenset(p.get("outputs", [])),
+                int(p.get("run", 0)),
+            )
+            for p in data["points"]
+        ]
+        return IOSchedule(
+            list(data["inputs"]), list(data["outputs"]), points
+        )
+    except (KeyError, TypeError) as exc:
+        raise IOError_(f"malformed schedule document: {exc}") from exc
+    except ScheduleError as exc:
+        raise IOError_(f"invalid schedule: {exc}") from exc
+
+
+def save_schedule(schedule: IOSchedule, path: str | pathlib.Path) -> None:
+    pathlib.Path(path).write_text(
+        json.dumps(schedule_to_dict(schedule), indent=2) + "\n"
+    )
+
+
+def load_schedule(path: str | pathlib.Path) -> IOSchedule:
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise IOError_(f"not valid JSON: {path}") from exc
+    return schedule_from_dict(data)
+
+
+# -- programs -----------------------------------------------------------------
+
+
+def program_to_memh(program: SPProgram) -> str:
+    """``$readmemh``-compatible operations-memory image.
+
+    One word per line, hex, width padded to the word width; a comment
+    header documents the field layout.
+    """
+    fmt = program.fmt
+    digits = (fmt.word_width + 3) // 4
+    lines = [
+        f"// SP operations memory: {len(program.ops)} words x "
+        f"{fmt.word_width} bits",
+        f"// word = in_mask[{fmt.n_inputs}] | out_mask[{fmt.n_outputs}]"
+        f" | run[{fmt.run_width}]",
+    ]
+    for word in program.rom_image():
+        lines.append(f"{word:0{digits}x}")
+    return "\n".join(lines) + "\n"
+
+
+def program_from_memh(
+    text: str, fmt: OperationFormat
+) -> SPProgram:
+    """Parse a memh image back into a program (provenance is lost:
+    every operation is a head op)."""
+    ops = []
+    for line in text.splitlines():
+        line = line.split("//")[0].strip()
+        if not line:
+            continue
+        try:
+            word = int(line, 16)
+        except ValueError as exc:
+            raise IOError_(f"bad memh line {line!r}") from exc
+        ops.append(Operation.decode(word, fmt))
+    if not ops:
+        raise IOError_("memh image contains no words")
+    return SPProgram(fmt=fmt, ops=tuple(ops))
+
+
+# -- export bundles --------------------------------------------------------------
+
+
+def export_wrapper(result, directory: str | pathlib.Path) -> list[str]:
+    """Write a :class:`~repro.core.synthesis.WrapperSynthesisResult`'s
+    artifacts (Verilog, report, schedule, ROM image when present) into
+    ``directory``; returns the filenames written."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    verilog = directory / f"{result.module.name}.v"
+    verilog.write_text(result.verilog)
+    written.append(verilog.name)
+
+    report = directory / f"{result.module.name}.report.txt"
+    report.write_text(
+        result.report.summary()
+        + "\n"
+        + f"critical path: {result.report.mapping.critical_path}\n"
+        + f"rom style: {result.report.mapping.rom_style}\n"
+    )
+    written.append(report.name)
+
+    schedule = directory / f"{result.module.name}.schedule.json"
+    save_schedule(result.schedule, schedule)
+    written.append(schedule.name)
+
+    if result.program is not None:
+        memh = directory / f"{result.module.name}.ops.memh"
+        memh.write_text(program_to_memh(result.program))
+        written.append(memh.name)
+        listing = directory / f"{result.module.name}.ops.lst"
+        listing.write_text(result.program.listing() + "\n")
+        written.append(listing.name)
+    return written

@@ -1,0 +1,184 @@
+"""Synchronization-processor operation words.
+
+The paper, §3: *"Operation's format is the concatenation of an
+input-mask, an output-mask and a free-run cycles number.  The masks
+specify respectively the input and output ports the FSM is sensible
+to.  The run cycles number represents the number of clock cycles the IP
+can execute until next synchronization point."*
+
+Word layout (most significant first)::
+
+    [ input mask | output mask | run count ]
+
+Bit *i* of the input mask corresponds to the *i*-th declared input port
+(bit 0 = first port), likewise for outputs.  The word width is fixed by
+the port counts and the chosen run-counter width — it never depends on
+schedule length, which is the whole point of the SP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtl.ast import clog2
+
+
+class OperationError(ValueError):
+    """Raised for malformed operations or encodings."""
+
+
+@dataclass(frozen=True)
+class OperationFormat:
+    """Bit-level layout of one SP operation word."""
+
+    n_inputs: int
+    n_outputs: int
+    run_width: int
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 0 or self.n_outputs < 0:
+            raise OperationError("port counts must be >= 0")
+        if self.n_inputs + self.n_outputs == 0:
+            raise OperationError("an SP needs at least one port")
+        if self.run_width < 1:
+            raise OperationError("run counter width must be >= 1")
+
+    @property
+    def word_width(self) -> int:
+        return self.n_inputs + self.n_outputs + self.run_width
+
+    @property
+    def max_run(self) -> int:
+        return (1 << self.run_width) - 1
+
+    # Field positions (LSB-first): run at [run_width-1:0], then output
+    # mask, then input mask in the most significant bits.
+    @property
+    def run_lsb(self) -> int:
+        return 0
+
+    @property
+    def out_lsb(self) -> int:
+        return self.run_width
+
+    @property
+    def in_lsb(self) -> int:
+        return self.run_width + self.n_outputs
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One SP operation, with provenance back to the source schedule.
+
+    ``point_index`` is the sync point this op implements; ``is_head``
+    is False for continuation ops produced when a free-run count
+    overflows the run counter (the pop/push happens only on the head);
+    ``first_phase`` is the free-run phase executed on a continuation
+    op's own fire cycle.
+    """
+
+    in_mask: int
+    out_mask: int
+    run: int
+    point_index: int = 0
+    is_head: bool = True
+    first_phase: int = 0
+
+    def __post_init__(self) -> None:
+        if self.in_mask < 0 or self.out_mask < 0 or self.run < 0:
+            raise OperationError("operation fields must be >= 0")
+        if not self.is_head and (self.in_mask or self.out_mask):
+            raise OperationError("continuation ops must have empty masks")
+
+    def encode(self, fmt: OperationFormat) -> int:
+        """Pack into one ROM word."""
+        if self.in_mask >= (1 << fmt.n_inputs):
+            raise OperationError(
+                f"input mask {self.in_mask:#x} exceeds {fmt.n_inputs} bits"
+            )
+        if self.out_mask >= (1 << fmt.n_outputs):
+            raise OperationError(
+                f"output mask {self.out_mask:#x} exceeds {fmt.n_outputs} "
+                "bits"
+            )
+        if self.run > fmt.max_run:
+            raise OperationError(
+                f"run count {self.run} exceeds counter capacity "
+                f"{fmt.max_run}"
+            )
+        return (
+            (self.in_mask << fmt.in_lsb)
+            | (self.out_mask << fmt.out_lsb)
+            | self.run
+        )
+
+    @staticmethod
+    def decode(word: int, fmt: OperationFormat) -> "Operation":
+        """Unpack a ROM word (provenance fields default)."""
+        if word < 0 or word >= (1 << fmt.word_width):
+            raise OperationError(
+                f"word {word:#x} does not fit in {fmt.word_width} bits"
+            )
+        run = word & fmt.max_run
+        out_mask = (word >> fmt.out_lsb) & ((1 << fmt.n_outputs) - 1)
+        in_mask = (word >> fmt.in_lsb) & ((1 << fmt.n_inputs) - 1)
+        return Operation(in_mask, out_mask, run)
+
+    @property
+    def is_unconditional(self) -> bool:
+        """Fires without waiting (both masks empty)."""
+        return self.in_mask == 0 and self.out_mask == 0
+
+    @property
+    def enabled_cycles(self) -> int:
+        """IP clock cycles this op accounts for (fire cycle + run)."""
+        return 1 + self.run
+
+
+@dataclass(frozen=True)
+class SPProgram:
+    """A compiled SP program: operations + word format."""
+
+    fmt: OperationFormat
+    ops: tuple[Operation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise OperationError("empty SP program")
+
+    @property
+    def addr_width(self) -> int:
+        return clog2(len(self.ops))
+
+    @property
+    def rom_bits(self) -> int:
+        return len(self.ops) * self.fmt.word_width
+
+    def rom_image(self) -> list[int]:
+        """Encode every op into the operations-memory image."""
+        return [op.encode(self.fmt) for op in self.ops]
+
+    def enabled_cycles_per_period(self) -> int:
+        return sum(op.enabled_cycles for op in self.ops)
+
+    def listing(self) -> str:
+        """Human-readable disassembly of the program."""
+        lines = [
+            f"; SP program: {len(self.ops)} ops, word width "
+            f"{self.fmt.word_width} (in {self.fmt.n_inputs} | out "
+            f"{self.fmt.n_outputs} | run {self.fmt.run_width})"
+        ]
+        for addr, op in enumerate(self.ops):
+            kind = "head" if op.is_head else "cont"
+            lines.append(
+                f"{addr:5d}: in={op.in_mask:0{max(1, self.fmt.n_inputs)}b} "
+                f"out={op.out_mask:0{max(1, self.fmt.n_outputs)}b} "
+                f"run={op.run:<6d} ; point {op.point_index} ({kind})"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)

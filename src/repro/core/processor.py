@@ -1,0 +1,129 @@
+"""Behavioural model of the synchronization processor (SP).
+
+The paper, §3: *"The SP model is specified by a three states FSM: a
+reset state at power up, an operation-read state, and a free-run state.
+This FSM is concurrent with the IP and contains a data path: this is a
+'concurrent FSM with data path' (CFSMD)."*
+
+This model is a pure state machine over bitmasks — each cycle it is
+given the ``not empty`` mask of the input ports and the ``not full``
+mask of the output ports, and it answers with the pop/push strobes and
+the IP clock-enable.  Keeping it purely functional makes it trivially
+co-simulable against the generated RTL, which implements the very same
+three states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .operations import Operation, SPProgram
+
+
+class SPState(Enum):
+    """The three CFSMD states of the paper."""
+
+    RESET = 0
+    READ_OP = 1
+    FREE_RUN = 2
+
+
+@dataclass(frozen=True)
+class SPAction:
+    """What the SP decided in one clock cycle."""
+
+    enable: bool  # IP clock fires this cycle
+    pop_mask: int  # input ports popped (bit i = i-th input)
+    push_mask: int  # output ports pushed
+    op: Operation | None  # the operation fired this cycle, if any
+    state: SPState  # state during this cycle
+    addr: int  # operations-memory address presented this cycle
+
+    @property
+    def stalled(self) -> bool:
+        return not self.enable and self.state is SPState.READ_OP
+
+
+class SyncProcessor:
+    """Cycle-accurate behavioural SP executing an :class:`SPProgram`."""
+
+    def __init__(self, program: SPProgram) -> None:
+        self.program = program
+        self.state = SPState.RESET
+        self.addr = 0
+        self.run_counter = 0
+        self._running_op: Operation | None = None
+        self.cycles = 0
+        self.enabled_cycles = 0
+        self.stall_cycles = 0
+        self.periods_completed = 0
+
+    def reset(self) -> None:
+        self.state = SPState.RESET
+        self.addr = 0
+        self.run_counter = 0
+        self._running_op = None
+        self.cycles = 0
+        self.enabled_cycles = 0
+        self.stall_cycles = 0
+        self.periods_completed = 0
+
+    @property
+    def current_op(self) -> Operation:
+        return self.program.ops[self.addr]
+
+    @property
+    def running_op(self) -> Operation | None:
+        """The op whose free-run cycles are being granted (FREE_RUN)."""
+        return self._running_op
+
+    def _ready(self, op: Operation, in_ready: int, out_ready: int) -> bool:
+        return (
+            (op.in_mask & in_ready) == op.in_mask
+            and (op.out_mask & out_ready) == op.out_mask
+        )
+
+    def step(self, in_ready: int, out_ready: int) -> SPAction:
+        """Advance one clock cycle.
+
+        ``in_ready``: bit *i* set when input port *i* is not empty;
+        ``out_ready``: bit *j* set when output port *j* is not full.
+        """
+        self.cycles += 1
+        state = self.state
+        addr = self.addr
+
+        if state is SPState.RESET:
+            # Power-up cycle: fetch address 0, decide nothing yet.
+            self.state = SPState.READ_OP
+            return SPAction(False, 0, 0, None, state, addr)
+
+        if state is SPState.FREE_RUN:
+            self.enabled_cycles += 1
+            self.run_counter -= 1
+            if self.run_counter == 0:
+                self.state = SPState.READ_OP
+            return SPAction(True, 0, 0, None, state, addr)
+
+        # READ_OP: the asynchronous ROM presents ops[addr] this cycle.
+        op = self.program.ops[addr]
+        if not self._ready(op, in_ready, out_ready):
+            self.stall_cycles += 1
+            return SPAction(False, 0, 0, None, state, addr)
+
+        self.enabled_cycles += 1
+        next_addr = addr + 1
+        if next_addr == len(self.program.ops):
+            next_addr = 0
+            self.periods_completed += 1
+        self.addr = next_addr
+        if op.run > 0:
+            self.state = SPState.FREE_RUN
+            self.run_counter = op.run
+            self._running_op = op
+        return SPAction(True, op.in_mask, op.out_mask, op, state, addr)
+
+    def trace(self, in_ready: int, out_ready: int, cycles: int):
+        """Run ``cycles`` steps under constant readiness (tests/demos)."""
+        return [self.step(in_ready, out_ready) for _ in range(cycles)]

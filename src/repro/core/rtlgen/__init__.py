@@ -1,0 +1,31 @@
+"""Wrapper RTL generators: one per synchronization style.
+
+All generators produce :class:`~repro.rtl.module.Module` objects with
+the identical FIFO-style interface described in
+:mod:`repro.core.rtlgen.common`, ready for Verilog emission, RTL
+simulation and technology mapping.
+"""
+
+from .comb import generate_comb_wrapper
+from .common import WrapperInterface, sanitize, select_by_value
+from .fsm import generate_fsm_wrapper
+from .lis_fabric import generate_relay_station
+from .shiftreg import compute_port_patterns, generate_shiftreg_wrapper
+from .testbench import generate_sp_testbench
+from .sp import ST_READ, ST_RESET, ST_RUN, generate_sp_wrapper
+
+__all__ = [
+    "ST_READ",
+    "ST_RESET",
+    "ST_RUN",
+    "WrapperInterface",
+    "compute_port_patterns",
+    "generate_comb_wrapper",
+    "generate_fsm_wrapper",
+    "generate_relay_station",
+    "generate_shiftreg_wrapper",
+    "generate_sp_testbench",
+    "generate_sp_wrapper",
+    "sanitize",
+    "select_by_value",
+]

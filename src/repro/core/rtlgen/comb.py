@@ -1,0 +1,38 @@
+"""RTL generation for Carloni's combinational wrapper (Figure 1).
+
+The original patient-process shell: pure combinational logic — the IP
+clock is enabled exactly when *every* input holds a valid token and
+*every* output can accept one; all ports pop/push together.  No state
+at all (beyond the IP's), which is why it is tiny, and why it cannot
+express partial-port schedules.
+"""
+
+from __future__ import annotations
+
+from ...rtl.ast import all_of
+from ...rtl.module import Module
+from ..schedule import IOSchedule
+from .common import WrapperInterface
+
+
+def generate_comb_wrapper(
+    schedule: IOSchedule, name: str = "comb_wrapper"
+) -> Module:
+    """Build the combinational wrapper for ``schedule``'s ports.
+
+    Only the port *list* matters — the combinational wrapper cannot see
+    the schedule's structure; that restriction is the point.
+    """
+    module = Module(name)
+    iface = WrapperInterface(module, schedule)
+
+    enable = module.wire("all_ready")
+    module.assign(
+        enable, all_of(list(iface.not_empty) + list(iface.not_full))
+    )
+    module.assign(iface.ip_enable, enable)
+    for pop in iface.pop:
+        module.assign(pop, enable)
+    for push in iface.push:
+        module.assign(push, enable)
+    return module

@@ -1,0 +1,190 @@
+"""RTL generation for the Mealy-FSM wrapper baseline (Singh & Theobald).
+
+One FSM state per cycle of the unrolled schedule period: a sync cycle's
+state tests its port subset and advances on readiness; a free-run
+cycle's state advances unconditionally.  Outputs (pop/push strobes and
+the IP enable) are Mealy — they depend on the current port status.
+
+Next-state and output logic are built as full balanced mux ("case")
+trees over the binary-encoded state register, which is what a
+circa-2005 synthesis tool infers from the natural HDL description.
+This is exactly the structure whose area and delay grow with schedule
+length — the drawback the paper's SP removes.
+
+A one-hot encoding variant is provided for the encoding ablation.
+"""
+
+from __future__ import annotations
+
+from ...rtl.ast import BitSelect, Const, Expr, Signal, any_of, clog2, mux
+from ...rtl.module import Module
+from ..schedule import IOSchedule
+from .common import WrapperInterface, select_by_value
+
+
+def generate_fsm_wrapper(
+    schedule: IOSchedule,
+    name: str = "fsm_wrapper",
+    encoding: str = "binary",
+) -> Module:
+    """Build the FSM wrapper module for ``schedule``."""
+    if encoding not in ("binary", "onehot"):
+        raise ValueError(f"unknown FSM encoding {encoding!r}")
+    if encoding == "onehot":
+        return _generate_onehot(schedule, name)
+    return _generate_binary(schedule, name)
+
+
+def _state_plan(schedule: IOSchedule):
+    """Per-state description: (point index, kind) per schedule cycle."""
+    return schedule.unrolled_cycles()
+
+
+def _ready_signals(
+    module: Module, iface: WrapperInterface, schedule: IOSchedule
+) -> dict[tuple[int, int], Signal]:
+    """One shared readiness wire per distinct (in_mask, out_mask)."""
+    distinct: dict[tuple[int, int], Signal] = {}
+    for point in schedule.points:
+        key = (schedule.input_mask(point), schedule.output_mask(point))
+        if key not in distinct:
+            wire = module.wire(f"ready_{len(distinct)}")
+            module.assign(wire, iface.ready_for_masks(*key))
+            distinct[key] = wire
+    return distinct
+
+
+def _generate_binary(schedule: IOSchedule, name: str) -> Module:
+    module = Module(name)
+    iface = WrapperInterface(module, schedule)
+    rst = iface.rst
+
+    plan = _state_plan(schedule)
+    n_states = len(plan)
+    width = clog2(n_states)
+    state = module.wire("state", width)
+
+    ready = _ready_signals(module, iface, schedule)
+
+    def point_ready(index: int) -> Signal:
+        point = schedule.points[index]
+        key = (schedule.input_mask(point), schedule.output_mask(point))
+        return ready[key]
+
+    # Leaves for next-state / enable per state.
+    next_leaves: list[Expr] = []
+    enable_leaves: list[Expr] = []
+    for s, (point_index, kind) in enumerate(plan):
+        succ = Const((s + 1) % n_states, width)
+        here = Const(s, width)
+        if kind == "sync":
+            cond = point_ready(point_index)
+            next_leaves.append(mux(cond, succ, here))
+            enable_leaves.append(cond)
+        else:
+            next_leaves.append(succ)
+            enable_leaves.append(Const(1, 1))
+
+    next_state = module.wire("next_state", width)
+    module.assign(
+        next_state, select_by_value(state, next_leaves, width)
+    )
+    module.register(state, next_state, reset=rst, reset_value=0)
+
+    module.assign(
+        iface.ip_enable, select_by_value(state, enable_leaves, 1)
+    )
+
+    # Mealy pop/push strobes: fire exactly in the sync states whose
+    # point selects the port, when that point is ready.
+    for bit, pop in enumerate(iface.pop):
+        leaves = [
+            point_ready(point_index)
+            if kind == "sync"
+            and schedule.input_mask(schedule.points[point_index]) >> bit & 1
+            else Const(0, 1)
+            for point_index, kind in plan
+        ]
+        module.assign(pop, select_by_value(state, leaves, 1))
+    for bit, push in enumerate(iface.push):
+        leaves = [
+            point_ready(point_index)
+            if kind == "sync"
+            and schedule.output_mask(schedule.points[point_index])
+            >> bit
+            & 1
+            else Const(0, 1)
+            for point_index, kind in plan
+        ]
+        module.assign(push, select_by_value(state, leaves, 1))
+    return module
+
+
+def _generate_onehot(schedule: IOSchedule, name: str) -> Module:
+    module = Module(name)
+    iface = WrapperInterface(module, schedule)
+    rst = iface.rst
+
+    plan = _state_plan(schedule)
+    n_states = len(plan)
+    state = module.wire("state", n_states)
+
+    ready = _ready_signals(module, iface, schedule)
+
+    def point_ready(index: int) -> Signal:
+        point = schedule.points[index]
+        key = (schedule.input_mask(point), schedule.output_mask(point))
+        return ready[key]
+
+    # hold[s]: state s keeps itself; advance[s]: state s hands off to
+    # its successor this cycle.
+    advance: list[Expr] = []
+    for s, (point_index, kind) in enumerate(plan):
+        bit = state.bit(s)
+        if kind == "sync":
+            advance.append(bit & point_ready(point_index))
+        else:
+            advance.append(bit)
+
+    next_bits: list[Expr] = []
+    for s in range(n_states):
+        prev = (s - 1) % n_states
+        stay = state.bit(s) & ~_as_bit(advance[s])
+        enter = advance[prev]
+        next_bits.append(stay | _as_bit(enter))
+    next_state = module.wire("next_state", n_states)
+    # Concat takes MSB first.
+    from ...rtl.ast import Concat
+
+    module.assign(next_state, Concat(list(reversed(next_bits))))
+    module.register(
+        state, next_state, reset=rst, reset_value=1
+    )  # one-hot: state 0 active at reset
+
+    module.assign(iface.ip_enable, any_of(advance))
+
+    for bit_index, pop in enumerate(iface.pop):
+        terms = [
+            advance[s]
+            for s, (point_index, kind) in enumerate(plan)
+            if kind == "sync"
+            and schedule.input_mask(schedule.points[point_index])
+            >> bit_index
+            & 1
+        ]
+        module.assign(pop, any_of(terms))
+    for bit_index, push in enumerate(iface.push):
+        terms = [
+            advance[s]
+            for s, (point_index, kind) in enumerate(plan)
+            if kind == "sync"
+            and schedule.output_mask(schedule.points[point_index])
+            >> bit_index
+            & 1
+        ]
+        module.assign(push, any_of(terms))
+    return module
+
+
+def _as_bit(expr: Expr) -> Expr:
+    return expr

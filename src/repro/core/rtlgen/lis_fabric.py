@@ -1,0 +1,79 @@
+"""Synthesizable RTL for the LIS fabric itself: relay stations.
+
+The wrappers are only half the hardware story — the methodology also
+ships relay stations on every segmented wire.  This generator emits
+the capacity-2 relay station as Verilog, bit-for-bit matching the
+behavioural :class:`~repro.lis.relay_station.RelayStation`:
+
+* downstream face: ``out_data`` / ``out_void`` (head token, if any);
+* upstream face: ``stop_up`` asserted exactly when both slots are full;
+* a transfer is accepted when ``in_void`` is low and the buffer has
+  room; the head is released when the downstream ``stop_down`` is low.
+
+The area result worth knowing (and benchmarked in the scaling tests):
+one relay station costs ~``2*W`` flip-flops + a few LUTs of occupancy
+logic — which is why Casu & Macchiarulo wanted to replace them with
+single flip-flops, and why the paper keeps wrappers off the critical
+path instead.
+"""
+
+from __future__ import annotations
+
+from ...rtl.ast import Const, mux
+from ...rtl.module import Module
+
+
+def generate_relay_station(
+    width: int = 8, name: str = "relay_station"
+) -> Module:
+    """Build the 2-slot relay station for ``width``-bit payloads."""
+    if width < 1:
+        raise ValueError("payload width must be >= 1")
+    m = Module(name)
+    clk = m.add_clock()
+    rst = m.input("rst")
+    in_data = m.input("in_data", width)
+    in_void = m.input("in_void")
+    stop_down = m.input("stop_down")
+    out_data = m.output("out_data", width)
+    out_void = m.output("out_void")
+    stop_up = m.output("stop_up")
+
+    buf0 = m.wire("buf0", width)  # head slot
+    buf1 = m.wire("buf1", width)  # spill slot
+    occ = m.wire("occ", 2)  # 0, 1 or 2 tokens
+
+    # Downstream face: present the head whenever occupied.
+    m.assign(out_data, buf0)
+    m.assign(out_void, occ.eq(0))
+    # Upstream face: stop exactly when full (capacity-2 invariant).
+    m.assign(stop_up, occ.eq(2))
+
+    pop = m.wire("pop")
+    m.assign(pop, occ.ne(0) & ~stop_down)
+    push = m.wire("push")
+    m.assign(push, ~in_void & ~occ.eq(2))
+
+    # occ' = occ - pop + push
+    occ_after_pop = m.wire("occ_after_pop", 2)
+    m.assign(occ_after_pop, mux(pop, occ - Const(1, 2), occ))
+    occ_next = m.wire("occ_next", 2)
+    m.assign(
+        occ_next,
+        mux(push, occ_after_pop + Const(1, 2), occ_after_pop),
+    )
+    m.register(occ, occ_next, reset=rst, reset_value=0)
+
+    # Head slot: advances on pop (spill shifts down); fills directly
+    # when a push lands in an empty station (or one emptied this cycle).
+    head_fill = m.wire("head_fill")
+    m.assign(head_fill, push & occ_after_pop.eq(0))
+    buf0_next = mux(head_fill, in_data, mux(pop, buf1, buf0))
+    m.register(buf0, buf0_next, reset=rst, reset_value=0)
+
+    # Spill slot: written when a push lands while one token remains.
+    spill_fill = m.wire("spill_fill")
+    m.assign(spill_fill, push & occ_after_pop.eq(1))
+    m.register(buf1, mux(spill_fill, in_data, buf1), reset=rst,
+               reset_value=0)
+    return m

@@ -1,0 +1,117 @@
+"""RTL generation for the shift-register wrapper (Casu & Macchiarulo).
+
+A circular shift register of one bit per cycle of the global static
+activation schedule drives the IP clock; further rings generate the
+pop/push strobes at the positions where the unrolled schedule touches
+each port.  No port status is ever consulted — the environment must be
+perfectly regular (the assumption the DAC'04 approach relies on).
+
+On FPGAs these rings map to SRL16 shift-register LUTs, which the
+technology mapper infers; their cost still grows linearly with the
+activation period, which the scaling ablation measures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...rtl.ast import Concat, Signal
+from ...rtl.module import Module
+from ..schedule import IOSchedule
+from .common import WrapperInterface
+
+
+def _pattern_value(bits: Sequence[bool]) -> int:
+    value = 0
+    for index, bit in enumerate(bits):
+        if bit:
+            value |= 1 << index
+    return value
+
+
+def _ring(
+    module: Module, name: str, bits: Sequence[bool], rst
+) -> Signal:
+    """A rotating register preloaded with ``bits``; returns the tap
+    (bit 0, the bit scheduled for the current cycle)."""
+    length = len(bits)
+    ring = module.wire(name, length)
+    if length == 1:
+        module.register(ring, ring, reset=rst,
+                        reset_value=_pattern_value(bits))
+        return ring
+    rotated = Concat([ring.bit(0), ring.slice(length - 1, 1)])
+    module.register(
+        ring, rotated, reset=rst, reset_value=_pattern_value(bits)
+    )
+    return ring
+
+
+def compute_port_patterns(
+    schedule: IOSchedule, activation: Sequence[bool]
+) -> tuple[list[bool], dict[str, list[bool]], dict[str, list[bool]]]:
+    """Align the unrolled schedule onto the activation pattern.
+
+    Returns (enable pattern, per-input pop patterns, per-output push
+    patterns), all of the activation pattern's length.  Walking the
+    pattern, each active cycle executes the next unrolled schedule
+    slot; sync slots strobe their ports.
+    """
+    period = schedule.period_cycles
+    fires = sum(bool(b) for b in activation)
+    if fires == 0:
+        raise ValueError("activation pattern never fires")
+    if fires % period != 0:
+        raise ValueError(
+            f"activation fires {fires} cycles per loop; must be a "
+            f"multiple of the schedule period {period}"
+        )
+    unrolled = schedule.unrolled_cycles()
+    enable = [bool(b) for b in activation]
+    pops = {name: [False] * len(activation) for name in schedule.inputs}
+    pushes = {name: [False] * len(activation) for name in schedule.outputs}
+    cursor = 0
+    for position, active in enumerate(activation):
+        if not active:
+            continue
+        point_index, kind = unrolled[cursor % period]
+        cursor += 1
+        if kind == "sync":
+            point = schedule.points[point_index]
+            for name in point.inputs:
+                pops[name][position] = True
+            for name in point.outputs:
+                pushes[name][position] = True
+    return enable, pops, pushes
+
+
+def generate_shiftreg_wrapper(
+    schedule: IOSchedule,
+    activation: Sequence[bool] | None = None,
+    name: str = "shiftreg_wrapper",
+) -> Module:
+    """Build the shift-register wrapper.
+
+    ``activation`` defaults to all-ones over one schedule period
+    (full-speed static schedule).
+    """
+    if activation is None:
+        activation = [True] * schedule.period_cycles
+    enable, pops, pushes = compute_port_patterns(schedule, activation)
+
+    module = Module(name)
+    iface = WrapperInterface(module, schedule)
+    rst = iface.rst
+
+    enable_ring = _ring(module, "enable_ring", enable, rst)
+    module.assign(iface.ip_enable, enable_ring.bit(0))
+
+    for index, port_name in enumerate(schedule.inputs):
+        ring = _ring(module, f"pop_ring_{index}", pops[port_name], rst)
+        module.assign(iface.pop[index], ring.bit(0))
+    for index, port_name in enumerate(schedule.outputs):
+        ring = _ring(
+            module, f"push_ring_{index}", pushes[port_name], rst
+        )
+        module.assign(iface.push[index], ring.bit(0))
+    return module

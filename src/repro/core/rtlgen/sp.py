@@ -1,0 +1,166 @@
+"""RTL generation for the synchronization processor wrapper.
+
+Implements the paper's §3 architecture exactly:
+
+* a three-state CFSMD (RESET / READ_OP / FREE_RUN);
+* an *operations memory* (asynchronous ROM) addressed by a read-counter
+  incremented modulo the program size, its interface reduced to the two
+  buses of Figure 2 (operation address out, operation word in);
+* a datapath of two counters (read-counter, free-run down-counter) and
+  the mask-gated readiness reduction over the FIFO port status bits.
+
+The key property reproduced from the paper's §5: every piece of logic
+here is sized by the **number of ports** (mask width) and the counter
+widths — never by the number of operations, which only grows the ROM.
+"""
+
+from __future__ import annotations
+
+from ...rtl.ast import Concat, Const, Signal, clog2, mux
+from ...rtl.module import Module
+from ..operations import SPProgram
+from .common import WrapperInterface
+
+# State encoding of the CFSMD (2 bits).
+ST_RESET = 0
+ST_READ = 1
+ST_RUN = 2
+
+
+def generate_sp_wrapper(
+    program: SPProgram,
+    name: str = "sp_wrapper",
+    schedule=None,
+) -> Module:
+    """Build the SP wrapper module for a compiled program.
+
+    ``schedule`` (optional :class:`~repro.core.schedule.IOSchedule`)
+    supplies the real port names; otherwise positional ``in0``/``out0``
+    names are used.
+    """
+    fmt = program.fmt
+    schedule_inputs = fmt.n_inputs
+    schedule_outputs = fmt.n_outputs
+
+    module = Module(name)
+    iface = _interface_from_format(module, program, schedule)
+    clk, rst = iface.clk, iface.rst
+
+    n_ops = len(program.ops)
+    addr_width = clog2(n_ops)
+    word_width = fmt.word_width
+
+    state = module.wire("state", 2)
+    addr = module.wire("addr", addr_width)
+    run_counter = module.wire("run_counter", fmt.run_width)
+    op_word = module.wire("op_word", word_width)
+
+    # Operations memory: asynchronous ROM, address/word buses only.
+    module.rom("ops_memory", addr, op_word, program.rom_image())
+
+    # Operation decode (pure wiring).
+    run_field = module.wire("run_field", fmt.run_width)
+    module.assign(
+        run_field, op_word.slice(fmt.run_width - 1, 0)
+    )
+    in_mask: Signal | None = None
+    out_mask: Signal | None = None
+    if schedule_outputs > 0:
+        out_mask = module.wire("out_mask", schedule_outputs)
+        module.assign(
+            out_mask,
+            op_word.slice(fmt.out_lsb + schedule_outputs - 1, fmt.out_lsb),
+        )
+    if schedule_inputs > 0:
+        in_mask = module.wire("in_mask", schedule_inputs)
+        module.assign(
+            in_mask,
+            op_word.slice(fmt.in_lsb + schedule_inputs - 1, fmt.in_lsb),
+        )
+
+    # Readiness: every masked port must be ready.
+    ready = module.wire("ready")
+    module.assign(ready, iface.ready_for_mask_signals(in_mask, out_mask))
+
+    in_read = module.wire("in_read")
+    module.assign(in_read, state.eq(ST_READ))
+    in_run = module.wire("in_run")
+    module.assign(in_run, state.eq(ST_RUN))
+
+    fire = module.wire("fire")
+    module.assign(fire, in_read & ready)
+
+    module.assign(iface.ip_enable, fire | in_run)
+    for bit, pop in enumerate(iface.pop):
+        module.assign(pop, fire & in_mask.bit(bit))  # type: ignore[union-attr]
+    for bit, push in enumerate(iface.push):
+        module.assign(push, fire & out_mask.bit(bit))  # type: ignore[union-attr]
+
+    # Read-counter: increment modulo the program size on fire.
+    last_addr = module.wire("last_addr")
+    module.assign(last_addr, addr.eq(n_ops - 1))
+    addr_next = mux(
+        last_addr, Const(0, addr_width), addr + Const(1, addr_width)
+    )
+    module.register(
+        addr,
+        mux(fire, addr_next, addr),
+        reset=rst,
+        reset_value=0,
+    )
+
+    # Free-run down-counter: load on a fire that grants run cycles,
+    # decrement while free-running.
+    starts_run = module.wire("starts_run")
+    module.assign(starts_run, fire & run_field.ne(0))
+    counter_next = mux(
+        starts_run,
+        run_field,
+        run_counter - Const(1, fmt.run_width),
+    )
+    module.register(
+        run_counter,
+        counter_next,
+        enable=starts_run | in_run,
+        reset=rst,
+        reset_value=0,
+    )
+
+    # State register: RESET -> READ_OP; READ_OP -> FREE_RUN on a fire
+    # with run cycles; FREE_RUN -> READ_OP when the counter expires.
+    run_done = module.wire("run_done")
+    module.assign(run_done, run_counter.eq(1))
+    state_next = mux(
+        state.eq(ST_RESET),
+        Const(ST_READ, 2),
+        mux(
+            in_read,
+            mux(starts_run, Const(ST_RUN, 2), Const(ST_READ, 2)),
+            mux(run_done, Const(ST_READ, 2), Const(ST_RUN, 2)),
+        ),
+    )
+    module.register(state, state_next, reset=rst, reset_value=ST_RESET)
+    return module
+
+
+def _interface_from_format(
+    module: Module, program: SPProgram, schedule=None
+) -> WrapperInterface:
+    """Build the uniform interface with the schedule's port names when
+    available, else positional names (``in0`` .. / ``out0`` ..)."""
+    if schedule is not None:
+        if (
+            len(schedule.inputs) != program.fmt.n_inputs
+            or len(schedule.outputs) != program.fmt.n_outputs
+        ):
+            raise ValueError(
+                "schedule port counts do not match the program format"
+            )
+        return WrapperInterface(module, schedule)
+    fmt = program.fmt
+
+    class _Shape:
+        inputs = tuple(f"in{i}" for i in range(fmt.n_inputs))
+        outputs = tuple(f"out{j}" for j in range(fmt.n_outputs))
+
+    return WrapperInterface(module, _Shape())  # type: ignore[arg-type]

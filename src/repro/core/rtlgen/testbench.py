@@ -1,0 +1,153 @@
+"""Self-checking Verilog testbench generation.
+
+A downstream user hands the generated wrapper to a real HDL simulator;
+this module writes the matching testbench: a deterministic stimulus
+sequence of port-readiness vectors, with the expected ``ip_enable`` /
+pop / push responses computed by the behavioural CFSMD and embedded as
+vectors.  The testbench replays the stimulus, compares every cycle, and
+prints ``TESTBENCH PASS``/``FAIL`` — so equivalence between this
+library's model and any external simulator is one `iverilog`/`vsim`
+run away.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..operations import SPProgram
+from ..processor import SyncProcessor
+from ..schedule import IOSchedule
+from .common import sanitize
+
+
+def generate_sp_testbench(
+    program: SPProgram,
+    schedule: IOSchedule | None = None,
+    module_name: str = "sp_wrapper",
+    cycles: int = 500,
+    seed: int = 1,
+) -> str:
+    """Build a self-checking testbench for a generated SP wrapper.
+
+    The stimulus is a reproducible pseudo-random readiness pattern; the
+    expected responses come from :class:`SyncProcessor`.
+    """
+    fmt = program.fmt
+    n_in, n_out = fmt.n_inputs, fmt.n_outputs
+    in_names = (
+        [sanitize(n) for n in schedule.inputs]
+        if schedule is not None
+        else [f"in{i}" for i in range(n_in)]
+    )
+    out_names = (
+        [sanitize(n) for n in schedule.outputs]
+        if schedule is not None
+        else [f"out{j}" for j in range(n_out)]
+    )
+
+    rng = random.Random(seed)
+    proc = SyncProcessor(program)
+    stim_in: list[int] = []
+    stim_out: list[int] = []
+    exp_enable: list[int] = []
+    exp_pop: list[int] = []
+    exp_push: list[int] = []
+    # Cycle 0 of the loop sees the DUT still in RESET (registers were
+    # reset on the first clock edge); the fresh behavioural processor's
+    # first step models exactly that cycle.
+    for _ in range(cycles):
+        in_ready = rng.getrandbits(n_in) if n_in else 0
+        out_ready = rng.getrandbits(n_out) if n_out else 0
+        action = proc.step(in_ready, out_ready)
+        stim_in.append(in_ready)
+        stim_out.append(out_ready)
+        exp_enable.append(int(action.enable))
+        exp_pop.append(action.pop_mask)
+        exp_push.append(action.push_mask)
+
+    def vec(values: list[int], width: int, name: str) -> str:
+        entries = "".join(
+            f"        {name}[{i}] = {width}'d{v};\n"
+            for i, v in enumerate(values)
+        )
+        return (
+            f"    reg [{max(width - 1, 0)}:0] {name} [0:{cycles - 1}];\n"
+            f"    initial begin\n{entries}    end\n"
+        )
+
+    in_conns = "".join(
+        f"        .{name}_not_empty(stim_in[{bit}]),\n"
+        f"        .{name}_pop(pop[{bit}]),\n"
+        for bit, name in enumerate(in_names)
+    )
+    out_conns = "".join(
+        f"        .{name}_not_full(stim_out[{bit}]),\n"
+        f"        .{name}_push(push[{bit}]),\n"
+        for bit, name in enumerate(out_names)
+    )
+
+    in_w = max(n_in, 1)
+    out_w = max(n_out, 1)
+    return f"""// Self-checking testbench for {module_name}
+// Generated from the behavioural synchronization-processor model:
+// {cycles} pseudo-random readiness cycles (seed {seed}).
+`timescale 1ns/1ps
+module {module_name}_tb;
+    reg clk = 0;
+    reg rst = 1;
+    reg [{in_w - 1}:0] stim_in;
+    reg [{out_w - 1}:0] stim_out;
+    wire [{in_w - 1}:0] pop;
+    wire [{out_w - 1}:0] push;
+    wire ip_enable;
+    integer cycle;
+    integer errors;
+
+{vec(stim_in, in_w, "stim_in_mem")}
+{vec(stim_out, out_w, "stim_out_mem")}
+{vec(exp_enable, 1, "exp_enable_mem")}
+{vec(exp_pop, in_w, "exp_pop_mem")}
+{vec(exp_push, out_w, "exp_push_mem")}
+    {module_name} dut (
+        .clk(clk),
+        .rst(rst),
+{in_conns}{out_conns}        .ip_enable(ip_enable)
+    );
+
+    always #5 clk = ~clk;
+
+    initial begin
+        errors = 0;
+        stim_in = 0;
+        stim_out = 0;
+        @(posedge clk);
+        #1 rst = 0;
+        for (cycle = 0; cycle < {cycles}; cycle = cycle + 1) begin
+            stim_in = stim_in_mem[cycle];
+            stim_out = stim_out_mem[cycle];
+            #1; // let combinational outputs settle
+            if (ip_enable !== exp_enable_mem[cycle]) begin
+                $display("FAIL cycle %0d: enable=%b expected %b",
+                         cycle, ip_enable, exp_enable_mem[cycle]);
+                errors = errors + 1;
+            end
+            if (pop !== exp_pop_mem[cycle]) begin
+                $display("FAIL cycle %0d: pop=%b expected %b",
+                         cycle, pop, exp_pop_mem[cycle]);
+                errors = errors + 1;
+            end
+            if (push !== exp_push_mem[cycle]) begin
+                $display("FAIL cycle %0d: push=%b expected %b",
+                         cycle, push, exp_push_mem[cycle]);
+                errors = errors + 1;
+            end
+            @(posedge clk);
+        end
+        if (errors == 0)
+            $display("TESTBENCH PASS (%0d cycles)", {cycles});
+        else
+            $display("TESTBENCH FAIL (%0d mismatches)", errors);
+        $finish;
+    end
+endmodule
+"""

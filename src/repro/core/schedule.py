@@ -1,0 +1,253 @@
+"""Cyclic I/O schedules — the input language of wrapper synthesis.
+
+A *schedule* describes the statically-known, data-independent
+communication behaviour of a synchronous IP ("pearl"), exactly the
+information Singh & Theobald's FSM wrapper and the paper's
+synchronization processor consume:
+
+* the IP has named input and output ports;
+* its steady-state behaviour is a cyclic sequence of *sync points*;
+* at each sync point it consumes one token from a **subset** of inputs
+  and produces one token on a **subset** of outputs, then runs freely
+  for ``run`` further clock cycles (internal computation needing no
+  synchronization).
+
+The paper summarizes a schedule's complexity as the triple
+``ports / wait / run`` (Table 1): number of ports, number of sync
+operations, and total free-run cycles per period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+class ScheduleError(ValueError):
+    """Raised for malformed schedules."""
+
+
+@dataclass(frozen=True)
+class SyncPoint:
+    """One synchronization operation.
+
+    ``inputs``/``outputs`` are the port subsets that must be ready
+    (non-empty / non-full) before the IP clock may fire; ``run`` is the
+    number of additional free-run cycles granted after the sync cycle.
+    """
+
+    inputs: frozenset[str] = frozenset()
+    outputs: frozenset[str] = frozenset()
+    run: int = 0
+
+    def __post_init__(self) -> None:
+        if self.run < 0:
+            raise ScheduleError("free-run cycle count must be >= 0")
+        object.__setattr__(self, "inputs", frozenset(self.inputs))
+        object.__setattr__(self, "outputs", frozenset(self.outputs))
+
+    @property
+    def cycles(self) -> int:
+        """Enabled IP cycles this operation accounts for (sync + run)."""
+        return 1 + self.run
+
+    def __repr__(self) -> str:
+        ins = ",".join(sorted(self.inputs)) or "-"
+        outs = ",".join(sorted(self.outputs)) or "-"
+        return f"SyncPoint(in={ins}, out={outs}, run={self.run})"
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """The paper's Table-1 complexity triple plus period length."""
+
+    ports: int
+    waits: int
+    run: int
+    period_cycles: int
+
+    def __str__(self) -> str:
+        return f"{self.ports} / {self.waits} / {self.run}"
+
+
+class IOSchedule:
+    """A validated cyclic I/O schedule over named ports.
+
+    ``inputs``/``outputs`` order is significant: it fixes the bit
+    positions of the SP operation masks and the FSM's port sensitivity
+    vectors, and therefore the generated hardware.
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        points: Iterable[SyncPoint],
+    ) -> None:
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self.points = tuple(points)
+        self._validate()
+
+    def _validate(self) -> None:
+        if len(set(self.inputs)) != len(self.inputs):
+            raise ScheduleError("duplicate input port names")
+        if len(set(self.outputs)) != len(self.outputs):
+            raise ScheduleError("duplicate output port names")
+        overlap = set(self.inputs) & set(self.outputs)
+        if overlap:
+            raise ScheduleError(
+                f"ports cannot be both input and output: {sorted(overlap)}"
+            )
+        if not self.points:
+            raise ScheduleError("schedule needs at least one sync point")
+        known_in = set(self.inputs)
+        known_out = set(self.outputs)
+        for index, point in enumerate(self.points):
+            bad_in = point.inputs - known_in
+            if bad_in:
+                raise ScheduleError(
+                    f"sync point {index} references unknown input(s) "
+                    f"{sorted(bad_in)}"
+                )
+            bad_out = point.outputs - known_out
+            if bad_out:
+                raise ScheduleError(
+                    f"sync point {index} references unknown output(s) "
+                    f"{sorted(bad_out)}"
+                )
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def n_ports(self) -> int:
+        return len(self.inputs) + len(self.outputs)
+
+    @property
+    def period_cycles(self) -> int:
+        """IP-enabled cycles per period (sync cycles + free-run cycles)."""
+        return sum(point.cycles for point in self.points)
+
+    def stats(self) -> ScheduleStats:
+        return ScheduleStats(
+            ports=self.n_ports,
+            waits=len(self.points),
+            run=sum(point.run for point in self.points),
+            period_cycles=self.period_cycles,
+        )
+
+    # -- mask encoding ----------------------------------------------------------
+
+    def input_mask(self, point: SyncPoint) -> int:
+        """Bit mask of ``point.inputs`` in declared input order (bit 0 =
+        first input)."""
+        mask = 0
+        for bit, name in enumerate(self.inputs):
+            if name in point.inputs:
+                mask |= 1 << bit
+        return mask
+
+    def output_mask(self, point: SyncPoint) -> int:
+        mask = 0
+        for bit, name in enumerate(self.outputs):
+            if name in point.outputs:
+                mask |= 1 << bit
+        return mask
+
+    def inputs_from_mask(self, mask: int) -> frozenset[str]:
+        return frozenset(
+            name for bit, name in enumerate(self.inputs) if mask >> bit & 1
+        )
+
+    def outputs_from_mask(self, mask: int) -> frozenset[str]:
+        return frozenset(
+            name for bit, name in enumerate(self.outputs) if mask >> bit & 1
+        )
+
+    # -- transformations -----------------------------------------------------------
+
+    def normalized(self) -> "IOSchedule":
+        """Fuse pure-run sync points (no port interaction) into the
+        preceding operation's free-run count.
+
+        A point with empty masks only waits on nothing — it is an
+        unconditional enable cycle, identical to one more free-run
+        cycle of the previous operation.  Leading pure-run points wrap
+        around to the last operation (the schedule is cyclic), unless
+        every point is pure-run, in which case they collapse to one.
+        """
+        points = list(self.points)
+        if all(not p.inputs and not p.outputs for p in points):
+            total = sum(p.cycles for p in points)
+            return IOSchedule(
+                self.inputs, self.outputs, [SyncPoint(run=total - 1)]
+            )
+        # Rotate so the schedule starts at a real sync point.
+        first_real = next(
+            i for i, p in enumerate(points) if p.inputs or p.outputs
+        )
+        rotated = points[first_real:] + points[:first_real]
+        fused: list[SyncPoint] = []
+        for point in rotated:
+            if (point.inputs or point.outputs) or not fused:
+                fused.append(point)
+            else:
+                last = fused[-1]
+                fused[-1] = SyncPoint(
+                    last.inputs, last.outputs, last.run + point.cycles
+                )
+        return IOSchedule(self.inputs, self.outputs, fused)
+
+    def repeated(self, times: int) -> "IOSchedule":
+        """Unroll the period ``times`` times (for schedule experiments)."""
+        if times < 1:
+            raise ScheduleError("repeat count must be >= 1")
+        return IOSchedule(self.inputs, self.outputs, self.points * times)
+
+    # -- interpretation ---------------------------------------------------------
+
+    def unrolled_cycles(self) -> list[tuple[int, str]]:
+        """The period as a per-cycle list of ``(point index, kind)``
+        where kind is ``"sync"`` or ``"run"`` — the FSM wrapper's state
+        sequence."""
+        cycles: list[tuple[int, str]] = []
+        for index, point in enumerate(self.points):
+            cycles.append((index, "sync"))
+            cycles.extend((index, "run") for _ in range(point.run))
+        return cycles
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IOSchedule):
+            return NotImplemented
+        return (
+            self.inputs == other.inputs
+            and self.outputs == other.outputs
+            and self.points == other.points
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.inputs, self.outputs, self.points))
+
+    def __repr__(self) -> str:
+        return (
+            f"IOSchedule(inputs={list(self.inputs)}, "
+            f"outputs={list(self.outputs)}, points={len(self.points)}, "
+            f"stats={self.stats()})"
+        )
+
+
+def uniform_schedule(
+    inputs: Sequence[str], outputs: Sequence[str], run: int = 0
+) -> IOSchedule:
+    """The classic Carloni behaviour: every port, every operation."""
+    return IOSchedule(
+        inputs,
+        outputs,
+        [SyncPoint(frozenset(inputs), frozenset(outputs), run)],
+    )

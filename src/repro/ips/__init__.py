@@ -1,0 +1,90 @@
+"""IP cores (pearls) used in the paper's evaluation and the examples.
+
+* :mod:`repro.ips.reed_solomon` — full RS(n, k) codec over GF(2^8) and
+  its streaming decoder pearl;
+* :mod:`repro.ips.viterbi` — rate-1/2 convolutional encoder and Viterbi
+  decoder, with the paper's exact 5/4/198 wrapper signature;
+* :mod:`repro.ips.fir` — a folded single-MAC FIR pearl;
+* :mod:`repro.ips.signatures` — the Table-1 complexity-signature
+  schedules for wrapper synthesis.
+"""
+
+from .fir import FIRPearl, fir_reference, fir_schedule
+from .gf import (
+    FIELD_SIZE,
+    GFError,
+    gf_add,
+    gf_div,
+    gf_exp,
+    gf_inv,
+    gf_log,
+    gf_mul,
+    gf_pow,
+    poly_add,
+    poly_derivative,
+    poly_divmod,
+    poly_eval,
+    poly_mul,
+    poly_scale,
+    poly_strip,
+)
+from .reed_solomon import (
+    ReedSolomon,
+    RSCode,
+    RSDecoderPearl,
+    RSError,
+    generator_poly,
+    rs_decoder_schedule,
+)
+from .signatures import (
+    TABLE1_SIGNATURES,
+    check_signature,
+    rs_table1_schedule,
+    viterbi_table1_schedule,
+)
+from .viterbi import (
+    ConvCode,
+    ConvEncoder,
+    ViterbiDecoder,
+    ViterbiPearl,
+    decode_sequence,
+    viterbi_schedule,
+)
+
+__all__ = [
+    "ConvCode",
+    "ConvEncoder",
+    "FIELD_SIZE",
+    "FIRPearl",
+    "GFError",
+    "RSCode",
+    "RSDecoderPearl",
+    "RSError",
+    "ReedSolomon",
+    "TABLE1_SIGNATURES",
+    "ViterbiDecoder",
+    "ViterbiPearl",
+    "check_signature",
+    "decode_sequence",
+    "fir_reference",
+    "fir_schedule",
+    "generator_poly",
+    "gf_add",
+    "gf_div",
+    "gf_exp",
+    "gf_inv",
+    "gf_log",
+    "gf_mul",
+    "gf_pow",
+    "poly_add",
+    "poly_derivative",
+    "poly_divmod",
+    "poly_eval",
+    "poly_mul",
+    "poly_scale",
+    "poly_strip",
+    "rs_decoder_schedule",
+    "rs_table1_schedule",
+    "viterbi_schedule",
+    "viterbi_table1_schedule",
+]

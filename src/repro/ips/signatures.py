@@ -1,0 +1,65 @@
+"""Table-1 complexity-signature schedules.
+
+The paper reports each IP's wrapper-synthesis input as the triple
+``ports / wait / run`` (Table 1):
+
+* Viterbi: 5 / 4 / 198
+* Reed-Solomon: 4 / 2957 / 1
+
+The *functional* pearls in this package have their own natural
+schedules (the Viterbi pearl matches 5/4/198 exactly; the RS pearl's
+wait count depends on (n, k)).  The authors' exact 2957-operation GAUT
+schedule is not published, so for Table 1 we synthesize wrappers from
+signature schedules with precisely the published triples: the wrapper
+generators consume only the schedule — matching its signature exercises
+the identical synthesis path and logic sizing (see DESIGN.md §5,
+substitutions).
+"""
+
+from __future__ import annotations
+
+from ..core.schedule import IOSchedule, SyncPoint
+from .viterbi import viterbi_schedule
+
+
+def viterbi_table1_schedule() -> IOSchedule:
+    """5 ports / 4 waits / 198 run — identical to the functional pearl."""
+    return viterbi_schedule(run_cycles=198)
+
+
+def rs_table1_schedule() -> IOSchedule:
+    """4 ports / 2957 waits / 1 run.
+
+    Structure: a long input-streaming phase (symbol pops, with the
+    erasure-flag port sampled at the end), one combined output push
+    carrying the single free-run cycle.  2955 + 1 + 1 = 2957 sync ops,
+    total free run 1, ports 2 in + 2 out = 4.
+    """
+    points = [
+        SyncPoint({"sym_in"}, frozenset()) for _ in range(2955)
+    ]
+    points.append(SyncPoint({"erase_in"}, frozenset()))
+    points.append(
+        SyncPoint(frozenset(), {"sym_out", "err_out"}, run=1)
+    )
+    return IOSchedule(
+        ["sym_in", "erase_in"], ["sym_out", "err_out"], points
+    )
+
+
+TABLE1_SIGNATURES = {
+    "Viterbi": viterbi_table1_schedule,
+    "RS": rs_table1_schedule,
+}
+
+
+def check_signature(
+    schedule: IOSchedule, ports: int, waits: int, run: int
+) -> bool:
+    """Does ``schedule`` carry the given Table-1 triple?"""
+    stats = schedule.stats()
+    return (
+        stats.ports == ports
+        and stats.waits == waits
+        and stats.run == run
+    )

@@ -1,0 +1,68 @@
+"""Latency-insensitive system substrate.
+
+Implements the methodology the paper builds on (Carloni et al.):
+patient processes (pearl + shell), FIFO ports, relay stations that
+segment long wires, a strict two-phase cycle-accurate simulator, and
+analytic throughput bounds for the resulting marked graphs.
+"""
+
+from .floorplan import (
+    ChannelPlan,
+    Floorplan,
+    FloorplanError,
+    SystemPlan,
+    WireModel,
+    plan_channel,
+    plan_channels,
+    plan_system,
+)
+from .pearl import FunctionPearl, PassthroughPearl, Pearl, PearlError
+from .port import DEFAULT_PORT_DEPTH, InputPort, OutputPort
+from .relay_station import RELAY_CAPACITY, RelayStation, segment_channel
+from .shell import Shell, ShellError
+from .signals import VOID, Block, DataWire, Link, StopWire, is_void
+from .simulator import Simulation, SimulationResult
+from .stream import Sink, Source, bernoulli_gaps, burst_gaps
+from .system import Channel, System, SystemError_
+from .throughput import EdgeSpec, MarkedGraph, system_marked_graph
+
+__all__ = [
+    "Block",
+    "ChannelPlan",
+    "Floorplan",
+    "FloorplanError",
+    "SystemPlan",
+    "WireModel",
+    "plan_channel",
+    "plan_channels",
+    "plan_system",
+    "Channel",
+    "DataWire",
+    "DEFAULT_PORT_DEPTH",
+    "EdgeSpec",
+    "FunctionPearl",
+    "InputPort",
+    "Link",
+    "MarkedGraph",
+    "OutputPort",
+    "PassthroughPearl",
+    "Pearl",
+    "PearlError",
+    "RELAY_CAPACITY",
+    "RelayStation",
+    "Shell",
+    "ShellError",
+    "Simulation",
+    "SimulationResult",
+    "Sink",
+    "Source",
+    "StopWire",
+    "System",
+    "SystemError_",
+    "VOID",
+    "bernoulli_gaps",
+    "burst_gaps",
+    "is_void",
+    "segment_channel",
+    "system_marked_graph",
+]

@@ -1,0 +1,162 @@
+"""Wire-length-driven relay-station planning.
+
+The LIS methodology exists because global wires no longer cross a die
+in one clock period ("segmenting inter-IPs interconnects with relay
+stations to break critical paths").  This module closes that loop:
+
+* a :class:`Floorplan` places IPs on a millimetre grid;
+* a :class:`WireModel` turns Manhattan distance into wire flight time;
+* :func:`plan_channels` computes, for a target clock period, how many
+  relay stations each channel needs (latency = ceil(flight / period));
+* :func:`plan_system` does it against the *achieved* clock of the
+  chosen wrapper style — exposing the paper's system-level feedback:
+  a faster wrapper raises the SoC clock, which shortens the reachable
+  distance per cycle and may demand more relay stations, trading
+  loop throughput for frequency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class FloorplanError(ValueError):
+    """Raised for invalid placements or channel specs."""
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """First-order global-wire timing (2005-era 130 nm defaults).
+
+    ``delay_ns_per_mm``: optimally-buffered global wire delay;
+    ``fanout_penalty_ns``: fixed source/sink loading cost.
+    """
+
+    delay_ns_per_mm: float = 0.30
+    fanout_penalty_ns: float = 0.15
+
+    def flight_time_ns(self, distance_mm: float) -> float:
+        if distance_mm < 0:
+            raise FloorplanError("distance must be non-negative")
+        return distance_mm * self.delay_ns_per_mm + self.fanout_penalty_ns
+
+
+@dataclass
+class Floorplan:
+    """IP block placement on a die, positions in millimetres."""
+
+    positions: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def place(self, name: str, x: float, y: float) -> None:
+        if name in self.positions:
+            raise FloorplanError(f"{name!r} already placed")
+        self.positions[name] = (float(x), float(y))
+
+    def distance_mm(self, a: str, b: str) -> float:
+        """Manhattan distance (routed wires follow the grid)."""
+        try:
+            ax, ay = self.positions[a]
+            bx, by = self.positions[b]
+        except KeyError as exc:
+            raise FloorplanError(f"unplaced block: {exc}") from None
+        return abs(ax - bx) + abs(ay - by)
+
+    def bounding_box_mm(self) -> tuple[float, float]:
+        if not self.positions:
+            return (0.0, 0.0)
+        xs = [p[0] for p in self.positions.values()]
+        ys = [p[1] for p in self.positions.values()]
+        return (max(xs) - min(xs), max(ys) - min(ys))
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """Pipelining decision for one channel."""
+
+    producer: str
+    consumer: str
+    distance_mm: float
+    flight_time_ns: float
+    latency: int  # forward cycles (1 = direct, k>1 = k-1 relay stations)
+
+    @property
+    def relay_stations(self) -> int:
+        return self.latency - 1
+
+
+def plan_channel(
+    floorplan: Floorplan,
+    producer: str,
+    consumer: str,
+    clock_period_ns: float,
+    wire_model: WireModel | None = None,
+) -> ChannelPlan:
+    """Relay-station count for one channel at a given clock period.
+
+    Each pipeline segment must be traversable within one clock period
+    (minus the register overhead already charged in the period); the
+    channel's forward latency is the number of segments.
+    """
+    if clock_period_ns <= 0:
+        raise FloorplanError("clock period must be positive")
+    wire_model = wire_model or WireModel()
+    distance = floorplan.distance_mm(producer, consumer)
+    flight = wire_model.flight_time_ns(distance)
+    latency = max(1, math.ceil(flight / clock_period_ns))
+    return ChannelPlan(producer, consumer, distance, flight, latency)
+
+
+def plan_channels(
+    floorplan: Floorplan,
+    channels: list[tuple[str, str]],
+    clock_period_ns: float,
+    wire_model: WireModel | None = None,
+) -> list[ChannelPlan]:
+    """Plan every channel; returns one :class:`ChannelPlan` each."""
+    return [
+        plan_channel(floorplan, prod, cons, clock_period_ns, wire_model)
+        for prod, cons in channels
+    ]
+
+
+@dataclass
+class SystemPlan:
+    """Relay-station plan at a wrapper-determined clock."""
+
+    clock_period_ns: float
+    fmax_mhz: float
+    channels: list[ChannelPlan]
+
+    @property
+    def total_relay_stations(self) -> int:
+        return sum(c.relay_stations for c in self.channels)
+
+    def latency_for(self, producer: str, consumer: str) -> int:
+        for channel in self.channels:
+            if (channel.producer, channel.consumer) == (producer, consumer):
+                return channel.latency
+        raise FloorplanError(
+            f"no planned channel {producer} -> {consumer}"
+        )
+
+
+def plan_system(
+    floorplan: Floorplan,
+    channels: list[tuple[str, str]],
+    wrapper_fmax_mhz: float,
+    wire_model: WireModel | None = None,
+) -> SystemPlan:
+    """Plan the SoC's channels at the clock the wrappers achieve.
+
+    ``wrapper_fmax_mhz`` is the slowest patient process's mapped fmax
+    (from :mod:`repro.synthesis`): the SoC clock in a single-clock LIS.
+    """
+    if wrapper_fmax_mhz <= 0:
+        raise FloorplanError("fmax must be positive")
+    period = 1000.0 / wrapper_fmax_mhz
+    return SystemPlan(
+        clock_period_ns=period,
+        fmax_mhz=wrapper_fmax_mhz,
+        channels=plan_channels(floorplan, channels, period, wire_model),
+    )

@@ -1,0 +1,162 @@
+"""Shell-side FIFO ports.
+
+The paper's synchronization processor talks to its ports with FIFO
+signals: ``pop``/``not empty`` on inputs and ``push``/``not full`` on
+outputs ("formally equivalent to the voidin/out and stopin/out of
+Carloni and the valid/ready/stall of Singh & Theobald").  These classes
+are those ports: small FIFOs bridging the LIS links to the wrapper.
+
+The wrapper (SP, FSM, combinational, shift-register — any style) is the
+*same-cycle* consumer: during the shell's consume phase it may pop
+tokens that were already buffered, and push results, under the
+not-empty / not-full guards it tested.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .signals import VOID, Block, Link, is_void
+
+DEFAULT_PORT_DEPTH = 2
+
+
+class InputPort(Block):
+    """Receives tokens from a LIS link into a FIFO the wrapper pops.
+
+    Store-and-forward: a token arriving in cycle *k* becomes visible to
+    the wrapper in cycle *k+1* (it is merged into the FIFO at commit).
+    This makes simulation results independent of block evaluation order
+    and matches a registered FIFO implementation.
+    """
+
+    def __init__(
+        self, name: str, link: Link, depth: int = DEFAULT_PORT_DEPTH
+    ) -> None:
+        if depth < 1:
+            raise ValueError("input port depth must be at least 1")
+        super().__init__(name)
+        self.link = link
+        self.depth = depth
+        self._fifo: deque[Any] = deque()
+        self._popped = 0
+        self._arrived: Any = VOID
+        self.tokens_received = 0
+        self.stall_cycles = 0
+
+    # wrapper-facing FIFO interface -------------------------------------------
+
+    @property
+    def not_empty(self) -> bool:
+        return len(self._fifo) - self._popped > 0
+
+    def peek(self) -> Any:
+        if not self.not_empty:
+            raise RuntimeError(f"peek on empty input port {self.name!r}")
+        return self._fifo[self._popped]
+
+    def pop(self) -> Any:
+        """Consume the head token (takes effect this cycle)."""
+        value = self.peek()
+        self._popped += 1
+        return value
+
+    # two-phase protocol ----------------------------------------------------------
+
+    def produce(self, cycle: int) -> None:
+        self.link.stop.put(len(self._fifo) >= self.depth)
+
+    def consume(self, cycle: int) -> None:
+        incoming = self.link.data.get()
+        if not is_void(incoming) and len(self._fifo) < self.depth:
+            # Transfer fires: token offered while our stop is low.  An
+            # offer under stop is legal — the producer holds the token.
+            self._arrived = incoming
+            self.tokens_received += 1
+        if len(self._fifo) >= self.depth:
+            self.stall_cycles += 1
+
+    def commit(self) -> None:
+        for _ in range(self._popped):
+            self._fifo.popleft()
+        self._popped = 0
+        if not is_void(self._arrived):
+            self._fifo.append(self._arrived)
+            self._arrived = VOID
+
+    def reset(self) -> None:
+        self._fifo.clear()
+        self._popped = 0
+        self._arrived = VOID
+        self.tokens_received = 0
+        self.stall_cycles = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._fifo)
+
+
+class OutputPort(Block):
+    """Buffers tokens the wrapper pushes until the LIS link drains them."""
+
+    def __init__(
+        self, name: str, link: Link, depth: int = DEFAULT_PORT_DEPTH
+    ) -> None:
+        if depth < 1:
+            raise ValueError("output port depth must be at least 1")
+        super().__init__(name)
+        self.link = link
+        self.depth = depth
+        self._fifo: deque[Any] = deque()
+        self._pushed: list[Any] = []
+        self._sent_head = False
+        self.tokens_sent = 0
+        self.stall_cycles = 0
+
+    # wrapper-facing FIFO interface -------------------------------------------
+
+    @property
+    def not_full(self) -> bool:
+        return len(self._fifo) + len(self._pushed) < self.depth
+
+    def push(self, value: Any) -> None:
+        """Enqueue a result token (takes effect this cycle)."""
+        if is_void(value):
+            raise ValueError("cannot push VOID into an output port")
+        if not self.not_full:
+            raise RuntimeError(
+                f"push on full output port {self.name!r} (wrapper bug: "
+                "push without not_full guard)"
+            )
+        self._pushed.append(value)
+
+    # two-phase protocol ----------------------------------------------------------
+
+    def produce(self, cycle: int) -> None:
+        head = self._fifo[0] if self._fifo else VOID
+        self.link.data.put(head)
+
+    def consume(self, cycle: int) -> None:
+        self._sent_head = bool(self._fifo) and not self.link.stop.get()
+        if self._fifo and not self._sent_head:
+            self.stall_cycles += 1
+
+    def commit(self) -> None:
+        if self._sent_head:
+            self._fifo.popleft()
+            self.tokens_sent += 1
+            self._sent_head = False
+        self._fifo.extend(self._pushed)
+        self._pushed.clear()
+
+    def reset(self) -> None:
+        self._fifo.clear()
+        self._pushed.clear()
+        self._sent_head = False
+        self.tokens_sent = 0
+        self.stall_cycles = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._fifo) + len(self._pushed)

@@ -1,0 +1,95 @@
+"""Carloni-style relay stations: pipeline buffers that segment long wires.
+
+A relay station is a capacity-2 buffer with fully registered outputs.
+It adds exactly one cycle of forward latency when the stream flows
+freely, and it can absorb the one token that is inevitably in flight
+when backpressure is asserted (stop being registered, upstream learns
+about congestion one cycle late).
+
+Invariant: occupancy never exceeds 2, because stop is asserted exactly
+when the buffer is full, and a producer only sends when the visible
+stop is low — so occupancy can grow only from 0 or 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .signals import VOID, Block, Link, is_void
+
+RELAY_CAPACITY = 2
+
+
+class RelayStation(Block):
+    """One relay station between an upstream and a downstream link."""
+
+    def __init__(self, name: str, upstream: Link, downstream: Link) -> None:
+        super().__init__(name)
+        self.upstream = upstream
+        self.downstream = downstream
+        self._buffer: deque[Any] = deque()
+        self._next_buffer: deque[Any] | None = None
+        # Telemetry for benches: cycles spent full / tokens moved.
+        self.tokens_forwarded = 0
+        self.full_cycles = 0
+
+    # -- two-phase protocol --------------------------------------------------
+
+    def produce(self, cycle: int) -> None:
+        head = self._buffer[0] if self._buffer else VOID
+        self.downstream.data.put(head)
+        self.upstream.stop.put(len(self._buffer) >= RELAY_CAPACITY)
+
+    def consume(self, cycle: int) -> None:
+        buffer = deque(self._buffer)
+        if self._buffer and not self.downstream.stop.get():
+            buffer.popleft()
+            self.tokens_forwarded += 1
+        incoming = self.upstream.data.get()
+        if not is_void(incoming) and len(self._buffer) < RELAY_CAPACITY:
+            # Transfer fires: token offered while our stop is low.  An
+            # offer under stop is legal — the producer holds the token.
+            buffer.append(incoming)
+        if len(buffer) >= RELAY_CAPACITY:
+            self.full_cycles += 1
+        self._next_buffer = buffer
+
+    def commit(self) -> None:
+        if self._next_buffer is not None:
+            self._buffer = self._next_buffer
+            self._next_buffer = None
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self._next_buffer = None
+        self.tokens_forwarded = 0
+        self.full_cycles = 0
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._buffer)
+
+
+def segment_channel(
+    name: str, source: Link, latency: int
+) -> tuple[list[RelayStation], Link]:
+    """Break a logical channel of forward ``latency`` cycles into
+    ``latency - 1`` relay stations (the consumer's input port supplies
+    the final cycle of store-and-forward latency).
+
+    Returns (stations, final link to connect to the consumer).
+    """
+    if latency < 1:
+        raise ValueError("channel latency must be at least 1 cycle")
+    stations: list[RelayStation] = []
+    current = source
+    for index in range(latency - 1):
+        downstream = Link(f"{name}.seg{index + 1}")
+        stations.append(
+            RelayStation(f"{name}.rs{index + 1}", current, downstream)
+        )
+        current = downstream
+    return stations, current

@@ -1,0 +1,201 @@
+"""Abstract synchronization shells (wrappers).
+
+A shell turns a :class:`~repro.lis.pearl.Pearl` into a *patient
+process*: it owns the pearl's FIFO ports, decides each cycle whether
+the pearl clock fires, and performs the port pops/pushes of the sync
+point being executed.  Concrete firing policies live in
+:mod:`repro.core.wrappers`:
+
+* ``SPWrapper`` / ``FSMWrapper`` — test only the current sync point's
+  port subsets (the paper's behaviour and Singh & Theobald's);
+* ``CombinationalWrapper`` — Carloni's all-ports condition;
+* ``ShiftRegisterWrapper`` — Casu & Macchiarulo's blind static pattern.
+
+All styles execute the same schedule, so they are functionally
+equivalent whenever they do not deadlock; they differ in *when* the
+pearl clock fires, which is what the throughput benches measure.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .pearl import Pearl, PearlError
+from .port import DEFAULT_PORT_DEPTH, InputPort, OutputPort
+from .signals import Block, Link
+
+
+class ShellError(RuntimeError):
+    """Raised for wiring mistakes or schedule violations."""
+
+
+class Shell(Block):
+    """Base patient-process wrapper around one pearl."""
+
+    style = "abstract"
+
+    def __init__(
+        self, pearl: Pearl, port_depth: int = DEFAULT_PORT_DEPTH
+    ) -> None:
+        super().__init__(pearl.name)
+        self.pearl = pearl
+        self.port_depth = port_depth
+        self.in_ports: dict[str, InputPort] = {}
+        self.out_ports: dict[str, OutputPort] = {}
+        self._point_index = 0
+        self._run_left = 0
+        self._running_point = 0
+        self.enabled_cycles = 0
+        self.stall_cycles = 0
+        self.periods_completed = 0
+        self.trace_enable: list[bool] | None = None
+
+    # -- wiring ------------------------------------------------------------------
+
+    def bind_input(self, port_name: str, link: Link) -> InputPort:
+        if port_name not in self.pearl.inputs:
+            raise ShellError(
+                f"{self.name!r} has no input port {port_name!r}"
+            )
+        if port_name in self.in_ports:
+            raise ShellError(
+                f"input port {port_name!r} of {self.name!r} already bound"
+            )
+        port = InputPort(
+            f"{self.name}.{port_name}", link, self.port_depth
+        )
+        self.in_ports[port_name] = port
+        return port
+
+    def bind_output(self, port_name: str, link: Link) -> OutputPort:
+        if port_name not in self.pearl.outputs:
+            raise ShellError(
+                f"{self.name!r} has no output port {port_name!r}"
+            )
+        if port_name in self.out_ports:
+            raise ShellError(
+                f"output port {port_name!r} of {self.name!r} already bound"
+            )
+        port = OutputPort(
+            f"{self.name}.{port_name}", link, self.port_depth
+        )
+        self.out_ports[port_name] = port
+        return port
+
+    def check_bound(self) -> None:
+        missing = [
+            name for name in self.pearl.inputs if name not in self.in_ports
+        ] + [
+            name for name in self.pearl.outputs if name not in self.out_ports
+        ]
+        if missing:
+            raise ShellError(
+                f"patient process {self.name!r} has unbound ports: "
+                f"{missing}"
+            )
+
+    def _ports(self):
+        yield from self.in_ports.values()
+        yield from self.out_ports.values()
+
+    # -- firing policy (overridden by wrapper styles) -----------------------------
+
+    def _sync_ready(self) -> bool:
+        """May the current sync point fire this cycle?"""
+        raise NotImplementedError
+
+    def _run_gate_ok(self) -> bool:
+        """May a free-run cycle proceed this cycle?  The paper's SP and
+        the FSM grant free-run cycles unconditionally; Carloni's
+        combinational wrapper keeps testing every port."""
+        return True
+
+    # -- two-phase protocol ----------------------------------------------------------
+
+    def produce(self, cycle: int) -> None:
+        for port in self._ports():
+            port.produce(cycle)
+
+    def consume(self, cycle: int) -> None:
+        for port in self._ports():
+            port.consume(cycle)
+        self._wrapper_step(cycle)
+
+    def commit(self) -> None:
+        for port in self._ports():
+            port.commit()
+
+    def reset(self) -> None:
+        for port in self._ports():
+            port.reset()
+        self.pearl.on_reset()
+        self._point_index = 0
+        self._run_left = 0
+        self._running_point = 0
+        self.enabled_cycles = 0
+        self.stall_cycles = 0
+        self.periods_completed = 0
+
+    # -- the wrapper step ---------------------------------------------------------------
+
+    def _wrapper_step(self, cycle: int) -> None:
+        enabled = False
+        if self._run_left > 0:
+            if self._run_gate_ok():
+                phase = (
+                    self.pearl.schedule.points[self._running_point].run
+                    - self._run_left
+                )
+                self.pearl.on_run(self._running_point, phase)
+                self._run_left -= 1
+                enabled = True
+        else:
+            if self._sync_ready():
+                self._fire_sync()
+                enabled = True
+        if enabled:
+            self.pearl._clocked()
+            self.enabled_cycles += 1
+        else:
+            self.stall_cycles += 1
+        if self.trace_enable is not None:
+            self.trace_enable.append(enabled)
+
+    def _fire_sync(self) -> None:
+        schedule = self.pearl.schedule
+        point = schedule.points[self._point_index]
+        popped: dict[str, Any] = {}
+        for name in sorted(point.inputs):
+            popped[name] = self.in_ports[name].pop()
+        pushed = self.pearl.on_sync(self._point_index, popped)
+        pushed = dict(pushed or {})
+        if set(pushed) != set(point.outputs):
+            raise PearlError(
+                f"pearl {self.pearl.name!r} sync {self._point_index}: "
+                f"produced {sorted(pushed)}, schedule says "
+                f"{sorted(point.outputs)}"
+            )
+        for name, value in sorted(pushed.items()):
+            self.out_ports[name].push(value)
+        self._running_point = self._point_index
+        self._run_left = point.run
+        self._point_index += 1
+        if self._point_index == len(schedule.points):
+            self._point_index = 0
+            self.periods_completed += 1
+
+    # -- inspection -----------------------------------------------------------------------
+
+    @property
+    def current_point(self) -> int:
+        return self._point_index
+
+    @property
+    def in_free_run(self) -> bool:
+        return self._run_left > 0
+
+    def utilization(self, cycles: int) -> float:
+        """Fraction of system cycles in which the pearl clock fired."""
+        if cycles <= 0:
+            return 0.0
+        return self.enabled_cycles / cycles

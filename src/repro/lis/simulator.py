@@ -1,0 +1,134 @@
+"""Cycle-accurate system simulator for latency-insensitive SoCs.
+
+Executes the strict two-phase schedule of :mod:`repro.lis.signals`:
+each cycle, every block's ``produce`` runs (outputs from registered
+state), then every ``consume`` (inputs -> next state), then every
+``commit``.  No fixed-point iteration is needed because no block has a
+same-cycle input-to-output path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .system import System
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one simulation run."""
+
+    cycles: int
+    shell_enabled: dict[str, int] = field(default_factory=dict)
+    shell_stalled: dict[str, int] = field(default_factory=dict)
+    shell_periods: dict[str, int] = field(default_factory=dict)
+    sink_tokens: dict[str, int] = field(default_factory=dict)
+    deadlocked: bool = False
+
+    def utilization(self, shell_name: str) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.shell_enabled.get(shell_name, 0) / self.cycles
+
+    def throughput(self, sink_name: str) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.sink_tokens.get(sink_name, 0) / self.cycles
+
+
+class Simulation:
+    """Drives a validated :class:`System`."""
+
+    def __init__(self, system: System) -> None:
+        system.validate()
+        self.system = system
+        self.cycle = 0
+        self._watchers: list[Callable[[int], None]] = []
+
+    def add_watcher(self, fn: Callable[[int], None]) -> None:
+        """``fn(cycle)`` runs after every commit (trace collection)."""
+        self._watchers.append(fn)
+
+    def step(self, cycles: int = 1) -> None:
+        blocks = self.system.blocks
+        for _ in range(cycles):
+            for block in blocks:
+                block.produce(self.cycle)
+            for block in blocks:
+                block.consume(self.cycle)
+            for block in blocks:
+                block.commit()
+            for watcher in self._watchers:
+                watcher(self.cycle)
+            self.cycle += 1
+
+    def run(
+        self,
+        cycles: int,
+        deadlock_window: int | None = None,
+    ) -> SimulationResult:
+        """Run for ``cycles`` cycles; optionally stop early if no shell
+        fires for ``deadlock_window`` consecutive cycles."""
+        quiet = 0
+        deadlocked = False
+        executed = 0
+        last_enabled = {
+            name: shell.enabled_cycles
+            for name, shell in self.system.shells.items()
+        }
+        for _ in range(cycles):
+            self.step()
+            executed += 1
+            if deadlock_window is not None:
+                progressed = False
+                for name, shell in self.system.shells.items():
+                    if shell.enabled_cycles != last_enabled[name]:
+                        progressed = True
+                        last_enabled[name] = shell.enabled_cycles
+                quiet = 0 if progressed else quiet + 1
+                if quiet >= deadlock_window:
+                    deadlocked = True
+                    break
+        return SimulationResult(
+            cycles=executed,
+            shell_enabled={
+                name: shell.enabled_cycles
+                for name, shell in self.system.shells.items()
+            },
+            shell_stalled={
+                name: shell.stall_cycles
+                for name, shell in self.system.shells.items()
+            },
+            shell_periods={
+                name: shell.periods_completed
+                for name, shell in self.system.shells.items()
+            },
+            sink_tokens={
+                name: len(sink.received)
+                for name, sink in self.system.sinks.items()
+            },
+            deadlocked=deadlocked,
+        )
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_cycles: int = 1_000_000,
+    ) -> int:
+        """Step until ``predicate()`` holds; returns cycles executed."""
+        executed = 0
+        while not predicate():
+            if executed >= max_cycles:
+                raise RuntimeError(
+                    f"run_until exceeded {max_cycles} cycles "
+                    f"(system {self.system.name!r} may be deadlocked)"
+                )
+            self.step()
+            executed += 1
+        return executed
+
+    def reset(self) -> None:
+        for block in self.system.blocks:
+            block.reset()
+        self.cycle = 0

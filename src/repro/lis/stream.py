@@ -1,0 +1,156 @@
+"""Traffic endpoints for system simulations: sources and sinks.
+
+Sources inject token streams with configurable irregularity (the
+"latency variations of the data streams" the LIS methodology absorbs);
+sinks consume with configurable backpressure.  Both respect the LIS
+protocol — a source never sends while stop is asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from .signals import VOID, Block, Link, is_void
+
+
+class Source(Block):
+    """Emits tokens from an iterator onto a link.
+
+    ``gaps``: optional cyclic availability pattern — ``True`` means a
+    token *may* be offered this cycle, ``False`` models an upstream
+    bubble (jitter).  An exhausted iterator means the stream ends.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        link: Link,
+        tokens: Iterable[Any],
+        gaps: Sequence[bool] | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.link = link
+        self._iter: Iterator[Any] = iter(tokens)
+        self._pending: Any = VOID
+        self._gaps = list(gaps) if gaps is not None else [True]
+        if not any(self._gaps):
+            raise ValueError("source gap pattern never offers a token")
+        self._sent_this_cycle = False
+        self.tokens_sent = 0
+        self.blocked_cycles = 0
+
+    def _refill(self) -> None:
+        if is_void(self._pending):
+            try:
+                self._pending = next(self._iter)
+            except StopIteration:
+                self._pending = VOID
+
+    def produce(self, cycle: int) -> None:
+        available = self._gaps[cycle % len(self._gaps)]
+        self._refill()
+        if available and not is_void(self._pending):
+            self.link.data.put(self._pending)
+        else:
+            self.link.data.put(VOID)
+
+    def consume(self, cycle: int) -> None:
+        offered = not is_void(self.link.data.get())
+        if offered and not self.link.stop.get():
+            self._sent_this_cycle = True
+        elif offered:
+            self.blocked_cycles += 1
+
+    def commit(self) -> None:
+        if self._sent_this_cycle:
+            self._pending = VOID
+            self.tokens_sent += 1
+            self._sent_this_cycle = False
+
+    def reset(self) -> None:
+        self._pending = VOID
+        self._sent_this_cycle = False
+        self.tokens_sent = 0
+        self.blocked_cycles = 0
+
+    @property
+    def exhausted(self) -> bool:
+        self._refill()
+        return is_void(self._pending)
+
+
+class Sink(Block):
+    """Consumes tokens from a link, recording them.
+
+    ``stalls``: optional cyclic pattern — ``True`` means the sink
+    accepts this cycle, ``False`` asserts stop (downstream congestion).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        link: Link,
+        stalls: Sequence[bool] | None = None,
+        limit: int | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.link = link
+        self._accepts = list(stalls) if stalls is not None else [True]
+        self._limit = limit
+        self._accepted_this_cycle: Any = VOID
+        self.received: list[Any] = []
+        self.first_arrival_cycle: int | None = None
+        self.last_arrival_cycle: int | None = None
+
+    def produce(self, cycle: int) -> None:
+        accepting = self._accepts[cycle % len(self._accepts)]
+        if self._limit is not None and len(self.received) >= self._limit:
+            accepting = False
+        self.link.stop.put(not accepting)
+
+    def consume(self, cycle: int) -> None:
+        value = self.link.data.get()
+        if not is_void(value) and not self.link.stop.get():
+            self._accepted_this_cycle = value
+            if self.first_arrival_cycle is None:
+                self.first_arrival_cycle = cycle
+            self.last_arrival_cycle = cycle
+
+    def commit(self) -> None:
+        if not is_void(self._accepted_this_cycle):
+            self.received.append(self._accepted_this_cycle)
+            self._accepted_this_cycle = VOID
+
+    def reset(self) -> None:
+        self._accepted_this_cycle = VOID
+        self.received.clear()
+        self.first_arrival_cycle = None
+        self.last_arrival_cycle = None
+
+    def throughput(self, cycles: int) -> float:
+        """Tokens per cycle over a run of ``cycles``."""
+        if cycles <= 0:
+            return 0.0
+        return len(self.received) / cycles
+
+
+def bernoulli_gaps(rate: float, period: int, seed: int = 7) -> list[bool]:
+    """A deterministic pseudo-random availability pattern of the given
+    average ``rate`` (uses a tiny LCG so tests stay reproducible)."""
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("rate must be in (0, 1]")
+    state = seed & 0x7FFFFFFF
+    pattern = []
+    for _ in range(period):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        pattern.append((state / 0x7FFFFFFF) < rate)
+    if not any(pattern):
+        pattern[0] = True
+    return pattern
+
+
+def burst_gaps(burst: int, gap: int) -> list[bool]:
+    """``burst`` available cycles followed by ``gap`` bubbles, cyclic."""
+    if burst < 1 or gap < 0:
+        raise ValueError("burst must be >= 1 and gap >= 0")
+    return [True] * burst + [False] * gap

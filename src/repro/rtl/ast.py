@@ -1,0 +1,433 @@
+"""Expression IR for the RTL substrate.
+
+Expressions are immutable trees over :class:`Signal` leaves and
+:class:`Const` literals.  Every node carries a bit ``width``; width rules
+follow a simplified, explicit subset of Verilog-2001 semantics:
+
+* bitwise binary operators require equal operand widths and keep them;
+* arithmetic (+, -) keeps the max operand width (modulo 2**width);
+* comparisons and reductions produce 1-bit results;
+* shifts keep the left operand's width (shift amount is an unsigned value);
+* concatenation sums the part widths.
+
+The tree can be evaluated against an environment (``dict`` mapping signal
+names to unsigned ints) — the RTL simulator and the bit-blaster both walk
+the same nodes, which keeps the emitted Verilog, the simulation semantics
+and the area model consistent by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+
+class WidthError(ValueError):
+    """Raised when operand widths are inconsistent or out of range."""
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+    width: int
+
+    # -- construction sugar -------------------------------------------------
+
+    def __invert__(self) -> "Expr":
+        return UnaryOp("~", self)
+
+    def __and__(self, other: "Expr | int") -> "Expr":
+        return BinOp("&", self, _coerce(other, self.width))
+
+    def __or__(self, other: "Expr | int") -> "Expr":
+        return BinOp("|", self, _coerce(other, self.width))
+
+    def __xor__(self, other: "Expr | int") -> "Expr":
+        return BinOp("^", self, _coerce(other, self.width))
+
+    def __add__(self, other: "Expr | int") -> "Expr":
+        return BinOp("+", self, _coerce(other, self.width))
+
+    def __sub__(self, other: "Expr | int") -> "Expr":
+        return BinOp("-", self, _coerce(other, self.width))
+
+    def __lshift__(self, other: "Expr | int") -> "Expr":
+        return BinOp("<<", self, _coerce(other, self.width))
+
+    def __rshift__(self, other: "Expr | int") -> "Expr":
+        return BinOp(">>", self, _coerce(other, self.width))
+
+    def eq(self, other: "Expr | int") -> "Expr":
+        return BinOp("==", self, _coerce(other, self.width))
+
+    def ne(self, other: "Expr | int") -> "Expr":
+        return BinOp("!=", self, _coerce(other, self.width))
+
+    def lt(self, other: "Expr | int") -> "Expr":
+        return BinOp("<", self, _coerce(other, self.width))
+
+    def le(self, other: "Expr | int") -> "Expr":
+        return BinOp("<=", self, _coerce(other, self.width))
+
+    def gt(self, other: "Expr | int") -> "Expr":
+        return BinOp(">", self, _coerce(other, self.width))
+
+    def ge(self, other: "Expr | int") -> "Expr":
+        return BinOp(">=", self, _coerce(other, self.width))
+
+    def bit(self, index: int) -> "Expr":
+        return BitSelect(self, index)
+
+    def slice(self, msb: int, lsb: int) -> "Expr":
+        return Slice(self, msb, lsb)
+
+    def reduce_and(self) -> "Expr":
+        return UnaryOp("&", self)
+
+    def reduce_or(self) -> "Expr":
+        return UnaryOp("|", self)
+
+    def reduce_xor(self) -> "Expr":
+        return UnaryOp("^", self)
+
+    # -- traversal ----------------------------------------------------------
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and every descendant, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children())
+
+    def signals(self) -> set["Signal"]:
+        """All :class:`Signal` leaves referenced by this expression."""
+        return {node for node in self.walk() if isinstance(node, Signal)}
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+
+def _coerce(value: "Expr | int", width: int) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return Const(value, width)
+
+
+class Signal(Expr):
+    """A named wire or register of a fixed bit width.
+
+    Identity (not name equality) distinguishes signals; two modules may
+    both have a signal named ``state`` without aliasing.
+    """
+
+    __slots__ = ("name", "width")
+
+    def __init__(self, name: str, width: int = 1) -> None:
+        if width < 1:
+            raise WidthError(f"signal {name!r} must be at least 1 bit wide")
+        if not name or not name.replace("_", "a").isalnum() or name[0].isdigit():
+            raise ValueError(f"invalid signal name {name!r}")
+        self.name = name
+        self.width = width
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name] & _mask(self.width)
+        except KeyError:
+            raise KeyError(f"signal {self.name!r} has no value") from None
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, {self.width})"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class Const(Expr):
+    """An unsigned literal of explicit width."""
+
+    __slots__ = ("value", "width")
+
+    def __init__(self, value: int, width: int) -> None:
+        if width < 1:
+            raise WidthError("constant width must be at least 1")
+        if value < 0:
+            raise WidthError("constants are unsigned; negative value given")
+        if value > _mask(width):
+            raise WidthError(f"value {value} does not fit in {width} bits")
+        self.value = value
+        self.width = width
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Const({self.value}, {self.width})"
+
+
+_UNARY_OPS = {"~", "&", "|", "^"}
+
+
+class UnaryOp(Expr):
+    """Bitwise NOT (``~``) or reductions (``&``, ``|``, ``^``)."""
+
+    __slots__ = ("op", "operand", "width")
+
+    def __init__(self, op: str, operand: Expr) -> None:
+        if op not in _UNARY_OPS:
+            raise ValueError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+        self.width = operand.width if op == "~" else 1
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        value = self.operand.evaluate(env)
+        n = self.operand.width
+        if self.op == "~":
+            return ~value & _mask(n)
+        if self.op == "&":
+            return int(value == _mask(n))
+        if self.op == "|":
+            return int(value != 0)
+        return bin(value).count("1") & 1  # ^
+
+    def __repr__(self) -> str:
+        return f"UnaryOp({self.op!r}, {self.operand!r})"
+
+
+_BITWISE = {"&", "|", "^"}
+_ARITH = {"+", "-"}
+_COMPARE = {"==", "!=", "<", "<=", ">", ">="}
+_SHIFT = {"<<", ">>"}
+_BINARY_OPS = _BITWISE | _ARITH | _COMPARE | _SHIFT
+
+
+class BinOp(Expr):
+    """Binary operator node; see module docstring for width rules."""
+
+    __slots__ = ("op", "left", "right", "width")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _BINARY_OPS:
+            raise ValueError(f"unknown binary operator {op!r}")
+        if op in _BITWISE and left.width != right.width:
+            raise WidthError(
+                f"bitwise {op!r} operands differ in width: "
+                f"{left.width} vs {right.width}"
+            )
+        if op in _COMPARE and left.width != right.width:
+            raise WidthError(
+                f"comparison {op!r} operands differ in width: "
+                f"{left.width} vs {right.width}"
+            )
+        self.op = op
+        self.left = left
+        self.right = right
+        if op in _COMPARE:
+            self.width = 1
+        elif op in _SHIFT:
+            self.width = left.width
+        else:
+            self.width = max(left.width, right.width)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        a = self.left.evaluate(env)
+        b = self.right.evaluate(env)
+        op = self.op
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        if op == "+":
+            return (a + b) & _mask(self.width)
+        if op == "-":
+            return (a - b) & _mask(self.width)
+        if op == "==":
+            return int(a == b)
+        if op == "!=":
+            return int(a != b)
+        if op == "<":
+            return int(a < b)
+        if op == "<=":
+            return int(a <= b)
+        if op == ">":
+            return int(a > b)
+        if op == ">=":
+            return int(a >= b)
+        if op == "<<":
+            return (a << b) & _mask(self.width)
+        return a >> b  # >>
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class Ternary(Expr):
+    """``cond ? if_true : if_false`` with a 1-bit condition."""
+
+    __slots__ = ("cond", "if_true", "if_false", "width")
+
+    def __init__(self, cond: Expr, if_true: Expr, if_false: Expr) -> None:
+        if cond.width != 1:
+            raise WidthError("ternary condition must be 1 bit wide")
+        if if_true.width != if_false.width:
+            raise WidthError(
+                f"ternary arms differ in width: "
+                f"{if_true.width} vs {if_false.width}"
+            )
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+        self.width = if_true.width
+
+    def children(self) -> Sequence[Expr]:
+        return (self.cond, self.if_true, self.if_false)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        if self.cond.evaluate(env):
+            return self.if_true.evaluate(env)
+        return self.if_false.evaluate(env)
+
+    def __repr__(self) -> str:
+        return f"Ternary({self.cond!r}, {self.if_true!r}, {self.if_false!r})"
+
+
+class BitSelect(Expr):
+    """Single-bit select ``expr[index]``."""
+
+    __slots__ = ("operand", "index", "width")
+
+    def __init__(self, operand: Expr, index: int) -> None:
+        if not 0 <= index < operand.width:
+            raise WidthError(
+                f"bit index {index} out of range for width {operand.width}"
+            )
+        self.operand = operand
+        self.index = index
+        self.width = 1
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return (self.operand.evaluate(env) >> self.index) & 1
+
+    def __repr__(self) -> str:
+        return f"BitSelect({self.operand!r}, {self.index})"
+
+
+class Slice(Expr):
+    """Contiguous part-select ``expr[msb:lsb]`` (inclusive, msb >= lsb)."""
+
+    __slots__ = ("operand", "msb", "lsb", "width")
+
+    def __init__(self, operand: Expr, msb: int, lsb: int) -> None:
+        if not 0 <= lsb <= msb < operand.width:
+            raise WidthError(
+                f"slice [{msb}:{lsb}] out of range for width {operand.width}"
+            )
+        self.operand = operand
+        self.msb = msb
+        self.lsb = lsb
+        self.width = msb - lsb + 1
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return (self.operand.evaluate(env) >> self.lsb) & _mask(self.width)
+
+    def __repr__(self) -> str:
+        return f"Slice({self.operand!r}, {self.msb}, {self.lsb})"
+
+
+class Concat(Expr):
+    """Verilog-style concatenation; ``parts[0]`` is the most significant."""
+
+    __slots__ = ("parts", "width")
+
+    def __init__(self, parts: Sequence[Expr]) -> None:
+        if not parts:
+            raise WidthError("concatenation needs at least one part")
+        self.parts = tuple(parts)
+        self.width = sum(part.width for part in self.parts)
+
+    def children(self) -> Sequence[Expr]:
+        return self.parts
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        value = 0
+        for part in self.parts:
+            value = (value << part.width) | part.evaluate(env)
+        return value
+
+    def __repr__(self) -> str:
+        return f"Concat({list(self.parts)!r})"
+
+
+def _balanced_reduce(op: str, bits: Sequence[Expr], empty: int) -> Expr:
+    """Balanced binary reduction tree (keeps expression depth — and the
+    evaluator/bit-blaster recursion — logarithmic in the operand count)."""
+    for bit in bits:
+        if bit.width != 1:
+            raise WidthError(f"reduction {op!r} expects 1-bit expressions")
+    if not bits:
+        return Const(empty, 1)
+    level: list[Expr] = list(bits)
+    while len(level) > 1:
+        nxt = [
+            BinOp(op, level[i], level[i + 1])
+            for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def all_of(bits: Sequence[Expr]) -> Expr:
+    """AND-reduce a list of 1-bit expressions (empty list -> constant 1)."""
+    return _balanced_reduce("&", bits, 1)
+
+
+def any_of(bits: Sequence[Expr]) -> Expr:
+    """OR-reduce a list of 1-bit expressions (empty list -> constant 0)."""
+    return _balanced_reduce("|", bits, 0)
+
+
+def mux(cond: Expr, if_true: Expr | int, if_false: Expr | int) -> Expr:
+    """Ternary helper accepting int literals for either arm."""
+    if isinstance(if_true, int) and isinstance(if_false, int):
+        raise WidthError("at least one mux arm must be an Expr to fix width")
+    if isinstance(if_true, int):
+        if_true = Const(if_true, if_false.width)  # type: ignore[union-attr]
+    if isinstance(if_false, int):
+        if_false = Const(if_false, if_true.width)
+    return Ternary(cond, if_true, if_false)
+
+
+def clog2(value: int) -> int:
+    """Bits needed to represent values ``0..value-1`` (at least 1)."""
+    if value < 1:
+        raise ValueError("clog2 argument must be positive")
+    return max(1, (value - 1).bit_length())

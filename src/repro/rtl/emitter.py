@@ -1,0 +1,179 @@
+"""Synthesizable Verilog-2001 emission for :class:`~repro.rtl.module.Module`.
+
+The emitted subset is deliberately narrow and tool-friendly (circa-2005
+synthesis flows, matching the paper's setting):
+
+* one ``assign`` per continuous assignment;
+* one ``always @(posedge clk)`` block per register, with synchronous
+  reset and clock-enable idioms that infer flip-flops with CE pins;
+* ROMs become ``always @*`` case statements over the full address space,
+  which XST/Quartus-class tools infer as distributed or block ROM;
+* instances use named port connections.
+
+Expression emission parenthesizes every compound operand, trading beauty
+for unambiguous precedence.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    BinOp,
+    BitSelect,
+    Concat,
+    Const,
+    Expr,
+    Signal,
+    Slice,
+    Ternary,
+    UnaryOp,
+)
+from .module import Design, Module, Register, Rom
+
+
+def _range(width: int) -> str:
+    return f"[{width - 1}:0] " if width > 1 else ""
+
+
+def emit_expr(expr: Expr) -> str:
+    """Render one expression as Verilog text."""
+    if isinstance(expr, Signal):
+        return expr.name
+    if isinstance(expr, Const):
+        return f"{expr.width}'d{expr.value}"
+    if isinstance(expr, UnaryOp):
+        return f"({expr.op}{emit_expr(expr.operand)})"
+    if isinstance(expr, BinOp):
+        return f"({emit_expr(expr.left)} {expr.op} {emit_expr(expr.right)})"
+    if isinstance(expr, Ternary):
+        return (
+            f"({emit_expr(expr.cond)} ? {emit_expr(expr.if_true)} : "
+            f"{emit_expr(expr.if_false)})"
+        )
+    if isinstance(expr, BitSelect):
+        return f"{_selectable(expr.operand)}[{expr.index}]"
+    if isinstance(expr, Slice):
+        return f"{_selectable(expr.operand)}[{expr.msb}:{expr.lsb}]"
+    if isinstance(expr, Concat):
+        return "{" + ", ".join(emit_expr(part) for part in expr.parts) + "}"
+    raise TypeError(f"cannot emit expression node {expr!r}")
+
+
+def _selectable(expr: Expr) -> str:
+    """Verilog only allows bit/part selects on identifiers; anything else
+    would need a named intermediate, which the builders always provide."""
+    if not isinstance(expr, Signal):
+        raise TypeError(
+            "bit/part select base must be a named signal in emitted "
+            f"Verilog; got {expr!r}"
+        )
+    return expr.name
+
+
+def _emit_register(reg: Register, clock: Signal) -> list[str]:
+    lines = [f"    always @(posedge {clock.name}) begin"]
+    body_indent = "        "
+    close: list[str] = []
+    if reg.reset is not None:
+        lines.append(f"{body_indent}if ({emit_expr(reg.reset)})")
+        lines.append(
+            f"{body_indent}    {reg.target.name} <= "
+            f"{reg.target.width}'d{reg.reset_value};"
+        )
+        lines.append(f"{body_indent}else begin")
+        body_indent += "    "
+        close.append("        end")
+    if reg.enable is not None:
+        lines.append(f"{body_indent}if ({emit_expr(reg.enable)})")
+        body_indent += "    "
+    lines.append(f"{body_indent}{reg.target.name} <= {emit_expr(reg.next)};")
+    lines.extend(close)
+    lines.append("    end")
+    return lines
+
+
+def _emit_rom(rom: Rom) -> list[str]:
+    addr_width = rom.addr.width
+    lines = [
+        f"    // ROM {rom.name}: {rom.depth} x {rom.data.width} bits",
+        f"    always @* begin",
+        f"        case ({emit_expr(rom.addr)})",
+    ]
+    for address, word in enumerate(rom.contents):
+        lines.append(
+            f"            {addr_width}'d{address}: "
+            f"{rom.data.name} = {rom.data.width}'d{word};"
+        )
+    lines.append(
+        f"            default: {rom.data.name} = {rom.data.width}'d0;"
+    )
+    lines.append("        endcase")
+    lines.append("    end")
+    return lines
+
+
+def emit_module(module: Module) -> str:
+    """Render one module (without its children) as Verilog-2001 text."""
+    lines: list[str] = []
+    port_names = ", ".join(port.name for port in module.ports)
+    lines.append(f"module {module.name}({port_names});")
+
+    reg_targets = {reg.target for reg in module.registers}
+    rom_targets = {rom.data for rom in module.roms}
+    for port in module.ports:
+        if port.direction == "input":
+            kind = "input"
+        elif port.signal in reg_targets or port.signal in rom_targets:
+            kind = "output reg"
+        else:
+            kind = "output"
+        lines.append(f"    {kind} {_range(port.width)}{port.name};")
+
+    for wire in module.wires:
+        keyword = "reg" if wire in reg_targets | rom_targets else "wire"
+        lines.append(f"    {keyword} {_range(wire.width)}{wire.name};")
+
+    if module.assigns:
+        lines.append("")
+        for assign in module.assigns:
+            lines.append(
+                f"    assign {assign.target.name} = {emit_expr(assign.expr)};"
+            )
+
+    for rom in module.roms:
+        lines.append("")
+        lines.extend(_emit_rom(rom))
+
+    if module.registers:
+        if module.clock is None:
+            raise ValueError(
+                f"module {module.name!r} has registers but no clock"
+            )
+        for reg in module.registers:
+            lines.append("")
+            lines.extend(_emit_register(reg, module.clock))
+
+    for instance in module.instances:
+        lines.append("")
+        connections = ", ".join(
+            f".{port_name}({signal.name})"
+            for port_name, signal in sorted(instance.connections.items())
+        )
+        lines.append(
+            f"    {instance.module.name} {instance.name} ({connections});"
+        )
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def emit_design(design: Design) -> str:
+    """Render the full hierarchy, children first, as one Verilog source."""
+    header = (
+        f"// Design: {design.name}\n"
+        "// Generated by repro.rtl.emitter — synchronization wrapper\n"
+        "// synthesis flow for latency insensitive systems (DATE'05 repro).\n"
+    )
+    chunks = [header]
+    for module in design.modules():
+        chunks.append(emit_module(module))
+    return "\n".join(chunks)

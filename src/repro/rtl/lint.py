@@ -1,0 +1,145 @@
+"""Structural design checks run before synthesis.
+
+Catches the classes of error that would make emitted Verilog either
+non-synthesizable or silently wrong: multiple drivers, undriven signals,
+dangling wires, missing clocks, and (via the simulator's scheduler)
+combinational loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast import Signal
+from .module import Design, Module
+
+
+@dataclass(frozen=True)
+class LintMessage:
+    """One finding: ``severity`` is ``"error"`` or ``"warning"``."""
+
+    severity: str
+    module: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.module}: {self.message}"
+
+
+class LintError(ValueError):
+    """Raised by :func:`check` when errors are present."""
+
+    def __init__(self, messages: list[LintMessage]) -> None:
+        self.messages = messages
+        super().__init__(
+            "; ".join(str(m) for m in messages if m.severity == "error")
+        )
+
+
+def lint_module(module: Module) -> list[LintMessage]:
+    """Run all structural checks on one module."""
+    messages: list[LintMessage] = []
+
+    driven: dict[int, int] = {}
+    for signal in module.driven_signals():
+        driven[id(signal)] = driven.get(id(signal), 0) + 1
+
+    by_id = {id(s): s for s in module.all_signals()}
+    for signal_id, count in driven.items():
+        if count > 1:
+            name = by_id.get(signal_id)
+            messages.append(
+                LintMessage(
+                    "error",
+                    module.name,
+                    f"signal {name.name if name else signal_id!r} has "
+                    f"{count} drivers",
+                )
+            )
+
+    for port in module.input_ports:
+        if id(port.signal) in driven:
+            messages.append(
+                LintMessage(
+                    "error",
+                    module.name,
+                    f"input port {port.name!r} is driven inside the module",
+                )
+            )
+
+    used: set[int] = set()
+    for assign in module.assigns:
+        used.update(id(s) for s in assign.expr.signals())
+    for register in module.registers:
+        used.update(id(s) for s in register.next.signals())
+        if register.enable is not None:
+            used.update(id(s) for s in register.enable.signals())
+        if register.reset is not None:
+            used.update(id(s) for s in register.reset.signals())
+    for rom in module.roms:
+        used.update(id(s) for s in rom.addr.signals())
+    for instance in module.instances:
+        for port in instance.module.input_ports:
+            used.add(id(instance.connections[port.name]))
+
+    for port in module.output_ports:
+        if id(port.signal) not in driven:
+            messages.append(
+                LintMessage(
+                    "error",
+                    module.name,
+                    f"output port {port.name!r} is undriven",
+                )
+            )
+    for wire in module.wires:
+        if id(wire) not in driven:
+            messages.append(
+                LintMessage(
+                    "error", module.name, f"wire {wire.name!r} is undriven"
+                )
+            )
+        elif id(wire) not in used:
+            messages.append(
+                LintMessage(
+                    "warning", module.name, f"wire {wire.name!r} is unused"
+                )
+            )
+
+    if module.registers and module.clock is None:
+        messages.append(
+            LintMessage(
+                "error",
+                module.name,
+                "module has registers but no clock port",
+            )
+        )
+
+    for signal_id in used:
+        if signal_id not in by_id and signal_id not in driven:
+            messages.append(
+                LintMessage(
+                    "error",
+                    module.name,
+                    "expression references a signal not declared in this "
+                    "module (missing wire/port declaration)",
+                )
+            )
+    return messages
+
+
+def lint_design(design: Design | Module) -> list[LintMessage]:
+    """Lint every module of the hierarchy."""
+    if isinstance(design, Module):
+        design = Design(design)
+    messages: list[LintMessage] = []
+    for module in design.modules():
+        messages.extend(lint_module(module))
+    return messages
+
+
+def check(design: Design | Module) -> list[LintMessage]:
+    """Lint and raise :class:`LintError` if any error-severity finding."""
+    messages = lint_design(design)
+    if any(m.severity == "error" for m in messages):
+        raise LintError(messages)
+    return messages

@@ -1,0 +1,322 @@
+"""Structural RTL container: modules, ports, registers, ROMs, instances.
+
+A :class:`Module` is a flat list of named signals plus four kinds of
+behaviour, chosen so that the same structure can be (1) emitted as
+synthesizable Verilog-2001, (2) simulated cycle-accurately and (3)
+bit-blasted into a gate netlist for the area/timing model:
+
+* ``Assign`` — continuous combinational assignment ``target = expr``;
+* ``Register`` — synchronous update with optional enable and synchronous
+  reset (one ``always @(posedge clk)`` block per register on emission);
+* ``Rom`` — asynchronous read-only memory ``data = contents[addr]``, the
+  paper's operations memory (maps to LUT/block RAM on FPGAs);
+* ``Instance`` — a submodule instantiation with port connections.
+
+The single-clock restriction matches the paper's setting: latency
+insensitive design assumes one synchronous clock domain per pearl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .ast import Const, Expr, Signal, WidthError
+
+
+class RtlError(ValueError):
+    """Raised for structurally invalid module constructions."""
+
+
+@dataclass(frozen=True)
+class Port:
+    """A module port: direction is ``"input"`` or ``"output"``."""
+
+    signal: Signal
+    direction: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("input", "output"):
+            raise RtlError(f"bad port direction {self.direction!r}")
+
+    @property
+    def name(self) -> str:
+        return self.signal.name
+
+    @property
+    def width(self) -> int:
+        return self.signal.width
+
+
+@dataclass(frozen=True)
+class Assign:
+    """Continuous assignment ``target = expr``."""
+
+    target: Signal
+    expr: Expr
+
+    def __post_init__(self) -> None:
+        if self.target.width != self.expr.width:
+            raise WidthError(
+                f"assign to {self.target.name!r}: width {self.target.width} "
+                f"!= expression width {self.expr.width}"
+            )
+
+
+@dataclass(frozen=True)
+class Register:
+    """Synchronous register.
+
+    On each rising clock edge: if ``reset`` (when present) is asserted the
+    register loads ``reset_value``; otherwise if ``enable`` (when present)
+    is deasserted it holds; otherwise it loads ``next``.
+    """
+
+    target: Signal
+    next: Expr
+    enable: Expr | None = None
+    reset: Expr | None = None
+    reset_value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target.width != self.next.width:
+            raise WidthError(
+                f"register {self.target.name!r}: width {self.target.width} "
+                f"!= next-value width {self.next.width}"
+            )
+        if self.enable is not None and self.enable.width != 1:
+            raise WidthError("register enable must be 1 bit wide")
+        if self.reset is not None and self.reset.width != 1:
+            raise WidthError("register reset must be 1 bit wide")
+        if not 0 <= self.reset_value < (1 << self.target.width):
+            raise WidthError(
+                f"reset value {self.reset_value} does not fit in "
+                f"{self.target.width} bits"
+            )
+
+
+@dataclass(frozen=True)
+class Rom:
+    """Asynchronous ROM: ``data`` continuously reads ``contents[addr]``.
+
+    Reads beyond ``len(contents)`` return 0 (the emitter pads the image to
+    the full 2**addr_width so simulation and synthesis agree).
+    """
+
+    name: str
+    addr: Expr
+    data: Signal
+    contents: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.contents:
+            raise RtlError(f"ROM {self.name!r} must not be empty")
+        depth_limit = 1 << self.addr.width
+        if len(self.contents) > depth_limit:
+            raise RtlError(
+                f"ROM {self.name!r}: {len(self.contents)} words exceed "
+                f"address space of {depth_limit}"
+            )
+        limit = 1 << self.data.width
+        for index, word in enumerate(self.contents):
+            if not 0 <= word < limit:
+                raise WidthError(
+                    f"ROM {self.name!r} word {index} = {word} does not fit "
+                    f"in {self.data.width} bits"
+                )
+
+    @property
+    def depth(self) -> int:
+        return len(self.contents)
+
+    def read(self, address: int) -> int:
+        if 0 <= address < len(self.contents):
+            return self.contents[address]
+        return 0
+
+
+@dataclass(frozen=True)
+class Instance:
+    """Submodule instantiation.
+
+    ``connections`` maps the child's port names to parent signals.  Every
+    child port must be connected; widths must match exactly.
+    """
+
+    module: "Module"
+    name: str
+    connections: Mapping[str, Signal]
+
+    def __post_init__(self) -> None:
+        for port in self.module.ports:
+            if port.name not in self.connections:
+                raise RtlError(
+                    f"instance {self.name!r}: port {port.name!r} unconnected"
+                )
+            actual = self.connections[port.name]
+            if actual.width != port.width:
+                raise WidthError(
+                    f"instance {self.name!r}: port {port.name!r} width "
+                    f"{port.width} connected to {actual.width}-bit signal"
+                )
+        for name in self.connections:
+            if self.module.find_port(name) is None:
+                raise RtlError(
+                    f"instance {self.name!r}: module {self.module.name!r} "
+                    f"has no port {name!r}"
+                )
+
+
+class Module:
+    """A synthesizable single-clock RTL module."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ports: list[Port] = []
+        self.wires: list[Signal] = []
+        self.assigns: list[Assign] = []
+        self.registers: list[Register] = []
+        self.roms: list[Rom] = []
+        self.instances: list[Instance] = []
+        self.clock: Signal | None = None
+        self._names: set[str] = set()
+
+    # -- construction ------------------------------------------------------
+
+    def _claim_name(self, name: str) -> None:
+        if name in self._names:
+            raise RtlError(f"duplicate signal name {name!r} in {self.name!r}")
+        self._names.add(name)
+
+    def add_clock(self, name: str = "clk") -> Signal:
+        """Declare the module clock as an input port."""
+        if self.clock is not None:
+            raise RtlError(f"module {self.name!r} already has a clock")
+        self.clock = self.input(name)
+        return self.clock
+
+    def input(self, name: str, width: int = 1) -> Signal:
+        self._claim_name(name)
+        signal = Signal(name, width)
+        self.ports.append(Port(signal, "input"))
+        return signal
+
+    def output(self, name: str, width: int = 1) -> Signal:
+        self._claim_name(name)
+        signal = Signal(name, width)
+        self.ports.append(Port(signal, "output"))
+        return signal
+
+    def wire(self, name: str, width: int = 1) -> Signal:
+        self._claim_name(name)
+        signal = Signal(name, width)
+        self.wires.append(signal)
+        return signal
+
+    def assign(self, target: Signal, expr: Expr | int) -> Assign:
+        if isinstance(expr, int):
+            expr = Const(expr, target.width)
+        assign = Assign(target, expr)
+        self.assigns.append(assign)
+        return assign
+
+    def register(
+        self,
+        target: Signal,
+        next_value: Expr | int,
+        enable: Expr | None = None,
+        reset: Expr | None = None,
+        reset_value: int = 0,
+    ) -> Register:
+        if isinstance(next_value, int):
+            next_value = Const(next_value, target.width)
+        reg = Register(target, next_value, enable, reset, reset_value)
+        self.registers.append(reg)
+        return reg
+
+    def rom(
+        self,
+        name: str,
+        addr: Expr,
+        data: Signal,
+        contents: Iterable[int],
+    ) -> Rom:
+        rom = Rom(name, addr, data, tuple(contents))
+        self.roms.append(rom)
+        return rom
+
+    def instantiate(
+        self,
+        module: "Module",
+        name: str,
+        connections: Mapping[str, Signal],
+    ) -> Instance:
+        instance = Instance(module, name, dict(connections))
+        self.instances.append(instance)
+        return instance
+
+    # -- queries -------------------------------------------------------------
+
+    def find_port(self, name: str) -> Port | None:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        return None
+
+    @property
+    def input_ports(self) -> list[Port]:
+        return [port for port in self.ports if port.direction == "input"]
+
+    @property
+    def output_ports(self) -> list[Port]:
+        return [port for port in self.ports if port.direction == "output"]
+
+    def all_signals(self) -> list[Signal]:
+        return [port.signal for port in self.ports] + list(self.wires)
+
+    def driven_signals(self) -> list[Signal]:
+        """Signals driven inside this module (assign/register/ROM targets,
+        plus output ports of child instances)."""
+        driven = [assign.target for assign in self.assigns]
+        driven += [reg.target for reg in self.registers]
+        driven += [rom.data for rom in self.roms]
+        for instance in self.instances:
+            for port in instance.module.output_ports:
+                driven.append(instance.connections[port.name])
+        return driven
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, ports={len(self.ports)}, "
+            f"assigns={len(self.assigns)}, registers={len(self.registers)}, "
+            f"roms={len(self.roms)}, instances={len(self.instances)})"
+        )
+
+
+@dataclass
+class Design:
+    """A module hierarchy rooted at ``top`` (children discovered via
+    instances, deduplicated by identity)."""
+
+    top: Module
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.top.name
+
+    def modules(self) -> list[Module]:
+        """All modules in the hierarchy, children before parents."""
+        seen: dict[int, Module] = {}
+        order: list[Module] = []
+
+        def visit(module: Module) -> None:
+            if id(module) in seen:
+                return
+            seen[id(module)] = module
+            for instance in module.instances:
+                visit(instance.module)
+            order.append(module)
+
+        visit(self.top)
+        return order

@@ -1,0 +1,539 @@
+"""Elaborate + bit-blast a module hierarchy into a gate-level netlist.
+
+The netlist is the input to the FPGA technology mapper
+(:mod:`repro.rtl.techmap`).  Cells are deliberately simple:
+
+* combinational: ``NOT``, ``AND``, ``OR``, ``XOR`` (2-input), ``MUX``
+  (select, a, b);
+* sequential: ``DFF`` with optional clock-enable and synchronous reset
+  (these map to free FF pins on FPGAs, so they are kept structural
+  rather than folded into LUT logic);
+* memory: one ``ROM`` cell per data bit (address bits in, one bit out),
+  costed specially by the mapper (distributed LUT-ROM or block RAM).
+
+Synthesis-style optimizations applied during bit-blasting, because real
+2005-era flows do them and they matter for credible area numbers:
+
+* constant folding (any gate with constant inputs simplifies);
+* structural hashing / common-subexpression elimination;
+* arithmetic lowered to ripple-carry chains (the FPGA carry-chain cost
+  model in the mapper treats adder bits cheaply, as real slices do).
+
+Nets are integers.  Net 0 is constant 0 and net 1 is constant 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast import (
+    BinOp,
+    BitSelect,
+    Concat,
+    Const,
+    Expr,
+    Signal,
+    Slice,
+    Ternary,
+    UnaryOp,
+)
+from .module import Design, Module, RtlError
+
+CONST0 = 0
+CONST1 = 1
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A combinational cell: ``kind`` in NOT/AND/OR/XOR/MUX."""
+
+    kind: str
+    inputs: tuple[int, ...]
+    output: int
+
+
+@dataclass(frozen=True)
+class Dff:
+    """A D flip-flop with optional clock-enable / synchronous reset nets."""
+
+    d: int
+    q: int
+    ce: int | None = None
+    rst: int | None = None
+    rst_value: int = 0
+
+
+@dataclass(frozen=True)
+class RomBit:
+    """One output bit of an asynchronous ROM."""
+
+    addr: tuple[int, ...]
+    output: int
+    depth: int
+    column: tuple[int, ...]  # truth table: bit value at each address
+
+
+@dataclass
+class Netlist:
+    """Bit-level design: gates + flops + ROM bits over integer nets."""
+
+    name: str
+    n_nets: int = 2  # nets 0 and 1 are the constants
+    gates: list[Gate] = field(default_factory=list)
+    dffs: list[Dff] = field(default_factory=list)
+    rom_bits: list[RomBit] = field(default_factory=list)
+    input_nets: set[int] = field(default_factory=set)
+    output_bits: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    # Nets produced by ripple-carry majority gates; these map onto the
+    # FPGA's dedicated carry chain (MUXCY) rather than LUTs.
+    carry_nets: set[int] = field(default_factory=set)
+
+    def stats(self) -> dict[str, int]:
+        kinds: dict[str, int] = {}
+        for gate in self.gates:
+            kinds[gate.kind] = kinds.get(gate.kind, 0) + 1
+        kinds["DFF"] = len(self.dffs)
+        kinds["ROMBIT"] = len(self.rom_bits)
+        kinds["nets"] = self.n_nets
+        return kinds
+
+
+class BitBlaster:
+    """Builds a :class:`Netlist` from a :class:`Design`."""
+
+    def __init__(self, design: Design | Module) -> None:
+        if isinstance(design, Module):
+            design = Design(design)
+        self._design = design
+        self._netlist = Netlist(design.name)
+        self._cse: dict[tuple[str, tuple[int, ...]], int] = {}
+        self._not_of: dict[int, int] = {}  # NOT-gate output -> input
+        # (flattened signal id) -> tuple of nets, LSB first
+        self._bits: dict[int, tuple[int, ...]] = {}
+
+    # -- net helpers ---------------------------------------------------------
+
+    def _new_net(self) -> int:
+        net = self._netlist.n_nets
+        self._netlist.n_nets += 1
+        return net
+
+    def _gate(self, kind: str, *inputs: int) -> int:
+        """Create (or reuse) a gate, with local constant folding."""
+        folded = self._fold(kind, inputs)
+        if folded is not None:
+            return folded
+        if kind in ("AND", "OR", "XOR"):
+            inputs = tuple(sorted(inputs))
+        key = (kind, inputs)
+        cached = self._cse.get(key)
+        if cached is not None:
+            return cached
+        output = self._new_net()
+        self._netlist.gates.append(Gate(kind, inputs, output))
+        self._cse[key] = output
+        if kind == "NOT":
+            self._not_of[output] = inputs[0]
+        return output
+
+    def _fold(self, kind: str, inputs: tuple[int, ...]) -> int | None:
+        if kind == "NOT":
+            (a,) = inputs
+            if a == CONST0:
+                return CONST1
+            if a == CONST1:
+                return CONST0
+            if a in self._not_of:  # ~~x == x
+                return self._not_of[a]
+            return None
+        if kind == "AND":
+            a, b = inputs
+            if CONST0 in inputs:
+                return CONST0
+            if a == CONST1:
+                return b
+            if b == CONST1:
+                return a
+            if a == b:
+                return a
+            return None
+        if kind == "OR":
+            a, b = inputs
+            if CONST1 in inputs:
+                return CONST1
+            if a == CONST0:
+                return b
+            if b == CONST0:
+                return a
+            if a == b:
+                return a
+            return None
+        if kind == "XOR":
+            a, b = inputs
+            if a == b:
+                return CONST0
+            if a == CONST0:
+                return b
+            if b == CONST0:
+                return a
+            if a == CONST1:
+                return self._gate("NOT", b)
+            if b == CONST1:
+                return self._gate("NOT", a)
+            return None
+        if kind == "MUX":
+            sel, a, b = inputs  # sel ? a : b
+            if sel == CONST1:
+                return a
+            if sel == CONST0:
+                return b
+            if a == b:
+                return a
+            if a == CONST1 and b == CONST0:
+                return sel
+            if a == CONST0 and b == CONST1:
+                return self._gate("NOT", sel)
+            return None
+        raise RtlError(f"unknown gate kind {kind!r}")
+
+    def _not(self, a: int) -> int:
+        return self._gate("NOT", a)
+
+    def _and(self, a: int, b: int) -> int:
+        return self._gate("AND", a, b)
+
+    def _or(self, a: int, b: int) -> int:
+        return self._gate("OR", a, b)
+
+    def _xor(self, a: int, b: int) -> int:
+        return self._gate("XOR", a, b)
+
+    def _mux(self, sel: int, a: int, b: int) -> int:
+        return self._gate("MUX", sel, a, b)
+
+    def _tree(self, kind: str, nets: list[int]) -> int:
+        """Balanced reduction tree (minimizes logic depth, as mappers do)."""
+        if not nets:
+            return CONST1 if kind == "AND" else CONST0
+        level = list(nets)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self._gate(kind, level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def _const_bits(self, value: int, width: int) -> tuple[int, ...]:
+        return tuple(
+            CONST1 if (value >> i) & 1 else CONST0 for i in range(width)
+        )
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def _adder(
+        self, a: tuple[int, ...], b: tuple[int, ...], carry_in: int
+    ) -> tuple[tuple[int, ...], int]:
+        """Ripple-carry adder; returns (sum bits, carry out)."""
+        width = max(len(a), len(b))
+        a = a + (CONST0,) * (width - len(a))
+        b = b + (CONST0,) * (width - len(b))
+        carry = carry_in
+        sums = []
+        mark = self._netlist.carry_nets
+        for bit_a, bit_b in zip(a, b):
+            partial = self._xor(bit_a, bit_b)
+            sums.append(self._xor(partial, carry))
+            # The whole majority gate (two ANDs + OR) maps onto one
+            # MUXCY cell of the dedicated carry chain.
+            gen = self._and(bit_a, bit_b)
+            prop = self._and(partial, carry)
+            carry = self._or(gen, prop)
+            for net in (gen, prop, carry):
+                if net not in (CONST0, CONST1):
+                    mark.add(net)
+        return tuple(sums), carry
+
+    def _less_than(self, a: tuple[int, ...], b: tuple[int, ...]) -> int:
+        """Unsigned ``a < b`` via the borrow of ``a - b``."""
+        width = max(len(a), len(b))
+        a = a + (CONST0,) * (width - len(a))
+        b = b + (CONST0,) * (width - len(b))
+        not_b = tuple(self._not(bit) for bit in b)
+        _sums, carry = self._adder(a, not_b, CONST1)
+        return self._not(carry)
+
+    def _equal(self, a: tuple[int, ...], b: tuple[int, ...]) -> int:
+        diffs = [self._xor(x, y) for x, y in zip(a, b)]
+        return self._not(self._tree("OR", diffs))
+
+    # -- expression synthesis ----------------------------------------------------
+
+    def _expr_bits(
+        self, expr: Expr, local: dict[int, tuple[int, ...]]
+    ) -> tuple[int, ...]:
+        """Synthesize ``expr`` into nets (LSB first)."""
+        if isinstance(expr, Signal):
+            try:
+                return local[id(expr)]
+            except KeyError:
+                raise RtlError(
+                    f"signal {expr.name!r} used before any driver was "
+                    "elaborated (is it undriven?)"
+                ) from None
+        if isinstance(expr, Const):
+            return self._const_bits(expr.value, expr.width)
+        if isinstance(expr, UnaryOp):
+            bits = self._expr_bits(expr.operand, local)
+            if expr.op == "~":
+                return tuple(self._not(bit) for bit in bits)
+            if expr.op == "&":
+                return (self._tree("AND", list(bits)),)
+            if expr.op == "|":
+                return (self._tree("OR", list(bits)),)
+            return (self._tree("XOR", list(bits)),)
+        if isinstance(expr, BinOp):
+            return self._binop_bits(expr, local)
+        if isinstance(expr, Ternary):
+            sel = self._expr_bits(expr.cond, local)[0]
+            a = self._expr_bits(expr.if_true, local)
+            b = self._expr_bits(expr.if_false, local)
+            return tuple(
+                self._mux(sel, x, y) for x, y in zip(a, b)
+            )
+        if isinstance(expr, BitSelect):
+            return (self._expr_bits(expr.operand, local)[expr.index],)
+        if isinstance(expr, Slice):
+            bits = self._expr_bits(expr.operand, local)
+            return bits[expr.lsb : expr.msb + 1]
+        if isinstance(expr, Concat):
+            bits: tuple[int, ...] = ()
+            for part in reversed(expr.parts):  # parts[0] most significant
+                bits = bits + self._expr_bits(part, local)
+            return bits
+        raise RtlError(f"cannot synthesize expression {expr!r}")
+
+    def _binop_bits(
+        self, expr: BinOp, local: dict[int, tuple[int, ...]]
+    ) -> tuple[int, ...]:
+        a = self._expr_bits(expr.left, local)
+        b = self._expr_bits(expr.right, local)
+        op = expr.op
+        if op in ("&", "|", "^"):
+            kind = {"&": "AND", "|": "OR", "^": "XOR"}[op]
+            return tuple(
+                self._gate(kind, x, y) for x, y in zip(a, b)
+            )
+        if op == "+":
+            sums, _carry = self._adder(a, b, CONST0)
+            return sums[: expr.width]
+        if op == "-":
+            not_b = tuple(self._not(bit) for bit in b)
+            width = max(len(a), len(not_b))
+            not_b = not_b + (CONST1,) * (width - len(not_b))
+            sums, _carry = self._adder(a, not_b, CONST1)
+            return sums[: expr.width]
+        if op == "==":
+            return (self._equal(a, b),)
+        if op == "!=":
+            return (self._not(self._equal(a, b)),)
+        if op == "<":
+            return (self._less_than(a, b),)
+        if op == ">=":
+            return (self._not(self._less_than(a, b)),)
+        if op == ">":
+            return (self._less_than(b, a),)
+        if op == "<=":
+            return (self._not(self._less_than(b, a)),)
+        if op in ("<<", ">>"):
+            return self._shift_bits(expr, a, b)
+        raise RtlError(f"cannot synthesize operator {op!r}")
+
+    def _shift_bits(
+        self, expr: BinOp, a: tuple[int, ...], b: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        """Barrel shifter; constant shift amounts reduce to rewiring
+        because the MUX selects fold."""
+        width = len(a)
+        current = list(a)
+        for stage, sel in enumerate(b):
+            amount = 1 << stage
+            if amount >= width and sel in (CONST0,):
+                continue
+            shifted = [CONST0] * width
+            for i in range(width):
+                if expr.op == "<<":
+                    source = i - amount
+                else:
+                    source = i + amount
+                if 0 <= source < width:
+                    shifted[i] = current[source]
+            current = [
+                self._mux(sel, s, c) for s, c in zip(shifted, current)
+            ]
+        return tuple(current)
+
+    # -- elaboration ---------------------------------------------------------
+
+    def run(self) -> Netlist:
+        top = self._design.top
+        local: dict[int, tuple[int, ...]] = {}
+        # Primary inputs get fresh nets.
+        for port in top.input_ports:
+            if port.signal is top.clock:
+                continue  # the clock is implicit in DFF cells
+            nets = tuple(self._new_net() for _ in range(port.width))
+            local[id(port.signal)] = nets
+            self._netlist.input_nets.update(nets)
+        self._elaborate(top, local)
+        for port in top.output_ports:
+            bits = local.get(id(port.signal))
+            if bits is None:
+                raise RtlError(
+                    f"output port {port.name!r} of {top.name!r} is undriven"
+                )
+            self._netlist.output_bits[port.name] = bits
+        return self._netlist
+
+    def _elaborate(
+        self, module: Module, local: dict[int, tuple[int, ...]]
+    ) -> None:
+        # Registers first: their outputs exist before their inputs are
+        # synthesized (they break cycles).
+        pending_regs = []
+        for register in module.registers:
+            if id(register.target) not in local:
+                nets = tuple(
+                    self._new_net() for _ in range(register.target.width)
+                )
+                local[id(register.target)] = nets
+            pending_regs.append(register)
+
+        # Combinational items in dependency order.
+        ordered = self._order_comb(module, local)
+        for item in ordered:
+            if item[0] == "assign":
+                assign = item[1]
+                local[id(assign.target)] = self._expr_bits(assign.expr, local)
+            elif item[0] == "rom":
+                rom = item[1]
+                addr_bits = self._expr_bits(rom.addr, local)
+                data_nets = []
+                for bit_index in range(rom.data.width):
+                    out = self._new_net()
+                    column = tuple(
+                        (word >> bit_index) & 1 for word in rom.contents
+                    )
+                    self._netlist.rom_bits.append(
+                        RomBit(addr_bits, out, rom.depth, column)
+                    )
+                    data_nets.append(out)
+                local[id(rom.data)] = tuple(data_nets)
+            else:  # instance
+                instance = item[1]
+                child_local: dict[int, tuple[int, ...]] = {}
+                for name, signal in instance.connections.items():
+                    port = instance.module.find_port(name)
+                    if port.signal is instance.module.clock:
+                        continue
+                    if port.direction == "input":
+                        if id(signal) not in local:
+                            raise RtlError(
+                                f"instance {instance.name!r} input "
+                                f"{name!r} driven by unelaborated signal"
+                            )
+                        child_local[id(port.signal)] = local[id(signal)]
+                self._elaborate(instance.module, child_local)
+                for name, signal in instance.connections.items():
+                    port = instance.module.find_port(name)
+                    if port.direction == "output":
+                        local[id(signal)] = child_local[id(port.signal)]
+
+        # Now synthesize the register input cones.
+        for register in pending_regs:
+            q_nets = local[id(register.target)]
+            d_bits = self._expr_bits(register.next, local)
+            ce = (
+                self._expr_bits(register.enable, local)[0]
+                if register.enable is not None
+                else None
+            )
+            rst = (
+                self._expr_bits(register.reset, local)[0]
+                if register.reset is not None
+                else None
+            )
+            for i, (d, q) in enumerate(zip(d_bits, q_nets)):
+                self._netlist.dffs.append(
+                    Dff(
+                        d=d,
+                        q=q,
+                        ce=ce,
+                        rst=rst,
+                        rst_value=(register.reset_value >> i) & 1,
+                    )
+                )
+
+    def _order_comb(
+        self, module: Module, local: dict[int, tuple[int, ...]]
+    ) -> list[tuple]:
+        """Topologically order assigns/ROMs/instances within a module.
+
+        Instances are treated as producing their outputs from their
+        inputs (combinational paths through children are conservatively
+        assumed to exist).
+        """
+        items: list[tuple] = [("assign", a) for a in module.assigns]
+        items += [("rom", r) for r in module.roms]
+        items += [("inst", i) for i in module.instances]
+
+        produces: dict[int, int] = {}
+        for index, item in enumerate(items):
+            if item[0] == "assign":
+                produces[id(item[1].target)] = index
+            elif item[0] == "rom":
+                produces[id(item[1].data)] = index
+            else:
+                for port in item[1].module.output_ports:
+                    produces[id(item[1].connections[port.name])] = index
+
+        def deps(item: tuple) -> set[int]:
+            if item[0] == "assign":
+                signals = item[1].expr.signals()
+            elif item[0] == "rom":
+                signals = item[1].addr.signals()
+            else:
+                signals = set()
+                for port in item[1].module.input_ports:
+                    if port.signal is item[1].module.clock:
+                        continue
+                    signals.add(item[1].connections[port.name])
+            return {
+                produces[id(s)] for s in signals if id(s) in produces
+            }
+
+        order: list[int] = []
+        state = [0] * len(items)
+
+        def visit(i: int) -> None:
+            if state[i] == 2:
+                return
+            if state[i] == 1:
+                raise RtlError(
+                    f"combinational loop in module {module.name!r}"
+                )
+            state[i] = 1
+            for j in deps(items[i]):
+                visit(j)
+            state[i] = 2
+            order.append(i)
+
+        for i in range(len(items)):
+            visit(i)
+        return [items[i] for i in order]
+
+
+def bit_blast(design: Design | Module) -> Netlist:
+    """Convenience wrapper: elaborate + bit-blast ``design``."""
+    return BitBlaster(design).run()

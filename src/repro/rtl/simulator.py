@@ -1,0 +1,249 @@
+"""Cycle-accurate two-phase simulator for the RTL IR.
+
+Semantics (matching synthesizable single-clock RTL):
+
+1. *settle* — evaluate every continuous assignment and ROM read in
+   dependency (topological) order so all combinational signals reflect
+   current register outputs and primary inputs;
+2. *step* — sample every register's next-value/enable/reset expressions
+   simultaneously, commit all register updates, then settle again.
+
+The simulator elaborates the hierarchy first: instance ports become
+aliases onto parent signals, so the whole design simulates in a single
+flat environment.  This mirrors the flattening performed by
+:mod:`repro.rtl.netlist`, keeping simulation and the area model
+consistent with each other and with the emitted Verilog.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from .ast import Expr, Signal
+from .module import Design, Module, Register, Rom
+
+
+class SimulationError(RuntimeError):
+    """Raised on combinational loops or unresolvable evaluation order."""
+
+
+class _RenamedEnv(Mapping):
+    """Read-only view of the flat environment under a local->flat rename."""
+
+    __slots__ = ("_env", "_rename")
+
+    def __init__(self, env: dict, rename: dict) -> None:
+        self._env = env
+        self._rename = rename
+
+    def __getitem__(self, key: str) -> int:
+        return self._env[self._rename[key]]
+
+    def __iter__(self):
+        return iter(self._rename)
+
+    def __len__(self) -> int:
+        return len(self._rename)
+
+
+def _evaluator(
+    expr: Expr, local: dict[int, str], env: dict[str, int]
+) -> Callable[[], int]:
+    """Bind ``expr`` to the flat environment through its local rename map."""
+    rename = {signal.name: local[id(signal)] for signal in expr.signals()}
+    view = _RenamedEnv(env, rename)
+    return lambda: expr.evaluate(view)
+
+
+class Simulator:
+    """Flat two-phase simulator over a :class:`Design` (or bare module).
+
+    Usage::
+
+        sim = Simulator(top_module)
+        sim.poke("reset", 1)
+        sim.step()               # one rising clock edge
+        value = sim.peek("data_out")
+    """
+
+    def __init__(self, design: Design | Module) -> None:
+        if isinstance(design, Module):
+            design = Design(design)
+        self._env: dict[str, int] = {}
+        self._widths: dict[str, int] = {}
+        # (flat target, thunk, flat dependency names)
+        self._comb: list[tuple[str, Callable[[], int], frozenset[str]]] = []
+        # (flat target, reset thunk|None, reset value, enable thunk|None,
+        #  next thunk)
+        self._regs: list[
+            tuple[
+                str,
+                Callable[[], int] | None,
+                int,
+                Callable[[], int] | None,
+                Callable[[], int],
+            ]
+        ] = []
+        self._top = design.top
+        self._top_names: dict[int, str] = {}
+        self._flatten(design.top, prefix="", bindings={})
+        self._order = self._schedule()
+        self.cycle = 0
+        self.settle()
+
+    # -- elaboration -------------------------------------------------------
+
+    def _flatten(
+        self, module: Module, prefix: str, bindings: dict[int, str]
+    ) -> None:
+        local: dict[int, str] = dict(bindings)
+        for signal in module.all_signals():
+            if id(signal) in local:
+                continue
+            flat = prefix + signal.name
+            local[id(signal)] = flat
+            self._widths[flat] = signal.width
+            self._env[flat] = 0
+        if prefix == "":
+            self._top_names = {
+                id(signal): local[id(signal)]
+                for signal in module.all_signals()
+            }
+        for assign in module.assigns:
+            deps = frozenset(
+                local[id(signal)] for signal in assign.expr.signals()
+            )
+            self._comb.append(
+                (
+                    local[id(assign.target)],
+                    _evaluator(assign.expr, local, self._env),
+                    deps,
+                )
+            )
+        for rom in module.roms:
+            deps = frozenset(
+                local[id(signal)] for signal in rom.addr.signals()
+            )
+            addr_fn = _evaluator(rom.addr, local, self._env)
+            self._comb.append(
+                (
+                    local[id(rom.data)],
+                    (lambda fn=addr_fn, r=rom: r.read(fn())),
+                    deps,
+                )
+            )
+        for register in module.registers:
+            reset_fn = (
+                _evaluator(register.reset, local, self._env)
+                if register.reset is not None
+                else None
+            )
+            enable_fn = (
+                _evaluator(register.enable, local, self._env)
+                if register.enable is not None
+                else None
+            )
+            self._regs.append(
+                (
+                    local[id(register.target)],
+                    reset_fn,
+                    register.reset_value,
+                    enable_fn,
+                    _evaluator(register.next, local, self._env),
+                )
+            )
+        for instance in module.instances:
+            child_bindings = {}
+            for name, signal in instance.connections.items():
+                port = instance.module.find_port(name)
+                child_bindings[id(port.signal)] = local[id(signal)]
+            self._flatten(
+                instance.module,
+                prefix=f"{prefix}{instance.name}.",
+                bindings=child_bindings,
+            )
+
+    def _schedule(self) -> list[int]:
+        """Topological order over combinational items; reject loops."""
+        producers: dict[str, int] = {}
+        for index, (target, _fn, _deps) in enumerate(self._comb):
+            if target in producers:
+                raise SimulationError(f"multiple drivers for {target!r}")
+            producers[target] = index
+        order: list[int] = []
+        state = [0] * len(self._comb)  # 0 new, 1 visiting, 2 done
+
+        def visit(i: int) -> None:
+            if state[i] == 2:
+                return
+            if state[i] == 1:
+                raise SimulationError(
+                    f"combinational loop through {self._comb[i][0]!r}"
+                )
+            state[i] = 1
+            for name in self._comb[i][2]:
+                j = producers.get(name)
+                if j is not None:
+                    visit(j)
+            state[i] = 2
+            order.append(i)
+
+        for i in range(len(self._comb)):
+            visit(i)
+        return order
+
+    # -- environment access --------------------------------------------------
+
+    def _flat_name(self, name: str) -> str:
+        for signal in self._top.all_signals():
+            if signal.name == name:
+                return self._top_names[id(signal)]
+        if name in self._env:
+            return name
+        raise KeyError(f"no signal named {name!r} in top module")
+
+    def poke(self, name: str, value: int) -> None:
+        """Drive a top-level input (propagates at the next settle/step)."""
+        flat = self._flat_name(name)
+        self._env[flat] = value & ((1 << self._widths[flat]) - 1)
+
+    def poke_settle(self, name: str, value: int) -> None:
+        """Poke and immediately settle combinational logic."""
+        self.poke(name, value)
+        self.settle()
+
+    def peek(self, name: str) -> int:
+        """Read a top-level signal's settled value."""
+        return self._env[self._flat_name(name)]
+
+    def peek_flat(self, flat_name: str) -> int:
+        """Read a hierarchical flat name, e.g. ``"sp0.state"``."""
+        return self._env[flat_name]
+
+    def flat_names(self) -> list[str]:
+        return sorted(self._env)
+
+    # -- execution -------------------------------------------------------------
+
+    def settle(self) -> None:
+        """Propagate combinational logic (single topological pass)."""
+        env = self._env
+        for i in self._order:
+            target, fn, _deps = self._comb[i]
+            env[target] = fn()
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the clock by ``cycles`` rising edges."""
+        for _ in range(cycles):
+            updates: list[tuple[str, int]] = []
+            for target, reset_fn, reset_value, enable_fn, next_fn in self._regs:
+                if reset_fn is not None and reset_fn():
+                    updates.append((target, reset_value))
+                    continue
+                if enable_fn is not None and not enable_fn():
+                    continue
+                updates.append((target, next_fn()))
+            for target, value in updates:
+                self._env[target] = value
+            self.cycle += 1
+            self.settle()

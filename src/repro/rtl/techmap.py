@@ -1,0 +1,454 @@
+"""FPGA technology mapping and timing estimation.
+
+Maps a bit-level :class:`~repro.rtl.netlist.Netlist` onto a
+Virtex-II-class FPGA model (the device family of the paper's era):
+
+* **LUT covering** — greedy single-fanout cone packing into 4-input LUTs
+  in topological order (the standard fast heuristic; close to what
+  circa-2005 mappers achieved on control logic);
+* **carry chains** — nets flagged as ripple carries by the bit-blaster
+  map to dedicated MUXCY cells: zero LUT cost, ~60 ps per bit;
+* **ROMs** — the synchronization processor's operations memory maps to
+  block RAM (the paper: "asynchronous ROM, or SRAM with FPGAs") or to
+  distributed LUT ROM, selectable; block ROM costs no slices;
+* **slices** — 2 LUTs + 2 flip-flops per slice, LUT/FF packing assumed
+  (the paper reports areas in slices);
+* **timing** — unit-delay-per-level model with separate LUT, net, carry,
+  ROM-access, clock-to-out and setup components; fmax = 1/critical path.
+
+Absolute numbers are a model, not a signoff; what the reproduction
+relies on is that the *relative* cost of an FSM whose state space grows
+with schedule length versus a constant-datapath processor is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .netlist import CONST0, CONST1, Gate, Netlist
+
+
+@dataclass(frozen=True)
+class TechModel:
+    """Delay/area parameters of the target device (ns)."""
+
+    name: str = "virtex2-like"
+    lut_inputs: int = 4
+    luts_per_slice: int = 2
+    ffs_per_slice: int = 2
+    t_lut: float = 0.65
+    t_net: float = 0.95
+    t_carry: float = 0.06
+    t_carry_enter: float = 0.75
+    t_rom_block: float = 3.0
+    t_rom_dist: float = 1.6
+    t_clk_to_q: float = 0.55
+    t_setup: float = 0.45
+    t_clock_skew: float = 0.30
+    bram_bits: int = 18 * 1024
+    dist_rom_depth_per_lut: int = 16
+    block_rom_threshold: int = 64  # depth above which "auto" uses BRAM
+
+
+VIRTEX2 = TechModel()
+
+
+@dataclass
+class MappingReport:
+    """Result of technology mapping one netlist."""
+
+    name: str
+    luts: int
+    ffs: int
+    slices: int
+    brams: int
+    rom_luts: int
+    carry_cells: int
+    lut_levels: int
+    period_ns: float
+    fmax_mhz: float
+    gate_count: int
+    rom_bits_total: int
+    rom_style: str
+    critical_path: str = ""
+    detail: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.slices} slices ({self.luts} LUT, "
+            f"{self.ffs} FF, {self.brams} BRAM), "
+            f"{self.lut_levels} levels, {self.fmax_mhz:.1f} MHz"
+        )
+
+
+class TechMapper:
+    """Maps one netlist onto a :class:`TechModel`."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        model: TechModel = VIRTEX2,
+        rom_style: str = "auto",
+    ) -> None:
+        if rom_style not in ("auto", "block", "distributed"):
+            raise ValueError(f"unknown rom_style {rom_style!r}")
+        self.netlist = netlist
+        self.model = model
+        self.rom_style = rom_style
+        # Fold register shift chains into SRL16 shift-register LUTs
+        # (1 LUT per 16 taps), as FPGA mappers do — essential for a fair
+        # Casu-Macchiarulo shift-register wrapper baseline.
+        self.infer_srl = True
+        self.srl_min_length = 3
+
+    # -- LUT covering --------------------------------------------------------
+
+    def _cover(self) -> tuple[int, dict[int, frozenset[int]]]:
+        """Greedy cone packing.
+
+        Returns (lut_count, roots) where ``roots`` maps each LUT root
+        output net to its leaf support set.  Carry gates are excluded
+        (they map to MUXCY cells, not LUTs).
+        """
+        gates_by_out: dict[int, Gate] = {}
+        fanout: dict[int, int] = {}
+        carry = self.netlist.carry_nets
+
+        def bump(net: int) -> None:
+            fanout[net] = fanout.get(net, 0) + 1
+
+        for gate in self.netlist.gates:
+            gates_by_out[gate.output] = gate
+            for net in gate.inputs:
+                bump(net)
+        for dff in self.netlist.dffs:
+            bump(dff.d)
+            if dff.ce is not None:
+                bump(dff.ce)
+            if dff.rst is not None:
+                bump(dff.rst)
+        for rom in self.netlist.rom_bits:
+            for net in rom.addr:
+                bump(net)
+        for nets in self.netlist.output_bits.values():
+            for net in nets:
+                bump(net)
+
+        k = self.model.lut_inputs
+        # support[net] = leaves of the (so far uncommitted) cone rooted
+        # there; committed roots are in ``roots``.
+        support: dict[int, frozenset[int]] = {}
+        roots: dict[int, frozenset[int]] = {}
+
+        def leaf_set(net: int) -> frozenset[int]:
+            """Leaves contributed by ``net`` when absorbed into a cone."""
+            if net in (CONST0, CONST1):
+                return frozenset()
+            gate = gates_by_out.get(net)
+            if gate is None or net in carry or net in roots:
+                return frozenset((net,))
+            if fanout.get(net, 0) > 1:
+                return frozenset((net,))
+            return support[net]
+
+        def commit(net: int) -> None:
+            """Make ``net`` a LUT root (if it is a coverable gate output)."""
+            if net in gates_by_out and net not in carry and net not in roots:
+                roots[net] = support[net]
+
+        # Gates are appended in creation order, which is topological.
+        for gate in self.netlist.gates:
+            if gate.output in carry:
+                continue
+            merged: set[int] = set()
+            for net in gate.inputs:
+                merged |= leaf_set(net)
+            if len(merged) <= k:
+                support[gate.output] = frozenset(merged)
+            else:
+                # Cannot absorb everything: commit fanin cones as LUTs
+                # and restart this cone from the gate's direct inputs.
+                for net in gate.inputs:
+                    commit(net)
+                support[gate.output] = frozenset(
+                    n for n in gate.inputs if n not in (CONST0, CONST1)
+                )
+
+        # Commit every net observed outside a cone interior.
+        for gate in self.netlist.gates:
+            if gate.output in carry:
+                for net in gate.inputs:
+                    commit(net)
+                continue
+            if fanout.get(gate.output, 0) > 1:
+                commit(gate.output)
+        for dff in self.netlist.dffs:
+            commit(dff.d)
+            if dff.ce is not None:
+                commit(dff.ce)
+            if dff.rst is not None:
+                commit(dff.rst)
+        for rom in self.netlist.rom_bits:
+            for net in rom.addr:
+                commit(net)
+        for nets in self.netlist.output_bits.values():
+            for net in nets:
+                commit(net)
+
+        return len(roots), roots
+
+    # -- ROM costing -----------------------------------------------------------
+
+    def _rom_cost(self) -> tuple[int, int, str, float]:
+        """Returns (rom_luts, brams, effective_style, access_delay)."""
+        model = self.model
+        total_bits = sum(rom.depth for rom in self.netlist.rom_bits)
+        if not self.netlist.rom_bits:
+            return 0, 0, "none", 0.0
+        max_depth = max(rom.depth for rom in self.netlist.rom_bits)
+        style = self.rom_style
+        if style == "auto":
+            style = (
+                "block" if max_depth > model.block_rom_threshold
+                else "distributed"
+            )
+        if style == "block":
+            brams = max(1, math.ceil(total_bits / model.bram_bits))
+            return 0, brams, "block", model.t_rom_block
+        luts = 0
+        for rom in self.netlist.rom_bits:
+            per_lut = model.dist_rom_depth_per_lut
+            columns = math.ceil(rom.depth / per_lut)
+            # mux tree combining LUT-ROM columns: F5/F6 muxes are free up
+            # to 4 columns; beyond that, one LUT per 2 columns.
+            mux_luts = max(0, math.ceil((columns - 4) / 2))
+            luts += columns + mux_luts
+        depth_levels = max(
+            1, math.ceil(math.log2(max(2, max_depth / 16)))
+        )
+        delay = model.t_rom_dist + 0.3 * (depth_levels - 1)
+        return luts, 0, "distributed", delay
+
+    # -- timing ------------------------------------------------------------------
+
+    def _timing(
+        self, roots: dict[int, frozenset[int]], rom_delay: float
+    ) -> tuple[float, int, str]:
+        """Arrival-time propagation over LUT roots, carry cells and ROMs.
+
+        Returns (critical period ns, LUT levels on the critical path,
+        human-readable path description).
+        """
+        model = self.model
+        arrival: dict[int, float] = {CONST0: 0.0, CONST1: 0.0}
+        levels: dict[int, int] = {CONST0: 0, CONST1: 0}
+        for net in self.netlist.input_nets:
+            arrival[net] = 0.0
+            levels[net] = 0
+        for dff in self.netlist.dffs:
+            arrival[dff.q] = model.t_clk_to_q
+            levels[dff.q] = 0
+
+        def arr(net: int) -> float:
+            return arrival.get(net, 0.0)
+
+        def lvl(net: int) -> int:
+            return levels.get(net, 0)
+
+        # Creation order is topological for gates; ROM bits read nets
+        # that already exist, so interleave them by address readiness:
+        # process ROMs first whose addresses are DFF outputs (the common
+        # case: read-counter -> ROM), then gates in order, then re-check.
+        pending_roms = list(self.netlist.rom_bits)
+
+        def try_roms() -> None:
+            nonlocal pending_roms
+            remaining = []
+            for rom in pending_roms:
+                if all(n in arrival or n in (CONST0, CONST1)
+                       for n in rom.addr):
+                    base = max((arr(n) for n in rom.addr), default=0.0)
+                    arrival[rom.output] = base + rom_delay
+                    levels[rom.output] = max(
+                        (lvl(n) for n in rom.addr), default=0
+                    ) + 1
+                else:
+                    remaining.append(rom)
+            pending_roms = remaining
+
+        try_roms()
+        for gate in self.netlist.gates:
+            if gate.output in self.netlist.carry_nets:
+                t = 0.0
+                for net in gate.inputs:
+                    if net in self.netlist.carry_nets:
+                        t = max(t, arr(net) + model.t_carry)
+                    else:
+                        t = max(t, arr(net) + model.t_carry_enter)
+                arrival[gate.output] = t
+                levels[gate.output] = max(
+                    (lvl(n) for n in gate.inputs), default=0
+                )
+            elif gate.output in roots:
+                leaves = roots[gate.output]
+                base = max((arr(n) for n in leaves), default=0.0)
+                arrival[gate.output] = base + model.t_lut + model.t_net
+                levels[gate.output] = max(
+                    (lvl(n) for n in leaves), default=0
+                ) + 1
+            else:
+                # absorbed into a downstream LUT: propagate transparently
+                arrival[gate.output] = max(
+                    (arr(n) for n in gate.inputs), default=0.0
+                )
+                levels[gate.output] = max(
+                    (lvl(n) for n in gate.inputs), default=0
+                )
+            try_roms()
+        try_roms()
+
+        worst = model.t_clk_to_q + model.t_setup  # floor: FF->FF direct
+        worst_desc = "register-to-register (direct)"
+        for dff in self.netlist.dffs:
+            for net, what in ((dff.d, "D"), (dff.ce, "CE"), (dff.rst, "R")):
+                if net is None:
+                    continue
+                t = arr(net) + model.t_setup
+                if t > worst:
+                    worst = t
+                    worst_desc = (
+                        f"path to FF {what} pin, {lvl(net)} LUT levels"
+                    )
+        for name, nets in self.netlist.output_bits.items():
+            for net in nets:
+                t = arr(net) + model.t_setup
+                if t > worst:
+                    worst = t
+                    worst_desc = (
+                        f"path to output {name!r}, {lvl(net)} LUT levels"
+                    )
+        worst += model.t_clock_skew
+        max_level = 0
+        for dff in self.netlist.dffs:
+            max_level = max(max_level, lvl(dff.d))
+            if dff.ce is not None:
+                max_level = max(max_level, lvl(dff.ce))
+        for nets in self.netlist.output_bits.values():
+            for net in nets:
+                max_level = max(max_level, lvl(net))
+        return worst, max_level, worst_desc
+
+    # -- SRL16 shift-register inference ---------------------------------------
+
+    def _srl_fold(self) -> tuple[int, int]:
+        """Detect register shift chains foldable into SRL16 LUTs.
+
+        A DFF belongs to a chain when its D input is the Q of another
+        DFF whose Q drives nothing else, and both share the same
+        clock-enable.  Returns (srl_luts, folded_ff_count).
+        """
+        if not self.infer_srl:
+            return 0, 0
+        by_q: dict[int, Gate | object] = {}
+        usage: dict[int, int] = {}
+
+        def use(net: int) -> None:
+            usage[net] = usage.get(net, 0) + 1
+
+        dff_by_q = {dff.q: dff for dff in self.netlist.dffs}
+        for gate in self.netlist.gates:
+            for net in gate.inputs:
+                use(net)
+        for dff in self.netlist.dffs:
+            use(dff.d)
+            if dff.ce is not None:
+                use(dff.ce)
+            if dff.rst is not None:
+                use(dff.rst)
+        for rom in self.netlist.rom_bits:
+            for net in rom.addr:
+                use(net)
+        for nets in self.netlist.output_bits.values():
+            for net in nets:
+                use(net)
+
+        def predecessor(dff) -> object | None:
+            prev = dff_by_q.get(dff.d)
+            if prev is None:
+                return None
+            if usage.get(prev.q, 0) != 1:
+                return None  # interior taps must be unobserved
+            if prev.ce != dff.ce:
+                return None
+            return prev
+
+        in_chain: set[int] = set()
+        srl_luts = 0
+        folded = 0
+        # Chain tails: DFFs that are not the sole predecessor of another.
+        successors = {
+            id(pred): dff
+            for dff in self.netlist.dffs
+            if (pred := predecessor(dff)) is not None
+        }
+        for dff in self.netlist.dffs:
+            if id(dff) in successors:  # has a chain successor -> interior
+                continue
+            # Walk backwards from this tail.
+            chain = [dff]
+            current = dff
+            while True:
+                prev = predecessor(current)
+                if prev is None or id(prev) in in_chain:
+                    break
+                chain.append(prev)
+                current = prev
+            if len(chain) >= self.srl_min_length:
+                in_chain.update(id(d) for d in chain)
+                srl_luts += math.ceil(len(chain) / 16)
+                folded += len(chain)
+        return srl_luts, folded
+
+    # -- top level -------------------------------------------------------------
+
+    def run(self) -> MappingReport:
+        model = self.model
+        lut_count, roots = self._cover()
+        rom_luts, brams, style, rom_delay = self._rom_cost()
+        period, max_levels, path = self._timing(roots, rom_delay)
+        srl_luts, folded_ffs = self._srl_fold()
+        ffs = len(self.netlist.dffs) - folded_ffs
+        carry_cells = len(self.netlist.carry_nets)
+        total_luts = lut_count + rom_luts + srl_luts
+        slices = max(
+            math.ceil(total_luts / model.luts_per_slice),
+            math.ceil(ffs / model.ffs_per_slice),
+            math.ceil(carry_cells / 2),
+        )
+        slices = max(slices, 1)
+        return MappingReport(
+            name=self.netlist.name,
+            luts=total_luts,
+            ffs=ffs,
+            slices=slices,
+            brams=brams,
+            rom_luts=rom_luts,
+            carry_cells=carry_cells,
+            lut_levels=max_levels,
+            period_ns=period,
+            fmax_mhz=1000.0 / period,
+            gate_count=len(self.netlist.gates),
+            rom_bits_total=sum(r.depth for r in self.netlist.rom_bits),
+            rom_style=style,
+            critical_path=path,
+        )
+
+
+def tech_map(
+    netlist: Netlist,
+    model: TechModel = VIRTEX2,
+    rom_style: str = "auto",
+) -> MappingReport:
+    """Convenience wrapper: map ``netlist`` and return the report."""
+    return TechMapper(netlist, model, rom_style).run()

@@ -1,0 +1,46 @@
+"""Schedule tooling: extraction from traces, global static scheduling,
+and analytic complexity models."""
+
+from .analysis import (
+    ComplexityModel,
+    analyze,
+    sp_area_is_schedule_independent,
+    table1_triple,
+)
+from .generate import DSPProfile, dsp_schedule, random_schedule
+from .extraction import (
+    ExtractionError,
+    TraceEvent,
+    events_to_schedule,
+    extract_schedule,
+    find_period,
+    trace_pearl,
+)
+from .static_schedule import (
+    ChannelSpec,
+    ProcessSpec,
+    StaticSchedule,
+    StaticScheduleError,
+    compute_static_schedule,
+)
+
+__all__ = [
+    "ChannelSpec",
+    "ComplexityModel",
+    "ExtractionError",
+    "ProcessSpec",
+    "StaticSchedule",
+    "StaticScheduleError",
+    "TraceEvent",
+    "DSPProfile",
+    "analyze",
+    "dsp_schedule",
+    "random_schedule",
+    "compute_static_schedule",
+    "events_to_schedule",
+    "extract_schedule",
+    "find_period",
+    "sp_area_is_schedule_independent",
+    "table1_triple",
+    "trace_pearl",
+]

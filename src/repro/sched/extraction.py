@@ -1,0 +1,114 @@
+"""Schedule extraction from execution traces.
+
+Singh & Theobald's FSM approach (and hence the SP) "can be implemented
+if one disposes of input/output schedules that prove the IP
+communication behaviour is cyclic and not data-dependent".  This module
+recovers such a schedule from an observed pop/push event trace — the
+path a designer without HLS-tool schedules would take: simulate the IP
+once at full throughput, record its port events, find the period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.schedule import IOSchedule, ScheduleError, SyncPoint
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Port activity of one *enabled* IP cycle."""
+
+    inputs: frozenset[str] = frozenset()
+    outputs: frozenset[str] = frozenset()
+
+    @property
+    def is_idle(self) -> bool:
+        return not self.inputs and not self.outputs
+
+
+class ExtractionError(ValueError):
+    """Raised when no cyclic schedule explains the trace."""
+
+
+def find_period(events: Sequence[TraceEvent]) -> int:
+    """Smallest period p such that the trace is a prefix of a p-cyclic
+    stream (requires at least two full periods of evidence)."""
+    n = len(events)
+    if n == 0:
+        raise ExtractionError("empty trace")
+    for period in range(1, n // 2 + 1):
+        if all(events[i] == events[i % period] for i in range(n)):
+            return period
+    raise ExtractionError(
+        "no period covers the trace at least twice; capture a longer "
+        "trace or the behaviour is not cyclic"
+    )
+
+
+def events_to_schedule(
+    events: Sequence[TraceEvent],
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+) -> IOSchedule:
+    """Turn one period of enabled-cycle events into an IOSchedule.
+
+    Idle cycles (no port activity) become free-run cycles attached to
+    the preceding sync point (leading idles wrap to the last point, as
+    the schedule is cyclic).
+    """
+    if not events:
+        raise ExtractionError("empty period")
+    points: list[SyncPoint] = []
+    leading_idle = 0
+    for event in events:
+        if event.is_idle:
+            if points:
+                last = points[-1]
+                points[-1] = SyncPoint(
+                    last.inputs, last.outputs, last.run + 1
+                )
+            else:
+                leading_idle += 1
+        else:
+            points.append(SyncPoint(event.inputs, event.outputs, 0))
+    if not points:
+        raise ExtractionError(
+            "trace has no port activity; cannot infer a schedule"
+        )
+    if leading_idle:
+        last = points[-1]
+        points[-1] = SyncPoint(
+            last.inputs, last.outputs, last.run + leading_idle
+        )
+    try:
+        return IOSchedule(inputs, outputs, points)
+    except ScheduleError as exc:
+        raise ExtractionError(f"invalid extracted schedule: {exc}") from exc
+
+
+def extract_schedule(
+    events: Sequence[TraceEvent],
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+) -> IOSchedule:
+    """Full pipeline: period detection + schedule construction."""
+    period = find_period(events)
+    return events_to_schedule(events[:period], inputs, outputs)
+
+
+def trace_pearl(pearl, cycles: int) -> list[TraceEvent]:
+    """Record a pearl's port events by free-running its schedule (the
+    reference trace generator used in tests and examples)."""
+    schedule = pearl.schedule
+    events: list[TraceEvent] = []
+    unrolled = schedule.unrolled_cycles()
+    for cycle in range(cycles):
+        point_index, kind = unrolled[cycle % len(unrolled)]
+        if kind == "sync":
+            point = schedule.points[point_index]
+            events.append(TraceEvent(point.inputs, point.outputs))
+        else:
+            events.append(TraceEvent())
+    return events

@@ -1,0 +1,106 @@
+"""Synthetic HLS-style schedule generation.
+
+The paper's schedules come from GAUT's high-level synthesis of DSP
+cores; this module generates schedules with the same *structure* —
+streaming input phases, compute bursts, streaming output phases —
+parameterized and seeded, for fuzz testing and scaling studies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.schedule import IOSchedule, SyncPoint
+
+
+@dataclass(frozen=True)
+class DSPProfile:
+    """Shape parameters of a synthetic DSP core's schedule."""
+
+    n_inputs: int = 2
+    n_outputs: int = 2
+    input_phase_ops: int = 16  # sync ops streaming operands in
+    compute_burst: int = 32  # free-run cycles of internal compute
+    output_phase_ops: int = 8  # sync ops streaming results out
+    interleave: bool = False  # interleave I/O with micro-bursts
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1 or self.n_outputs < 1:
+            raise ValueError("need at least one input and one output")
+        if self.input_phase_ops < 1 or self.output_phase_ops < 1:
+            raise ValueError("phases need at least one operation")
+        if self.compute_burst < 0:
+            raise ValueError("compute burst must be >= 0")
+
+
+def dsp_schedule(
+    profile: DSPProfile | None = None, seed: int = 0
+) -> IOSchedule:
+    """Generate one GAUT-shaped cyclic schedule.
+
+    Deterministic for a given (profile, seed): input masks rotate over
+    the declared inputs the way an HLS binding rotates memory ports;
+    the compute burst attaches to the last input op; outputs stream
+    out round-robin with a status-style combined final push.
+    """
+    profile = profile or DSPProfile()
+    rng = random.Random(seed)
+    inputs = [f"in{i}" for i in range(profile.n_inputs)]
+    outputs = [f"out{j}" for j in range(profile.n_outputs)]
+    points: list[SyncPoint] = []
+
+    for op in range(profile.input_phase_ops):
+        k = 1 + rng.randrange(profile.n_inputs)
+        start = rng.randrange(profile.n_inputs)
+        subset = frozenset(
+            inputs[(start + j) % profile.n_inputs] for j in range(k)
+        )
+        run = 0
+        if profile.interleave and rng.random() < 0.3:
+            run = rng.randrange(1, 4)
+        last = op == profile.input_phase_ops - 1
+        points.append(
+            SyncPoint(
+                subset,
+                frozenset(),
+                profile.compute_burst if last else run,
+            )
+        )
+
+    for op in range(profile.output_phase_ops):
+        last = op == profile.output_phase_ops - 1
+        if last:
+            subset = frozenset(outputs)  # combined status push
+        else:
+            subset = frozenset(
+                {outputs[op % profile.n_outputs]}
+            )
+        points.append(SyncPoint(frozenset(), subset))
+
+    return IOSchedule(inputs, outputs, points)
+
+
+def random_schedule(
+    seed: int,
+    max_ports: int = 4,
+    max_points: int = 12,
+    max_run: int = 20,
+) -> IOSchedule:
+    """Unstructured random schedule (fuzzing input for the compiler and
+    the RTL generators; every point may touch any port subset)."""
+    rng = random.Random(seed)
+    n_in = rng.randrange(1, max_ports + 1)
+    n_out = rng.randrange(1, max_ports + 1)
+    inputs = [f"i{k}" for k in range(n_in)]
+    outputs = [f"o{k}" for k in range(n_out)]
+    points = []
+    for _ in range(rng.randrange(1, max_points + 1)):
+        ins = frozenset(
+            name for name in inputs if rng.random() < 0.5
+        )
+        outs = frozenset(
+            name for name in outputs if rng.random() < 0.4
+        )
+        points.append(SyncPoint(ins, outs, rng.randrange(0, max_run + 1)))
+    return IOSchedule(inputs, outputs, points)

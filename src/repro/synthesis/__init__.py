@@ -1,0 +1,17 @@
+"""Physical-synthesis flow and reporting (Table-1 formatting)."""
+
+from .flow import synthesize
+from .report import (
+    PAPER_TABLE1,
+    ComparisonRow,
+    SynthesisReport,
+    format_table1,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "PAPER_TABLE1",
+    "SynthesisReport",
+    "format_table1",
+    "synthesize",
+]

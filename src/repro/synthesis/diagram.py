@@ -1,0 +1,126 @@
+"""ASCII block diagrams of patient-process structures.
+
+Regenerates the paper's two figures as text:
+
+* Figure 1 — Carloni et al.'s patient process: combinational-logic
+  synchronization wrapper with voidin/stopin/voidout/stopout;
+* Figure 2 — the paper's model: synchronization processor + operations
+  memory with the reduced two-bus interface, FIFO-signal ports.
+
+The renderers take the *generated modules* and check their port
+inventory against the figure before drawing, so the diagram is a
+verified structural artifact rather than static art.
+"""
+
+from __future__ import annotations
+
+from ..rtl.module import Module
+
+
+class FigureMismatch(AssertionError):
+    """Raised when a module does not have the figure's structure."""
+
+
+def _require_ports(module: Module, names: list[str]) -> None:
+    have = {p.name for p in module.ports}
+    missing = [n for n in names if n not in have]
+    if missing:
+        raise FigureMismatch(
+            f"module {module.name!r} lacks figure ports: {missing}"
+        )
+
+
+def figure1_diagram(module: Module, n_inputs: int, n_outputs: int) -> str:
+    """Render Figure 1 (combinational wrapper patient process).
+
+    ``module`` must be a generated combinational wrapper; the FIFO-port
+    signals play the role of the void/stop protocol pairs (not_empty ==
+    !voidin, pop-side backpressure == stopout, etc.).
+    """
+    _require_ports(module, ["clk", "rst", "ip_enable"])
+    if module.registers:
+        raise FigureMismatch(
+            "Figure 1 wrapper must be stateless combinational logic; "
+            f"{module.name!r} has {len(module.registers)} registers"
+        )
+    lines = [
+        "        Combinatorial logic based synchronization wrapper",
+        "  +---------------------------------------------------------+",
+        "  |                                                         |",
+        "--+-> voidin  +--------------------------+  voidout  <------+--",
+        "<-+-- stopout |   Combinatorial logic    |  stopin   ----->-+->",
+        "  |           |  (enable = AND of all    |                  |",
+        "  |           |   port ready signals)    |                  |",
+        "  |           +------------+-------------+                  |",
+        "  |                        | enable                         |",
+        "  |                        v                                |",
+        "  |    data_in  +---------------------+   data_out          |",
+        "--+-:[ Input  ]-|         IP          |-[ Output ]:---------+--",
+        "  |  [ port   ] |  (clock gated by    | [ port   ]          |",
+        "  |             |   the wrapper)      |                     |",
+        "  |             +---------------------+                     |",
+        "  |                                                         |",
+        "  +---------------------------------------------------------+",
+        f"   ports: {n_inputs} input(s), {n_outputs} output(s); "
+        "wrapper cells: "
+        f"{len(module.assigns)} continuous assignments, 0 registers",
+    ]
+    return "\n".join(lines)
+
+
+def figure2_diagram(module: Module, program) -> str:
+    """Render Figure 2 (SP-based patient process).
+
+    ``module`` must be a generated SP wrapper; its operations memory,
+    address/word buses and FIFO port strobes are checked first.
+    """
+    _require_ports(module, ["clk", "rst", "ip_enable"])
+    if not module.roms:
+        raise FigureMismatch(
+            "Figure 2 wrapper must contain the operations memory"
+        )
+    rom = module.roms[0]
+    pops = [p.name for p in module.ports if p.name.endswith("_pop")]
+    pushes = [p.name for p in module.ports if p.name.endswith("_push")]
+    nempty = [
+        p.name for p in module.ports if p.name.endswith("_not_empty")
+    ]
+    nfull = [p.name for p in module.ports if p.name.endswith("_not_full")]
+    if not pops or not nempty:
+        raise FigureMismatch("SP wrapper lacks input FIFO signals")
+    word_width = rom.data.width
+    addr_width = rom.addr.width
+    lines = [
+        "            Processor based synchronization wrapper",
+        "  +------------------------------------------------------------+",
+        "  |            +--------------------------+                    |",
+        "  |            |    Operations Memory     |                    |",
+        f"  |            |  {rom.depth:>5} words x {word_width:>2} bits    |"
+        "                    |",
+        "  |            +-----+--------------+-----+                    |",
+        f"  |    operation word|{'':<14}|operation address"
+        "           |",
+        f"  |        ({word_width} bits)  v{'':<14}^  ({addr_width} bits)"
+        "                |",
+        "  |            +--------------------------+                    |",
+        "  |  pop       |                          |       push         |",
+        "--+-:--------->|      Sync Processor      |<---------:---------+--",
+        "  |  not empty |  (RESET / READ_OP /      |  not full          |",
+        "--+-:--------->|        FREE_RUN)         |<---------:---------+--",
+        "  |            +------------+-------------+                    |",
+        "  |                         | enable                           |",
+        "  |                         v                                  |",
+        "  |   data_in  +---------------------+  data_out               |",
+        "--+-:[ Input ]-|         IP          |-[ Output ]:-------------+--",
+        "  |  [ port  ] |  (clock gated by    | [ port   ]              |",
+        "  |            |   the SP's enable)  |                         |",
+        "  |            +---------------------+                         |",
+        "  +------------------------------------------------------------+",
+        f"   FIFO signals: pop={pops}, not_empty={nempty},",
+        f"                 push={pushes}, not_full={nfull}",
+        f"   program: {len(program.ops)} operations, "
+        f"word = in-mask|out-mask|run = "
+        f"{program.fmt.n_inputs}|{program.fmt.n_outputs}|"
+        f"{program.fmt.run_width} bits",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""The "physical synthesis" flow: lint -> bit-blast -> tech map.
+
+One entry point, :func:`synthesize`, used by every bench and by the
+top-level wrapper-synthesis API.  Mirrors the role of the commercial
+synthesis tool in the paper's experimental setup.
+"""
+
+from __future__ import annotations
+
+from ..rtl.emitter import emit_module
+from ..rtl.lint import check
+from ..rtl.module import Design, Module
+from ..rtl.netlist import bit_blast
+from ..rtl.techmap import VIRTEX2, TechMapper, TechModel
+from .report import SynthesisReport
+
+
+def synthesize(
+    module: Module | Design,
+    style: str = "",
+    model: TechModel = VIRTEX2,
+    rom_style: str = "auto",
+    infer_srl: bool = True,
+) -> SynthesisReport:
+    """Run the full flow on ``module`` and return the report.
+
+    Raises :class:`~repro.rtl.lint.LintError` on structural errors —
+    generated wrappers must be clean by construction.
+    """
+    messages = check(module)
+    netlist = bit_blast(module)
+    mapper = TechMapper(netlist, model, rom_style)
+    mapper.infer_srl = infer_srl
+    mapping = mapper.run()
+    top = module.top if isinstance(module, Design) else module
+    verilog = emit_module(top)
+    return SynthesisReport(
+        name=top.name,
+        style=style,
+        mapping=mapping,
+        verilog_lines=verilog.count("\n"),
+        warnings=[str(m) for m in messages if m.severity == "warning"],
+    )

@@ -1,0 +1,113 @@
+"""Synthesis reports and the paper-style comparison table.
+
+Table 1 of the paper reports, per IP, the FSM wrapper's and the SP
+wrapper's slices and frequency plus the relative gains.  The formatter
+here reproduces exactly those columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rtl.techmap import MappingReport
+
+
+@dataclass
+class SynthesisReport:
+    """Result of synthesizing one wrapper module."""
+
+    name: str
+    style: str
+    mapping: MappingReport
+    verilog_lines: int = 0
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def slices(self) -> int:
+        return self.mapping.slices
+
+    @property
+    def fmax_mhz(self) -> float:
+        return self.mapping.fmax_mhz
+
+    def summary(self) -> str:
+        return (
+            f"{self.name} [{self.style}]: {self.slices} slices, "
+            f"{self.fmax_mhz:.1f} MHz "
+            f"({self.mapping.luts} LUT / {self.mapping.ffs} FF / "
+            f"{self.mapping.brams} BRAM, {self.mapping.lut_levels} levels)"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One Table-1 row: an IP compared across FSM and SP wrappers."""
+
+    ip_name: str
+    ports: int
+    waits: int
+    run: int
+    fsm_slices: int
+    fsm_fmax: float
+    sp_slices: int
+    sp_fmax: float
+
+    @property
+    def area_gain_pct(self) -> float:
+        """Positive = SP smaller (paper reports the saving as negative
+        slice delta, up to -99%)."""
+        if self.fsm_slices == 0:
+            return 0.0
+        return 100.0 * (self.fsm_slices - self.sp_slices) / self.fsm_slices
+
+    @property
+    def fmax_gain_pct(self) -> float:
+        """Positive = SP faster (paper: up to +47%)."""
+        if self.fsm_fmax == 0:
+            return 0.0
+        return 100.0 * (self.sp_fmax / self.fsm_fmax - 1.0)
+
+
+def format_table1(rows: list[ComparisonRow]) -> str:
+    """Render rows in the layout of the paper's Table 1."""
+    header = (
+        f"{'Complexity':<22} {'FSM':>18} {'SP':>18} {'Gain (%)':>16}\n"
+        f"{'Port/wait/run':<22} {'Sli.':>8} {'Fr.':>9} {'Sli.':>8} "
+        f"{'Fr.':>9} {'Sli.':>7} {'Fr.':>8}"
+    )
+    lines = [header, "-" * len(header.splitlines()[1])]
+    for row in rows:
+        complexity = f"{row.ip_name} {row.ports}/{row.waits}/{row.run}"
+        lines.append(
+            f"{complexity:<22} {row.fsm_slices:>8d} {row.fsm_fmax:>9.0f} "
+            f"{row.sp_slices:>8d} {row.sp_fmax:>9.0f} "
+            f"{-row.area_gain_pct:>+7.0f} {row.fmax_gain_pct:>+8.0f}"
+        )
+    return "\n".join(lines)
+
+
+PAPER_TABLE1 = {
+    "Viterbi": {
+        "ports": 5,
+        "waits": 4,
+        "run": 198,
+        "fsm_slices": 494,
+        "fsm_fmax": 105.0,
+        "sp_slices": 24,
+        "sp_fmax": 105.0,
+        "area_gain_pct": 95.0,
+        "fmax_gain_pct": 0.0,
+    },
+    "RS": {
+        "ports": 4,
+        "waits": 2957,
+        "run": 1,
+        "fsm_slices": 2610,
+        "fsm_fmax": 71.0,
+        "sp_slices": 24,
+        "sp_fmax": 105.0,
+        "area_gain_pct": 99.0,
+        "fmax_gain_pct": 47.0,
+    },
+}
+"""The published Table 1 numbers, for paper-vs-measured comparison."""

@@ -1,0 +1,72 @@
+"""Shared fixtures: schedules, pearls, and small helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import IOSchedule, SyncPoint
+from repro.lis.pearl import FunctionPearl
+
+
+@pytest.fixture
+def simple_schedule() -> IOSchedule:
+    """2-in / 1-out, two sync points, some free run."""
+    return IOSchedule(
+        ["a", "b"],
+        ["y"],
+        [
+            SyncPoint({"a"}, frozenset(), run=1),
+            SyncPoint({"b"}, {"y"}, run=2),
+        ],
+    )
+
+
+@pytest.fixture
+def uniform_1in_1out() -> IOSchedule:
+    """Every-port-every-op schedule (Carloni-compatible)."""
+    return IOSchedule(
+        ["x"], ["y"], [SyncPoint({"x"}, {"y"}, run=0)]
+    )
+
+
+@pytest.fixture
+def long_wait_schedule() -> IOSchedule:
+    """Wait-dominated schedule (RS-like shape, small enough for sim)."""
+    points = [SyncPoint({"x"}, frozenset()) for _ in range(30)]
+    points.append(SyncPoint(frozenset(), {"y"}, run=1))
+    return IOSchedule(["x"], ["y"], points)
+
+
+def make_adder_pearl(schedule: IOSchedule) -> FunctionPearl:
+    """Pearl for the simple_schedule: y = a + b."""
+    state: dict[str, int] = {}
+
+    def fn(index, popped):
+        if index == 0:
+            state["a"] = popped["a"]
+            return {}
+        return {"y": state["a"] + popped["b"]}
+
+    return FunctionPearl("adder", schedule, fn)
+
+
+def make_passthrough_pearl(schedule: IOSchedule) -> FunctionPearl:
+    """Pearl for 1-in/1-out schedules: forwards its input."""
+    out_name = schedule.outputs[0]
+    in_name = schedule.inputs[0]
+    buffer: list = []
+
+    def fn(index, popped):
+        if in_name in popped:
+            buffer.append(popped[in_name])
+        point = schedule.points[index]
+        if out_name in point.outputs:
+            return {out_name: buffer.pop(0)}
+        return {}
+
+    return FunctionPearl("pass", schedule, fn)
+
+
+@pytest.fixture
+def adder_pearl(simple_schedule):
+    return make_adder_pearl(simple_schedule)

@@ -1,0 +1,221 @@
+"""Schedule compiler: lowering, splitting, fusion, round trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import (
+    CompileError,
+    CompilerOptions,
+    auto_run_width,
+    compile_schedule,
+    decompile_program,
+    program_summary,
+)
+from repro.core.schedule import IOSchedule, SyncPoint
+
+
+def _schedule(points, inputs=("a", "b"), outputs=("y",)):
+    return IOSchedule(inputs, outputs, points)
+
+
+class TestBasicCompilation:
+    def test_one_op_per_point(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        assert len(program.ops) == 2
+        assert all(op.is_head for op in program.ops)
+
+    def test_masks_match_schedule(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        assert program.ops[0].in_mask == 0b01
+        assert program.ops[1].in_mask == 0b10
+        assert program.ops[1].out_mask == 0b1
+
+    def test_auto_run_width(self):
+        s = _schedule([SyncPoint({"a"}, run=200)])
+        assert auto_run_width(s) == 8
+        assert compile_schedule(s).fmt.run_width == 8
+
+    def test_run_width_minimum_one(self):
+        s = _schedule([SyncPoint({"a"})])
+        assert auto_run_width(s) == 1
+
+    def test_period_preserved(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        assert (
+            program.enabled_cycles_per_period()
+            == simple_schedule.period_cycles
+        )
+
+
+class TestSplitting:
+    def test_overflow_splits_into_continuations(self):
+        s = _schedule([SyncPoint({"a"}, run=10)])
+        program = compile_schedule(
+            s, CompilerOptions(run_width=2)
+        )  # cap = 3
+        heads = [op for op in program.ops if op.is_head]
+        conts = [op for op in program.ops if not op.is_head]
+        assert len(heads) == 1
+        assert len(conts) >= 2
+        assert program.enabled_cycles_per_period() == 11
+
+    def test_continuations_unconditional(self):
+        s = _schedule([SyncPoint({"a"}, {"y"}, run=20)])
+        program = compile_schedule(s, CompilerOptions(run_width=3))
+        for op in program.ops[1:]:
+            assert op.is_unconditional
+            assert not op.is_head
+
+    def test_phase_offsets_cover_all_run_cycles(self):
+        s = _schedule([SyncPoint({"a"}, run=25)])
+        program = compile_schedule(s, CompilerOptions(run_width=3))
+        phases = []
+        for op in program.ops:
+            if op.is_head:
+                phases.extend(range(op.run))
+            else:
+                phases.append(op.first_phase)
+                phases.extend(
+                    range(op.first_phase + 1, op.first_phase + 1 + op.run)
+                )
+        assert sorted(phases) == list(range(25))
+
+    def test_exact_fit_no_split(self):
+        s = _schedule([SyncPoint({"a"}, run=7)])
+        program = compile_schedule(s, CompilerOptions(run_width=3))
+        assert len(program.ops) == 1
+
+
+class TestFusion:
+    def test_pure_run_points_fused_by_default(self):
+        s = _schedule(
+            [SyncPoint({"a"}, run=1), SyncPoint(run=3), SyncPoint({"b"})]
+        )
+        program = compile_schedule(s)
+        assert len(program.ops) == 2
+
+    def test_fusion_can_be_disabled(self):
+        s = _schedule(
+            [SyncPoint({"a"}, run=1), SyncPoint(run=3), SyncPoint({"b"})]
+        )
+        program = compile_schedule(s, CompilerOptions(fuse=False))
+        assert len(program.ops) == 3
+
+    def test_fusion_preserves_period(self):
+        s = _schedule(
+            [SyncPoint({"a"}), SyncPoint(run=5), SyncPoint({"b"}, {"y"})]
+        )
+        for fuse in (True, False):
+            program = compile_schedule(s, CompilerOptions(fuse=fuse))
+            assert (
+                program.enabled_cycles_per_period() == s.period_cycles
+            )
+
+
+class TestDecompile:
+    def test_round_trip_equals_normalized(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        back = decompile_program(
+            program, simple_schedule.inputs, simple_schedule.outputs
+        )
+        assert back == simple_schedule.normalized()
+
+    def test_split_round_trip(self):
+        s = _schedule([SyncPoint({"a"}, run=30), SyncPoint({"b"}, {"y"})])
+        program = compile_schedule(s, CompilerOptions(run_width=3))
+        back = decompile_program(program, s.inputs, s.outputs)
+        assert back == s.normalized()
+
+    def test_port_count_mismatch_rejected(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        with pytest.raises(CompileError):
+            decompile_program(program, ("a",), simple_schedule.outputs)
+
+
+class TestSummary:
+    def test_summary_fields(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        summary = program_summary(program)
+        assert summary["operations"] == 2
+        assert summary["continuations"] == 0
+        assert summary["rom_bits"] == program.rom_bits
+        assert (
+            summary["enabled_cycles_per_period"]
+            == simple_schedule.period_cycles
+        )
+
+    def test_rs_signature_word_width_small(self):
+        from repro.ips.signatures import rs_table1_schedule
+
+        program = compile_schedule(rs_table1_schedule())
+        # The paper's point: word width ~ ports + counter, tiny.
+        assert program.fmt.word_width <= 8
+        assert len(program.ops) == 2957
+
+
+@st.composite
+def _random_schedule(draw):
+    n_in = draw(st.integers(1, 3))
+    n_out = draw(st.integers(1, 2))
+    inputs = [f"i{k}" for k in range(n_in)]
+    outputs = [f"o{k}" for k in range(n_out)]
+    points = []
+    for _ in range(draw(st.integers(1, 6))):
+        points.append(
+            SyncPoint(
+                draw(st.sets(st.sampled_from(inputs))),
+                draw(st.sets(st.sampled_from(outputs))),
+                draw(st.integers(0, 40)),
+            )
+        )
+    return IOSchedule(inputs, outputs, points)
+
+
+class TestCompilerProperties:
+    @given(_random_schedule(), st.integers(1, 6))
+    @settings(max_examples=80)
+    def test_period_always_preserved(self, schedule, run_width):
+        program = compile_schedule(
+            schedule, CompilerOptions(run_width=run_width)
+        )
+        assert (
+            program.enabled_cycles_per_period()
+            == schedule.period_cycles
+        )
+
+    @given(_random_schedule(), st.integers(1, 6))
+    @settings(max_examples=80)
+    def test_round_trip_property(self, schedule, run_width):
+        program = compile_schedule(
+            schedule, CompilerOptions(run_width=run_width)
+        )
+        back = decompile_program(
+            program, schedule.inputs, schedule.outputs
+        )
+        assert back == schedule.normalized()
+
+    @given(_random_schedule())
+    @settings(max_examples=80)
+    def test_word_width_independent_of_schedule_length(self, schedule):
+        # The paper's core claim at the encoding level: repeating the
+        # schedule does not change the word format.  (Schedules made
+        # only of pure-run points are excluded: repetition lengthens
+        # the single fused free-run, legitimately widening its counter.)
+        from hypothesis import assume
+
+        assume(any(p.inputs or p.outputs for p in schedule.points))
+        program_1 = compile_schedule(schedule)
+        program_2 = compile_schedule(schedule.repeated(2))
+        assert program_1.fmt.word_width == program_2.fmt.word_width
+
+    @given(_random_schedule(), st.integers(1, 4))
+    @settings(max_examples=60)
+    def test_rom_words_fit_format(self, schedule, run_width):
+        program = compile_schedule(
+            schedule, CompilerOptions(run_width=run_width)
+        )
+        limit = 1 << program.fmt.word_width
+        assert all(0 <= w < limit for w in program.rom_image())

@@ -1,0 +1,154 @@
+"""Wire-length-driven relay planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.wrappers import SPWrapper
+from repro.ips.fir import FIRPearl, fir_reference
+from repro.lis.floorplan import (
+    Floorplan,
+    FloorplanError,
+    WireModel,
+    plan_channel,
+    plan_channels,
+    plan_system,
+)
+from repro.lis.simulator import Simulation
+from repro.lis.system import System
+
+
+class TestWireModel:
+    def test_flight_time_linear(self):
+        model = WireModel(delay_ns_per_mm=0.5, fanout_penalty_ns=0.1)
+        assert model.flight_time_ns(2.0) == pytest.approx(1.1)
+
+    def test_zero_distance_costs_penalty_only(self):
+        model = WireModel()
+        assert model.flight_time_ns(0.0) == pytest.approx(
+            model.fanout_penalty_ns
+        )
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(FloorplanError):
+            WireModel().flight_time_ns(-1.0)
+
+
+class TestFloorplan:
+    def test_manhattan_distance(self):
+        plan = Floorplan()
+        plan.place("a", 0, 0)
+        plan.place("b", 3, 4)
+        assert plan.distance_mm("a", "b") == 7.0
+
+    def test_duplicate_placement_rejected(self):
+        plan = Floorplan()
+        plan.place("a", 0, 0)
+        with pytest.raises(FloorplanError):
+            plan.place("a", 1, 1)
+
+    def test_unplaced_block_rejected(self):
+        plan = Floorplan()
+        plan.place("a", 0, 0)
+        with pytest.raises(FloorplanError):
+            plan.distance_mm("a", "ghost")
+
+    def test_bounding_box(self):
+        plan = Floorplan()
+        plan.place("a", 1, 2)
+        plan.place("b", 5, 9)
+        assert plan.bounding_box_mm() == (4.0, 7.0)
+
+    def test_empty_bounding_box(self):
+        assert Floorplan().bounding_box_mm() == (0.0, 0.0)
+
+
+class TestChannelPlanning:
+    def _plan(self, distance, period, **model_kw):
+        plan = Floorplan()
+        plan.place("p", 0, 0)
+        plan.place("c", distance, 0)
+        return plan_channel(
+            plan, "p", "c", period, WireModel(**model_kw)
+        )
+
+    def test_short_wire_needs_no_relays(self):
+        channel = self._plan(1.0, period=5.0)
+        assert channel.latency == 1
+        assert channel.relay_stations == 0
+
+    def test_long_wire_segmented(self):
+        channel = self._plan(
+            30.0, period=2.0, delay_ns_per_mm=0.3
+        )
+        # flight = 9.15 ns, period 2 ns -> 5 segments -> 4 relays
+        assert channel.latency == 5
+        assert channel.relay_stations == 4
+
+    def test_faster_clock_needs_more_relays(self):
+        slow = self._plan(20.0, period=10.0)
+        fast = self._plan(20.0, period=2.0)
+        assert fast.relay_stations > slow.relay_stations
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(FloorplanError):
+            self._plan(1.0, period=0.0)
+
+    def test_plan_channels_batch(self):
+        plan = Floorplan()
+        for name, x in (("a", 0), ("b", 10), ("c", 40)):
+            plan.place(name, x, 0)
+        channels = plan_channels(
+            plan, [("a", "b"), ("b", "c")], clock_period_ns=2.0
+        )
+        assert len(channels) == 2
+        assert channels[1].relay_stations > channels[0].relay_stations
+
+
+class TestSystemPlanning:
+    def test_plan_at_wrapper_fmax(self):
+        plan = Floorplan()
+        plan.place("a", 0, 0)
+        plan.place("b", 25, 0)
+        system_plan = plan_system(
+            plan, [("a", "b")], wrapper_fmax_mhz=200.0
+        )
+        assert system_plan.clock_period_ns == pytest.approx(5.0)
+        assert system_plan.latency_for("a", "b") >= 2
+
+    def test_unknown_channel_rejected(self):
+        plan = Floorplan()
+        plan.place("a", 0, 0)
+        plan.place("b", 1, 0)
+        system_plan = plan_system(plan, [("a", "b")], 100.0)
+        with pytest.raises(FloorplanError):
+            system_plan.latency_for("b", "a")
+
+    def test_bad_fmax_rejected(self):
+        with pytest.raises(FloorplanError):
+            plan_system(Floorplan(), [], 0.0)
+
+    def test_planned_latencies_run_correctly(self):
+        """End-to-end: build a System with floorplan-derived latencies;
+        the stream must be exact (latency insensitivity)."""
+        floor = Floorplan()
+        floor.place("fir1", 0, 0)
+        floor.place("fir2", 18, 6)
+        system_plan = plan_system(
+            floor, [("fir1", "fir2")], wrapper_fmax_mhz=250.0
+        )
+        latency = system_plan.latency_for("fir1", "fir2")
+        assert latency >= 2  # long wire at a fast clock
+
+        system = System("planned")
+        s1 = system.add_patient(SPWrapper(FIRPearl("fir1", (1, 2))))
+        s2 = system.add_patient(SPWrapper(FIRPearl("fir2", (3, 1))))
+        system.connect(s1, "y_out", s2, "x_in", latency=latency)
+        samples = list(range(25))
+        system.connect_source("src", samples, s1, "x_in")
+        sink = system.connect_sink(s2, "y_out", "snk")
+        Simulation(system).run(800)
+        expected = fir_reference(
+            fir_reference(samples, (1, 2)), (3, 1)
+        )
+        assert sink.received == expected

@@ -1,0 +1,189 @@
+"""Serialization (JSON schedules, memh images), export bundles, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core.compiler import compile_schedule
+from repro.core.io import (
+    IOError_,
+    export_wrapper,
+    load_schedule,
+    program_from_memh,
+    program_to_memh,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.core.schedule import IOSchedule, SyncPoint
+from repro.core.synthesis import synthesize_wrapper
+
+
+class TestScheduleJson:
+    def test_round_trip(self, simple_schedule, tmp_path):
+        path = tmp_path / "s.json"
+        save_schedule(simple_schedule, path)
+        assert load_schedule(path) == simple_schedule
+
+    def test_dict_round_trip(self, simple_schedule):
+        data = schedule_to_dict(simple_schedule)
+        assert schedule_from_dict(data) == simple_schedule
+
+    def test_json_is_plain(self, simple_schedule, tmp_path):
+        path = tmp_path / "s.json"
+        save_schedule(simple_schedule, path)
+        data = json.loads(path.read_text())
+        assert data["inputs"] == ["a", "b"]
+        assert data["points"][0]["run"] == 1
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(IOError_):
+            schedule_from_dict({"inputs": ["a"]})
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(IOError_):
+            schedule_from_dict(
+                {
+                    "inputs": ["a"],
+                    "outputs": ["y"],
+                    "points": [{"inputs": ["nope"]}],
+                }
+            )
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(IOError_):
+            load_schedule(path)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(), st.booleans(), st.integers(0, 9)
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40)
+    def test_round_trip_property(self, spec):
+        points = [
+            SyncPoint(
+                {"a"} if use_a else frozenset(),
+                {"y"} if use_y else frozenset(),
+                run,
+            )
+            for use_a, use_y, run in spec
+        ]
+        schedule = IOSchedule(["a"], ["y"], points)
+        assert schedule_from_dict(
+            schedule_to_dict(schedule)
+        ) == schedule
+
+
+class TestMemh:
+    def test_round_trip(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        text = program_to_memh(program)
+        back = program_from_memh(text, program.fmt)
+        assert back.rom_image() == program.rom_image()
+
+    def test_hex_format(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        lines = [
+            l for l in program_to_memh(program).splitlines()
+            if not l.startswith("//")
+        ]
+        assert len(lines) == len(program.ops)
+        for line, word in zip(lines, program.rom_image()):
+            assert int(line, 16) == word
+
+    def test_comments_ignored_on_parse(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        text = "// header\n" + program_to_memh(program) + "\n// tail\n"
+        back = program_from_memh(text, program.fmt)
+        assert len(back.ops) == len(program.ops)
+
+    def test_garbage_rejected(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        with pytest.raises(IOError_):
+            program_from_memh("zz\n", program.fmt)
+
+    def test_empty_rejected(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        with pytest.raises(IOError_):
+            program_from_memh("// nothing\n", program.fmt)
+
+
+class TestExportBundle:
+    def test_sp_bundle_contents(self, simple_schedule, tmp_path):
+        result = synthesize_wrapper(simple_schedule, "sp", name="demo")
+        written = export_wrapper(result, tmp_path)
+        assert set(written) == {
+            "demo.v",
+            "demo.report.txt",
+            "demo.schedule.json",
+            "demo.ops.memh",
+            "demo.ops.lst",
+        }
+        assert (tmp_path / "demo.v").read_text().startswith("module demo")
+        assert load_schedule(
+            tmp_path / "demo.schedule.json"
+        ) == simple_schedule
+
+    def test_fsm_bundle_has_no_rom(self, simple_schedule, tmp_path):
+        result = synthesize_wrapper(simple_schedule, "fsm", name="f")
+        written = export_wrapper(result, tmp_path)
+        assert "f.ops.memh" not in written
+
+
+class TestCli:
+    @pytest.fixture
+    def schedule_file(self, simple_schedule, tmp_path):
+        path = tmp_path / "sched.json"
+        save_schedule(simple_schedule, path)
+        return path
+
+    def test_stats(self, schedule_file, capsys):
+        assert main(["stats", str(schedule_file), "--listing"]) == 0
+        out = capsys.readouterr().out
+        assert "3 / 2 / 3" in out
+        assert "SP program" in out
+
+    def test_synth_writes_artifacts(self, schedule_file, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(
+            [
+                "synth", str(schedule_file),
+                "--out", str(out_dir),
+                "--testbench", "--tb-cycles", "50",
+            ]
+        ) == 0
+        names = {p.name for p in out_dir.iterdir()}
+        assert "sp_wrapper.v" in names
+        assert "sp_wrapper_tb.v" in names
+        tb = (out_dir / "sp_wrapper_tb.v").read_text()
+        assert "TESTBENCH PASS" in tb
+
+    def test_synth_other_style(self, schedule_file, tmp_path, capsys):
+        out_dir = tmp_path / "out_fsm"
+        assert main(
+            ["synth", str(schedule_file), "--style", "fsm",
+             "--out", str(out_dir)]
+        ) == 0
+        assert (out_dir / "fsm_wrapper.v").exists()
+
+    def test_compare(self, schedule_file, capsys):
+        assert main(["compare", str(schedule_file)]) == 0
+        out = capsys.readouterr().out
+        for style in ("sp", "fsm", "combinational", "shiftreg"):
+            assert style in out
+
+    def test_bad_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

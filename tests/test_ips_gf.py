@@ -1,0 +1,175 @@
+"""GF(2^8) arithmetic: field axioms and polynomial algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ips.gf import (
+    FIELD_SIZE,
+    GFError,
+    gf_add,
+    gf_div,
+    gf_exp,
+    gf_inv,
+    gf_log,
+    gf_mul,
+    gf_pow,
+    poly_add,
+    poly_derivative,
+    poly_divmod,
+    poly_eval,
+    poly_mul,
+    poly_scale,
+    poly_strip,
+)
+
+elements = st.integers(0, FIELD_SIZE - 1)
+nonzero = st.integers(1, FIELD_SIZE - 1)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_add_commutative(self, a, b):
+        assert gf_add(a, b) == gf_add(b, a)
+
+    @given(elements, elements)
+    def test_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    @settings(max_examples=200)
+    def test_mul_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    @settings(max_examples=200)
+    def test_distributive(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(
+            gf_mul(a, b), gf_mul(a, c)
+        )
+
+    @given(elements)
+    def test_add_self_inverse(self, a):
+        assert gf_add(a, a) == 0
+
+    @given(elements)
+    def test_mul_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(elements)
+    def test_mul_zero(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(elements, nonzero)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert gf_div(a, b) == gf_mul(a, gf_inv(b))
+
+    def test_zero_inverse_rejected(self):
+        with pytest.raises(GFError):
+            gf_inv(0)
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(GFError):
+            gf_div(5, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GFError):
+            gf_add(256, 0)
+        with pytest.raises(GFError):
+            gf_mul(-1, 0)
+
+
+class TestLogsAndPowers:
+    def test_exp_log_inverse(self):
+        for a in range(1, FIELD_SIZE):
+            assert gf_exp(gf_log(a)) == a
+
+    def test_exp_periodicity(self):
+        assert gf_exp(0) == 1
+        assert gf_exp(255) == gf_exp(0)
+
+    @given(nonzero, st.integers(-10, 300))
+    @settings(max_examples=100)
+    def test_pow_matches_repeated_mul(self, a, n):
+        if n < 0:
+            expected = gf_inv(gf_pow(a, -n))
+        else:
+            expected = 1
+            for _ in range(n):
+                expected = gf_mul(expected, a)
+        assert gf_pow(a, n) == expected
+
+    def test_pow_zero_cases(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(0, 5) == 0
+        with pytest.raises(GFError):
+            gf_pow(0, -1)
+
+    def test_log_zero_rejected(self):
+        with pytest.raises(GFError):
+            gf_log(0)
+
+    def test_primitive_element_generates_field(self):
+        seen = {gf_exp(i) for i in range(255)}
+        assert len(seen) == 255
+
+
+polys = st.lists(elements, min_size=1, max_size=8)
+
+
+class TestPolynomials:
+    def test_strip(self):
+        assert poly_strip([0, 0, 3, 1]) == [3, 1]
+        assert poly_strip([0, 0]) == [0]
+        assert poly_strip([]) == [0]
+
+    @given(polys, polys)
+    @settings(max_examples=100)
+    def test_add_commutative(self, p, q):
+        assert poly_add(p, q) == poly_add(q, p)
+
+    @given(polys)
+    def test_add_self_is_zero(self, p):
+        assert poly_add(p, p) == [0]
+
+    @given(polys, polys)
+    @settings(max_examples=100)
+    def test_mul_degree(self, p, q):
+        p, q = poly_strip(p), poly_strip(q)
+        product = poly_mul(p, q)
+        if p != [0] and q != [0]:
+            assert len(product) == len(p) + len(q) - 1
+
+    @given(polys, polys, elements)
+    @settings(max_examples=150)
+    def test_eval_homomorphism(self, p, q, x):
+        lhs = poly_eval(poly_mul(p, q), x)
+        rhs = gf_mul(poly_eval(p, x), poly_eval(q, x))
+        assert lhs == rhs
+
+    @given(polys, polys)
+    @settings(max_examples=100)
+    def test_divmod_identity(self, p, q):
+        q = poly_strip(q)
+        if q == [0]:
+            return
+        quotient, remainder = poly_divmod(p, q)
+        reconstructed = poly_add(poly_mul(quotient, q), remainder)
+        assert reconstructed == poly_strip(p)
+
+    def test_divmod_by_zero_rejected(self):
+        with pytest.raises(GFError):
+            poly_divmod([1, 2], [0])
+
+    def test_derivative_char2(self):
+        # d/dx (x^3 + x^2 + x + 1) = 3x^2 + 2x + 1 = x^2 + 1 in GF(2^8)
+        assert poly_derivative([1, 1, 1, 1]) == [1, 0, 1]
+
+    def test_scale(self):
+        assert poly_scale([1, 2], 2) == [2, 4]

@@ -1,0 +1,182 @@
+"""Convolutional encoder, Viterbi decoder, and the 5/4/198 pearl."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wrappers import SPWrapper
+from repro.ips.viterbi import (
+    ConvCode,
+    ConvEncoder,
+    ViterbiDecoder,
+    ViterbiPearl,
+    decode_sequence,
+    viterbi_schedule,
+)
+from repro.lis.simulator import Simulation
+from repro.lis.system import System
+
+K3 = ConvCode(3, 0o7, 0o5)
+
+
+class TestEncoder:
+    def test_known_vector_k3(self):
+        # (7,5) code, input 1011 from state 0.
+        enc = ConvEncoder(K3)
+        pairs = enc.encode([1, 0, 1, 1])
+        assert pairs == [(1, 1), (1, 0), (0, 0), (0, 1)]
+
+    def test_terminated_returns_to_zero(self):
+        enc = ConvEncoder(K3)
+        enc.encode_terminated([1, 1, 0, 1])
+        assert enc.state == 0
+
+    def test_rate_half(self):
+        enc = ConvEncoder(K3)
+        pairs = enc.encode([0, 1] * 10)
+        assert len(pairs) == 20
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(ValueError):
+            ConvCode(1, 1, 1)
+        with pytest.raises(ValueError):
+            ConvCode(3, 0o17, 0o5)  # g0 too wide
+
+    def test_n_states(self):
+        assert K3.n_states == 4
+        assert ConvCode().n_states == 64
+
+
+class TestDecoder:
+    @given(st.lists(st.integers(0, 1), min_size=20, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_clean_channel_exact(self, bits):
+        enc = ConvEncoder(K3)
+        pairs = enc.encode_terminated(bits)
+        assert decode_sequence(pairs, K3) == bits
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=40, max_size=80),
+        st.integers(0, 3),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_isolated_errors_corrected(self, bits, n_flips, data):
+        enc = ConvEncoder(K3)
+        pairs = enc.encode_terminated(bits)
+        noisy = [list(p) for p in pairs]
+        # Flip bits far apart (beyond the free distance span).
+        positions = data.draw(
+            st.lists(
+                st.integers(0, len(pairs) - 1),
+                min_size=n_flips,
+                max_size=n_flips,
+                unique=True,
+            ).filter(
+                lambda ps: all(
+                    abs(a - b) > 12 for a in ps for b in ps if a != b
+                )
+            )
+        )
+        for pos in positions:
+            noisy[pos][0] ^= 1
+        decoded = decode_sequence([tuple(p) for p in noisy], K3)
+        assert decoded == bits
+
+    def test_decoder_reset(self):
+        dec = ViterbiDecoder(K3)
+        dec.decode_pair(1, 1)
+        dec.reset()
+        assert dec.metrics[0] == 0
+        assert dec.history == []
+
+    def test_traceback_depth_default(self):
+        assert ViterbiDecoder(K3).traceback_depth == 15
+        assert ViterbiDecoder(ConvCode()).traceback_depth == 35
+
+    def test_best_metric_zero_on_clean(self):
+        enc = ConvEncoder(K3)
+        dec = ViterbiDecoder(K3)
+        for r0, r1 in enc.encode([1, 0, 1, 1, 0, 0, 1]):
+            dec.decode_pair(r0, r1)
+        assert dec.best_metric == 0
+
+    def test_metric_counts_channel_errors(self):
+        enc = ConvEncoder(K3)
+        dec = ViterbiDecoder(K3)
+        pairs = enc.encode([0] * 30)
+        pairs[5] = (1, pairs[5][1])
+        for r0, r1 in pairs:
+            dec.decode_pair(r0, r1)
+        assert dec.best_metric >= 1
+
+
+class TestSchedule:
+    def test_paper_signature(self):
+        stats = viterbi_schedule().stats()
+        assert (stats.ports, stats.waits, stats.run) == (5, 4, 198)
+
+    def test_period_cycles(self):
+        assert viterbi_schedule().period_cycles == 202
+
+    def test_custom_run(self):
+        assert viterbi_schedule(run_cycles=10).stats().run == 10
+
+
+class TestPearlInSystem:
+    def _run(self, bits, run_cycles=6, cycles=4000):
+        enc = ConvEncoder(K3)
+        pairs = enc.encode_terminated(bits)
+        pearl = ViterbiPearl(
+            "vit", K3, run_cycles=run_cycles, traceback_depth=10
+        )
+        shell = SPWrapper(pearl)
+        system = System("vit_sys")
+        system.add_patient(shell)
+        system.connect_source("sa", [p[0] for p in pairs], shell, "sym_a")
+        system.connect_source("sb", [p[1] for p in pairs], shell, "sym_b")
+        bit_sink = system.connect_sink(shell, "bit_out", "bits")
+        metric_sink = system.connect_sink(shell, "metric_out", "metric")
+        flag_sink = system.connect_sink(shell, "flag_out", "flag")
+        Simulation(system).run(cycles)
+        decoded = [b for token in bit_sink.received for b in token]
+        return decoded, metric_sink.received, flag_sink.received
+
+    def test_decodes_stream(self):
+        random.seed(2)
+        bits = [random.getrandbits(1) for _ in range(60)]
+        decoded, metrics, flags = self._run(bits)
+        # The pearl window holds the tail; the delivered prefix must match.
+        assert len(decoded) >= 40
+        assert decoded == bits[: len(decoded)]
+        assert all(m == 0 for m in metrics)
+
+    def test_flag_asserts_after_window_fills(self):
+        bits = [0, 1] * 40
+        _decoded, _metrics, flags = self._run(bits)
+        assert flags[0] in (0, 1)
+        assert flags[-1] == 1
+
+    def test_run_budget_respected(self):
+        bits = [1] * 30
+        enc = ConvEncoder(K3)
+        pairs = enc.encode_terminated(bits)
+        pearl = ViterbiPearl("vit", K3, run_cycles=198)
+        shell = SPWrapper(pearl)
+        system = System("budget")
+        system.add_patient(shell)
+        system.connect_source("sa", [p[0] for p in pairs], shell, "sym_a")
+        system.connect_source("sb", [p[1] for p in pairs], shell, "sym_b")
+        system.connect_sink(shell, "bit_out", "bits")
+        system.connect_sink(shell, "metric_out", "metric")
+        system.connect_sink(shell, "flag_out", "flag")
+        Simulation(system).run(1500)
+        periods = shell.periods_completed
+        assert pearl._run_work == periods * 198 + (
+            pearl._run_work - periods * 198
+        )
+        assert pearl._run_work >= periods * 198

@@ -1,0 +1,164 @@
+"""Relay stations: latency, capacity, backpressure, stream integrity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lis.relay_station import (
+    RELAY_CAPACITY,
+    RelayStation,
+    segment_channel,
+)
+from repro.lis.signals import VOID, Link, is_void
+
+
+class _Harness:
+    """Drives a chain of relay stations between a producer and consumer
+    with scriptable availability/stall patterns."""
+
+    def __init__(self, n_stations=1):
+        self.head = Link("head")
+        stations, self.tail = segment_channel("ch", self.head, n_stations + 1)
+        self.stations = stations
+        self.sent: list[int] = []
+        self.received: list[tuple[int, int]] = []  # (cycle, value)
+        self._next_value = 0
+        self.cycle = 0
+
+    def step(self, produce: bool, accept: bool):
+        # produce phase
+        for rs in self.stations:
+            rs.produce(self.cycle)
+        if produce and not self.head.stop.get():
+            self.head.data.put(self._next_value)
+        else:
+            self.head.data.put(VOID)
+        self.tail.stop.put(not accept)
+        # consume phase
+        for rs in self.stations:
+            rs.consume(self.cycle)
+        if produce and not self.head.stop.get():
+            self.sent.append(self._next_value)
+            self._next_value += 1
+        value = self.tail.data.get()
+        if not is_void(value) and accept:
+            self.received.append((self.cycle, value))
+        # commit
+        for rs in self.stations:
+            rs.commit()
+        self.head.data.put(VOID)
+        self.cycle += 1
+
+
+class TestSingleStation:
+    def test_one_cycle_latency(self):
+        h = _Harness(1)
+        h.step(True, True)
+        assert h.received == []
+        h.step(False, True)
+        assert h.received == [(1, 0)]
+
+    def test_full_throughput(self):
+        h = _Harness(1)
+        for _ in range(20):
+            h.step(True, True)
+        values = [v for _c, v in h.received]
+        assert values == list(range(19))  # one in flight
+
+    def test_capacity_two(self):
+        h = _Harness(1)
+        h.step(True, False)
+        h.step(True, False)
+        assert h.stations[0].occupancy == RELAY_CAPACITY
+        h.stations[0].produce(h.cycle)
+        assert h.head.stop.get() is True
+
+    def test_backpressure_then_drain(self):
+        h = _Harness(1)
+        for _ in range(6):
+            h.step(True, False)
+        stalled_at = len(h.sent)
+        assert stalled_at <= RELAY_CAPACITY + 1
+        for _ in range(10):
+            h.step(False, True)
+        values = [v for _c, v in h.received]
+        assert values == list(range(stalled_at))
+
+    def test_no_tokens_from_nothing(self):
+        h = _Harness(1)
+        for _ in range(10):
+            h.step(False, True)
+        assert h.received == []
+
+
+class TestChains:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_chain_latency(self, n):
+        h = _Harness(n)
+        h.step(True, True)
+        for _ in range(n - 1):
+            h.step(False, True)
+        assert h.received == []
+        h.step(False, True)
+        assert h.received == [(n, 0)]
+
+    def test_chain_full_throughput(self):
+        h = _Harness(4)
+        for _ in range(40):
+            h.step(True, True)
+        values = [v for _c, v in h.received]
+        assert values == list(range(len(values)))
+        assert len(values) >= 36
+
+    def test_segment_channel_zero_stations_for_latency_one(self):
+        head = Link("h")
+        stations, tail = segment_channel("c", head, 1)
+        assert stations == []
+        assert tail is head
+
+    def test_segment_channel_bad_latency(self):
+        with pytest.raises(ValueError):
+            segment_channel("c", Link("h"), 0)
+
+
+class TestStreamIntegrity:
+    @given(
+        st.lists(st.booleans(), min_size=40, max_size=150),
+        st.lists(st.booleans(), min_size=40, max_size=150),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_loss_duplication_reorder(self, offers, accepts, n):
+        """Under arbitrary offer/stall patterns the chain delivers the
+        exact sent prefix, in order — LIS correctness in miniature."""
+        h = _Harness(n)
+        for produce, accept in zip(offers, accepts):
+            h.step(produce, accept)
+        # Drain.
+        for _ in range(n * 2 + len(offers)):
+            h.step(False, True)
+        values = [v for _c, v in h.received]
+        assert values == h.sent
+
+    @given(st.lists(st.booleans(), min_size=30, max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, accepts):
+        h = _Harness(1)
+        for accept in accepts:
+            h.step(True, accept)
+            assert h.stations[0].occupancy <= RELAY_CAPACITY
+
+    def test_forwarded_counter(self):
+        h = _Harness(1)
+        for _ in range(10):
+            h.step(True, True)
+        assert h.stations[0].tokens_forwarded == len(h.received)
+
+    def test_reset(self):
+        h = _Harness(1)
+        h.step(True, False)
+        h.stations[0].reset()
+        assert h.stations[0].occupancy == 0
+        assert h.stations[0].tokens_forwarded == 0

@@ -1,0 +1,187 @@
+"""Throughput analysis: cycle ratios, analytic-vs-measured agreement."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import IOSchedule, SyncPoint
+from repro.core.wrappers import SPWrapper
+from repro.lis.pearl import FunctionPearl
+from repro.lis.simulator import Simulation
+from repro.lis.system import System
+from repro.lis.throughput import MarkedGraph, system_marked_graph
+
+
+class TestMarkedGraph:
+    def test_acyclic_graph_full_throughput(self):
+        g = MarkedGraph()
+        g.add_channel("a", "b", latency=3)
+        g.add_channel("b", "c", latency=2)
+        assert g.throughput_enumerated() == 1
+
+    def test_single_loop(self):
+        g = MarkedGraph()
+        g.add_channel("a", "b", latency=1, tokens=1)
+        g.add_channel("b", "a", latency=1, tokens=0)
+        # cycle latency = (1+1) + (1+1) = 4, tokens = 1
+        assert g.throughput_enumerated() == Fraction(1, 4)
+
+    def test_tokens_raise_throughput(self):
+        g = MarkedGraph()
+        g.add_channel("a", "b", latency=1, tokens=2)
+        g.add_channel("b", "a", latency=1, tokens=0)
+        assert g.throughput_enumerated() == Fraction(2, 4)
+
+    def test_relay_station_lowers_loop_throughput(self):
+        g1 = MarkedGraph()
+        g1.add_channel("a", "b", latency=1, tokens=1)
+        g1.add_channel("b", "a", latency=1)
+        g2 = MarkedGraph()
+        g2.add_channel("a", "b", latency=3, tokens=1)  # 2 relay stations
+        g2.add_channel("b", "a", latency=1)
+        assert g2.throughput_enumerated() < g1.throughput_enumerated()
+
+    def test_tokenless_loop_deadlocks(self):
+        g = MarkedGraph()
+        g.add_channel("a", "b")
+        g.add_channel("b", "a")
+        assert g.throughput_enumerated() == 0
+
+    def test_worst_loop_dominates(self):
+        g = MarkedGraph()
+        g.add_channel("a", "b", latency=1, tokens=1)
+        g.add_channel("b", "a", latency=1, tokens=1)
+        g.add_channel("a", "c", latency=5, tokens=1)
+        g.add_channel("c", "a", latency=5, tokens=0)
+        bottleneck = g.bottleneck_cycle()
+        assert bottleneck is not None
+        nodes, ratio = bottleneck
+        assert set(nodes) == {"a", "c"}
+        assert ratio == Fraction(1, 12)
+
+    def test_parallel_edges_choose_worst_combination(self):
+        """Regression: per-hop min-own-ratio edge choice is unsound
+        (mediant inequality); the Dinkelbach selection must find the
+        true minimum cycle ratio over edge combinations."""
+        g = MarkedGraph()
+        # Two parallel a->b channels: (tokens 2, latency 1) has own
+        # ratio 1, (tokens 0, latency 3) has own ratio 0.
+        g.add_channel("a", "b", latency=1, tokens=2)
+        g.add_channel("a", "b", latency=3, tokens=0)
+        g.add_channel("b", "a", latency=1, tokens=1)
+        # Combination 1: (2+1)/(2+2) = 3/4; combination 2: (0+1)/(4+2)
+        # = 1/6 — the minimum.
+        assert g.throughput_enumerated() == Fraction(1, 6)
+        assert g.throughput_parametric() == Fraction(1, 6)
+
+    def test_parallel_edges_mediant_trap(self):
+        """A case where the min-own-ratio edge is NOT the binding one."""
+        g = MarkedGraph()
+        # Edge X: tokens 1, latency 9 (own ratio 1/10, the 'worst').
+        # Edge Y: tokens 0, latency 1 (own ratio 0).
+        g.add_channel("a", "b", latency=9, tokens=1)
+        g.add_channel("a", "b", latency=1, tokens=0)
+        g.add_channel("b", "a", latency=1, tokens=5)
+        # With X: (1+5)/(10+2) = 1/2; with Y: (0+5)/(2+2) = 5/4 -> X
+        # binds even though Y's own ratio is smaller.
+        assert g.throughput_enumerated() == Fraction(1, 2)
+
+    def test_bad_latency_rejected(self):
+        g = MarkedGraph()
+        with pytest.raises(ValueError):
+            g.add_channel("a", "b", latency=0)
+
+    def test_negative_tokens_rejected(self):
+        g = MarkedGraph()
+        with pytest.raises(ValueError):
+            g.add_channel("a", "b", tokens=-1)
+
+
+class TestParametricAgreesWithEnumeration:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs(self, data):
+        n = data.draw(st.integers(2, 6))
+        g = MarkedGraph()
+        for i in range(n):
+            g.add_process(f"p{i}")
+        n_edges = data.draw(st.integers(1, 10))
+        for _ in range(n_edges):
+            u = data.draw(st.integers(0, n - 1))
+            v = data.draw(st.integers(0, n - 1))
+            if u == v:
+                continue
+            g.add_channel(
+                f"p{u}",
+                f"p{v}",
+                latency=data.draw(st.integers(1, 4)),
+                tokens=data.draw(st.integers(0, 2)),
+            )
+        exact = g.throughput_enumerated()
+        approx = g.throughput_parametric()
+        assert abs(exact - approx) < Fraction(1, 10**6)
+
+    def test_parametric_on_acyclic(self):
+        g = MarkedGraph()
+        g.add_channel("a", "b", latency=2)
+        assert g.throughput_parametric() == 1
+
+
+class TestMeasuredVsAnalytic:
+    def _ring(self, n_nodes: int, extra_latency: int):
+        """Feedback ring of passthrough pearls; one node injects an
+        initial token (credit) so the loop is live."""
+        sched = IOSchedule(
+            ["x"], ["y"], [SyncPoint({"x"}, {"y"})]
+        )
+
+        def make(name, primed):
+            first = {"done": not primed}
+
+            def fn(index, popped):
+                return {"y": popped["x"] + 1}
+
+            return FunctionPearl(name, sched, fn)
+
+        system = System("ring")
+        shells = []
+        for i in range(n_nodes):
+            pearl = make(f"n{i}", primed=(i == 0))
+            shells.append(system.add_patient(SPWrapper(pearl)))
+        for i in range(n_nodes):
+            producer = shells[i]
+            consumer = shells[(i + 1) % n_nodes]
+            latency = 1 + (extra_latency if i == 0 else 0)
+            system.connect(producer, "y", consumer, "x", latency=latency)
+        # Prime the loop: inject one token into node 0's input port.
+        shells[0].in_ports["x"]._fifo.append(0)
+        return system, shells
+
+    @pytest.mark.parametrize("n_nodes,extra", [(2, 0), (3, 0), (2, 2), (4, 1)])
+    def test_ring_throughput(self, n_nodes, extra):
+        system, shells = self._ring(n_nodes, extra)
+        cycles = 600
+        Simulation(system).run(cycles)
+        measured = shells[0].enabled_cycles / cycles
+
+        analytic = MarkedGraph()
+        for i in range(n_nodes):
+            latency = 1 + (extra if i == 0 else 0)
+            analytic.add_channel(
+                f"n{i}",
+                f"n{(i + 1) % n_nodes}",
+                latency=latency,
+                tokens=1 if i == n_nodes - 1 else 0,
+            )
+        expected = float(analytic.throughput_enumerated())
+        assert measured == pytest.approx(expected, rel=0.1)
+
+    def test_system_marked_graph_extraction(self):
+        system, shells = self._ring(3, 1)
+        marked = system_marked_graph(system)
+        assert set(marked.graph.nodes) == {"n0", "n1", "n2"}
+        assert marked.graph.number_of_edges() == 3

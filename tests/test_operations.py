@@ -1,0 +1,142 @@
+"""SP operation words: layout, encode/decode, program images."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operations import (
+    Operation,
+    OperationError,
+    OperationFormat,
+    SPProgram,
+)
+
+
+class TestOperationFormat:
+    def test_word_width(self):
+        fmt = OperationFormat(n_inputs=3, n_outputs=2, run_width=8)
+        assert fmt.word_width == 13
+        assert fmt.max_run == 255
+
+    def test_field_positions(self):
+        fmt = OperationFormat(3, 2, 8)
+        assert fmt.run_lsb == 0
+        assert fmt.out_lsb == 8
+        assert fmt.in_lsb == 10
+
+    def test_no_ports_rejected(self):
+        with pytest.raises(OperationError):
+            OperationFormat(0, 0, 4)
+
+    def test_zero_run_width_rejected(self):
+        with pytest.raises(OperationError):
+            OperationFormat(1, 1, 0)
+
+    def test_input_only_format_allowed(self):
+        fmt = OperationFormat(2, 0, 4)
+        assert fmt.word_width == 6
+
+
+class TestOperation:
+    def test_encode_layout(self):
+        fmt = OperationFormat(2, 2, 4)
+        op = Operation(in_mask=0b10, out_mask=0b01, run=5)
+        word = op.encode(fmt)
+        assert word == (0b10 << 6) | (0b01 << 4) | 5
+
+    def test_decode_round_trip(self):
+        fmt = OperationFormat(3, 2, 6)
+        op = Operation(in_mask=0b101, out_mask=0b11, run=40)
+        decoded = Operation.decode(op.encode(fmt), fmt)
+        assert (decoded.in_mask, decoded.out_mask, decoded.run) == (
+            0b101,
+            0b11,
+            40,
+        )
+
+    def test_mask_overflow_rejected(self):
+        fmt = OperationFormat(2, 1, 4)
+        with pytest.raises(OperationError):
+            Operation(in_mask=0b100, out_mask=0, run=0).encode(fmt)
+
+    def test_run_overflow_rejected(self):
+        fmt = OperationFormat(1, 1, 3)
+        with pytest.raises(OperationError):
+            Operation(0, 0, 8).encode(fmt)
+
+    def test_decode_oversized_word_rejected(self):
+        fmt = OperationFormat(1, 1, 2)
+        with pytest.raises(OperationError):
+            Operation.decode(1 << 4, fmt)
+
+    def test_continuation_must_have_empty_masks(self):
+        with pytest.raises(OperationError):
+            Operation(in_mask=1, out_mask=0, run=0, is_head=False)
+
+    def test_unconditional_and_cycles(self):
+        op = Operation(0, 0, 7)
+        assert op.is_unconditional
+        assert op.enabled_cycles == 8
+
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(1, 12),
+        st.data(),
+    )
+    @settings(max_examples=100)
+    def test_encode_decode_property(self, n_in, n_out, run_w, data):
+        fmt = OperationFormat(n_in, n_out, run_w)
+        op = Operation(
+            in_mask=data.draw(st.integers(0, (1 << n_in) - 1)),
+            out_mask=data.draw(st.integers(0, (1 << n_out) - 1)),
+            run=data.draw(st.integers(0, fmt.max_run)),
+        )
+        decoded = Operation.decode(op.encode(fmt), fmt)
+        assert (decoded.in_mask, decoded.out_mask, decoded.run) == (
+            op.in_mask,
+            op.out_mask,
+            op.run,
+        )
+
+
+class TestSPProgram:
+    def _program(self):
+        fmt = OperationFormat(2, 1, 4)
+        ops = (
+            Operation(0b01, 0, 1, point_index=0),
+            Operation(0b10, 1, 2, point_index=1),
+        )
+        return SPProgram(fmt, ops)
+
+    def test_rom_image(self):
+        program = self._program()
+        image = program.rom_image()
+        assert len(image) == 2
+        assert all(0 <= w < (1 << program.fmt.word_width) for w in image)
+
+    def test_addr_width(self):
+        assert self._program().addr_width == 1
+
+    def test_rom_bits(self):
+        program = self._program()
+        assert program.rom_bits == 2 * program.fmt.word_width
+
+    def test_enabled_cycles(self):
+        assert self._program().enabled_cycles_per_period() == 5
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(OperationError):
+            SPProgram(OperationFormat(1, 1, 1), ())
+
+    def test_listing_contains_addresses(self):
+        text = self._program().listing()
+        assert "0:" in text and "1:" in text
+        assert "point 0" in text
+
+    def test_iteration(self):
+        program = self._program()
+        assert len(program) == 2
+        assert list(program) == list(program.ops)

@@ -1,0 +1,352 @@
+"""Expression IR: construction rules, width inference, evaluation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtl.ast import (
+    BinOp,
+    BitSelect,
+    Concat,
+    Const,
+    Signal,
+    Slice,
+    Ternary,
+    UnaryOp,
+    WidthError,
+    all_of,
+    any_of,
+    clog2,
+    mux,
+)
+
+
+class TestSignal:
+    def test_width_and_name(self):
+        s = Signal("data", 8)
+        assert s.width == 8
+        assert s.name == "data"
+
+    def test_default_width_is_one(self):
+        assert Signal("bit").width == 1
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(WidthError):
+            Signal("x", 0)
+
+    def test_bad_names_rejected(self):
+        for bad in ("", "1abc", "a-b", "a b"):
+            with pytest.raises(ValueError):
+                Signal(bad)
+
+    def test_underscore_names_allowed(self):
+        assert Signal("a_b_c").name == "a_b_c"
+
+    def test_identity_equality(self):
+        a = Signal("x", 4)
+        b = Signal("x", 4)
+        assert a == a
+        assert a != b
+
+    def test_evaluate_masks_to_width(self):
+        s = Signal("x", 4)
+        assert s.evaluate({"x": 0xFF}) == 0xF
+
+    def test_evaluate_missing_raises(self):
+        with pytest.raises(KeyError):
+            Signal("x").evaluate({})
+
+
+class TestConst:
+    def test_value_fits(self):
+        assert Const(255, 8).evaluate({}) == 255
+
+    def test_overflow_rejected(self):
+        with pytest.raises(WidthError):
+            Const(256, 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(WidthError):
+            Const(-1, 8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(WidthError):
+            Const(0, 0)
+
+
+class TestUnaryOp:
+    def test_not_inverts_within_width(self):
+        s = Signal("x", 4)
+        assert UnaryOp("~", s).evaluate({"x": 0b1010}) == 0b0101
+
+    def test_not_keeps_width(self):
+        assert UnaryOp("~", Signal("x", 7)).width == 7
+
+    def test_reduce_and(self):
+        s = Signal("x", 3)
+        op = UnaryOp("&", s)
+        assert op.width == 1
+        assert op.evaluate({"x": 0b111}) == 1
+        assert op.evaluate({"x": 0b110}) == 0
+
+    def test_reduce_or(self):
+        s = Signal("x", 3)
+        op = UnaryOp("|", s)
+        assert op.evaluate({"x": 0}) == 0
+        assert op.evaluate({"x": 4}) == 1
+
+    def test_reduce_xor_parity(self):
+        s = Signal("x", 4)
+        op = UnaryOp("^", s)
+        assert op.evaluate({"x": 0b1011}) == 1
+        assert op.evaluate({"x": 0b1001}) == 0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            UnaryOp("!", Signal("x"))
+
+
+class TestBinOp:
+    def test_bitwise_width_mismatch_rejected(self):
+        with pytest.raises(WidthError):
+            BinOp("&", Signal("a", 4), Signal("b", 5))
+
+    def test_compare_width_mismatch_rejected(self):
+        with pytest.raises(WidthError):
+            BinOp("==", Signal("a", 4), Signal("b", 5))
+
+    def test_add_wraps(self):
+        a, b = Signal("a", 4), Signal("b", 4)
+        assert BinOp("+", a, b).evaluate({"a": 15, "b": 1}) == 0
+
+    def test_sub_wraps(self):
+        a, b = Signal("a", 4), Signal("b", 4)
+        assert BinOp("-", a, b).evaluate({"a": 0, "b": 1}) == 15
+
+    def test_comparisons(self):
+        a, b = Signal("a", 4), Signal("b", 4)
+        env = {"a": 3, "b": 7}
+        assert BinOp("<", a, b).evaluate(env) == 1
+        assert BinOp(">", a, b).evaluate(env) == 0
+        assert BinOp("<=", a, b).evaluate(env) == 1
+        assert BinOp(">=", a, b).evaluate(env) == 0
+        assert BinOp("==", a, b).evaluate(env) == 0
+        assert BinOp("!=", a, b).evaluate(env) == 1
+
+    def test_compare_width_is_one(self):
+        assert BinOp("==", Signal("a", 9), Signal("b", 9)).width == 1
+
+    def test_shift_left_masks(self):
+        a = Signal("a", 4)
+        expr = BinOp("<<", a, Const(2, 4))
+        assert expr.evaluate({"a": 0b1011}) == 0b1100
+
+    def test_shift_right(self):
+        a = Signal("a", 4)
+        assert BinOp(">>", a, Const(1, 4)).evaluate({"a": 0b1000}) == 0b100
+
+    def test_operator_sugar(self):
+        a, b = Signal("a", 4), Signal("b", 4)
+        assert ((a & b)).evaluate({"a": 0b1100, "b": 0b1010}) == 0b1000
+        assert ((a | b)).evaluate({"a": 0b1100, "b": 0b1010}) == 0b1110
+        assert ((a ^ b)).evaluate({"a": 0b1100, "b": 0b1010}) == 0b0110
+        assert (a + 1).evaluate({"a": 3}) == 4
+        assert a.eq(3).evaluate({"a": 3}) == 1
+        assert a.ne(3).evaluate({"a": 4}) == 1
+
+    def test_int_coercion_uses_left_width(self):
+        expr = Signal("a", 6) + 1
+        assert isinstance(expr.right, Const)
+        assert expr.right.width == 6
+
+
+class TestTernary:
+    def test_select(self):
+        c = Signal("c")
+        t = Ternary(c, Const(5, 4), Const(9, 4))
+        assert t.evaluate({"c": 1}) == 5
+        assert t.evaluate({"c": 0}) == 9
+
+    def test_wide_condition_rejected(self):
+        with pytest.raises(WidthError):
+            Ternary(Signal("c", 2), Const(0, 1), Const(1, 1))
+
+    def test_arm_width_mismatch_rejected(self):
+        with pytest.raises(WidthError):
+            Ternary(Signal("c"), Const(0, 2), Const(0, 3))
+
+    def test_mux_helper_coerces_ints(self):
+        m = mux(Signal("c"), 3, Const(0, 4))
+        assert m.width == 4
+
+    def test_mux_both_ints_rejected(self):
+        with pytest.raises(WidthError):
+            mux(Signal("c"), 1, 0)
+
+
+class TestSelects:
+    def test_bit_select(self):
+        s = Signal("x", 8)
+        assert BitSelect(s, 3).evaluate({"x": 0b1000}) == 1
+        assert BitSelect(s, 2).evaluate({"x": 0b1000}) == 0
+
+    def test_bit_select_out_of_range(self):
+        with pytest.raises(WidthError):
+            BitSelect(Signal("x", 4), 4)
+
+    def test_slice(self):
+        s = Signal("x", 8)
+        sl = Slice(s, 5, 2)
+        assert sl.width == 4
+        assert sl.evaluate({"x": 0b10110100}) == 0b1101
+
+    def test_slice_bad_range(self):
+        with pytest.raises(WidthError):
+            Slice(Signal("x", 4), 1, 2)
+        with pytest.raises(WidthError):
+            Slice(Signal("x", 4), 4, 0)
+
+    def test_concat_msb_first(self):
+        hi = Const(0b10, 2)
+        lo = Const(0b01, 2)
+        c = Concat([hi, lo])
+        assert c.width == 4
+        assert c.evaluate({}) == 0b1001
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(WidthError):
+            Concat([])
+
+
+class TestReductions:
+    def test_all_of_empty_is_true(self):
+        assert all_of([]).evaluate({}) == 1
+
+    def test_any_of_empty_is_false(self):
+        assert any_of([]).evaluate({}) == 0
+
+    def test_all_of(self):
+        sigs = [Signal(f"s{i}") for i in range(5)]
+        expr = all_of(sigs)
+        env = {f"s{i}": 1 for i in range(5)}
+        assert expr.evaluate(env) == 1
+        env["s3"] = 0
+        assert expr.evaluate(env) == 0
+
+    def test_any_of(self):
+        sigs = [Signal(f"s{i}") for i in range(5)]
+        expr = any_of(sigs)
+        env = {f"s{i}": 0 for i in range(5)}
+        assert expr.evaluate(env) == 0
+        env["s2"] = 1
+        assert expr.evaluate(env) == 1
+
+    def test_reduction_rejects_wide_bits(self):
+        with pytest.raises(WidthError):
+            all_of([Signal("x", 2)])
+
+    def test_balanced_depth_for_large_inputs(self):
+        # 1024 terms must not create a 1024-deep chain.
+        sigs = [Signal(f"s{i}") for i in range(1024)]
+        expr = any_of(sigs)
+
+        def depth(e):
+            stack = [(e, 1)]
+            best = 0
+            while stack:
+                node, d = stack.pop()
+                best = max(best, d)
+                for child in node.children():
+                    stack.append((child, d + 1))
+            return best
+
+        assert depth(expr) <= 12
+
+    def test_walk_and_signals(self):
+        a, b = Signal("a", 2), Signal("b", 2)
+        expr = (a & b) | Const(1, 2)
+        assert expr.signals() == {a, b}
+
+
+class TestClog2:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (255, 8), (256, 8),
+         (257, 9), (1024, 10)],
+    )
+    def test_values(self, value, expected):
+        assert clog2(value) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            clog2(0)
+
+
+@st.composite
+def _expr_and_env(draw, depth=0):
+    """Random expression + environment (for evaluation properties)."""
+    width = draw(st.integers(1, 8))
+    if depth >= 3:
+        kind = draw(st.sampled_from(["signal", "const"]))
+    else:
+        kind = draw(
+            st.sampled_from(
+                ["signal", "const", "not", "and", "add", "ternary"]
+            )
+        )
+    if kind == "signal":
+        name = f"s{draw(st.integers(0, 5))}_{width}"
+        value = draw(st.integers(0, (1 << width) - 1))
+        return Signal(name, width), {name: value}
+    if kind == "const":
+        return Const(draw(st.integers(0, (1 << width) - 1)), width), {}
+    if kind == "not":
+        sub, env = draw(_expr_and_env(depth=depth + 1))
+        return UnaryOp("~", sub), env
+    if kind == "and":
+        a, env_a = draw(_expr_and_env(depth=depth + 1))
+        b, env_b = draw(_expr_and_env(depth=depth + 1))
+        w = min(a.width, b.width)
+        a = a if a.width == w else Slice(a, w - 1, 0)
+        b = b if b.width == w else Slice(b, w - 1, 0)
+        env_a.update(env_b)
+        return BinOp("&", a, b), env_a
+    if kind == "add":
+        a, env_a = draw(_expr_and_env(depth=depth + 1))
+        b, env_b = draw(_expr_and_env(depth=depth + 1))
+        env_a.update(env_b)
+        return BinOp("+", a, b), env_a
+    cond, env_c = draw(_expr_and_env(depth=3))
+    cond = cond if cond.width == 1 else BitSelect(cond, 0)
+    a, env_a = draw(_expr_and_env(depth=depth + 1))
+    b, env_b = draw(_expr_and_env(depth=depth + 1))
+    w = min(a.width, b.width)
+    a = a if a.width == w else Slice(a, w - 1, 0)
+    b = b if b.width == w else Slice(b, w - 1, 0)
+    env_c.update(env_a)
+    env_c.update(env_b)
+    return Ternary(cond, a, b), env_c
+
+
+class TestEvaluationProperties:
+    @given(_expr_and_env())
+    @settings(max_examples=150)
+    def test_result_fits_width(self, pair):
+        expr, env = pair
+        value = expr.evaluate(env)
+        assert 0 <= value < (1 << expr.width)
+
+    @given(_expr_and_env())
+    @settings(max_examples=100)
+    def test_evaluation_deterministic(self, pair):
+        expr, env = pair
+        assert expr.evaluate(env) == expr.evaluate(env)
+
+    @given(_expr_and_env())
+    @settings(max_examples=100)
+    def test_double_negation_identity(self, pair):
+        expr, env = pair
+        double = UnaryOp("~", UnaryOp("~", expr))
+        assert double.evaluate(env) == expr.evaluate(env)

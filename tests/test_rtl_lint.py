@@ -1,0 +1,106 @@
+"""Structural lint checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtl.lint import LintError, check, lint_module
+from repro.rtl.module import Module
+
+
+class TestLint:
+    def test_clean_module_no_errors(self):
+        m = Module("clean")
+        m.add_clock()
+        rst = m.input("rst")
+        q = m.output("q", 4)
+        m.register(q, q + 1, reset=rst)
+        assert check(m) == []
+
+    def test_multiple_drivers_error(self):
+        m = Module("m")
+        a = m.input("a")
+        y = m.output("y")
+        m.assign(y, a)
+        m.assign(y, ~a)
+        messages = lint_module(m)
+        assert any("2 drivers" in str(x) for x in messages)
+        with pytest.raises(LintError):
+            check(m)
+
+    def test_undriven_output_error(self):
+        m = Module("m")
+        m.input("a")
+        m.output("y")
+        with pytest.raises(LintError) as excinfo:
+            check(m)
+        assert "undriven" in str(excinfo.value)
+
+    def test_undriven_wire_error(self):
+        m = Module("m")
+        w = m.wire("w")
+        y = m.output("y")
+        m.assign(y, w)
+        with pytest.raises(LintError):
+            check(m)
+
+    def test_unused_wire_warning_only(self):
+        m = Module("m")
+        a = m.input("a")
+        w = m.wire("w")
+        y = m.output("y")
+        m.assign(w, a)
+        m.assign(y, a)
+        messages = check(m)  # warnings don't raise
+        assert any(m_.severity == "warning" for m_ in messages)
+
+    def test_driven_input_error(self):
+        m = Module("m")
+        a = m.input("a")
+        y = m.output("y")
+        m.assign(a, y)  # bogus
+        m.assign(y, a)
+        with pytest.raises(LintError) as excinfo:
+            check(m)
+        assert "input port" in str(excinfo.value)
+
+    def test_registers_without_clock_error(self):
+        m = Module("m")
+        q = m.output("q", 2)
+        m.registers.append(
+            __import__(
+                "repro.rtl.module", fromlist=["Register"]
+            ).Register(q, q)
+        )
+        with pytest.raises(LintError) as excinfo:
+            check(m)
+        assert "clock" in str(excinfo.value)
+
+    def test_hierarchy_linted(self):
+        child = Module("child")
+        child.input("a")
+        child.output("y")  # undriven in child
+        parent = Module("parent")
+        pa = parent.input("a")
+        py = parent.output("y")
+        parent.instantiate(child, "u0", {"a": pa, "y": py})
+        with pytest.raises(LintError):
+            check(parent)
+
+    def test_instance_output_counts_as_driver(self):
+        child = Module("child")
+        ca = child.input("a")
+        cy = child.output("y")
+        child.assign(cy, ~ca)
+        parent = Module("parent")
+        pa = parent.input("a")
+        py = parent.output("y")
+        parent.instantiate(child, "u0", {"a": pa, "y": py})
+        assert check(parent) == []
+
+    def test_message_str_format(self):
+        m = Module("m")
+        m.input("a")
+        m.output("y")
+        messages = lint_module(m)
+        assert str(messages[0]).startswith("[error] m:")

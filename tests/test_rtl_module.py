@@ -1,0 +1,192 @@
+"""Module container: ports, registers, ROMs, instances, hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtl.ast import Const, Signal, WidthError
+from repro.rtl.module import Design, Module, RtlError
+
+
+def _counter_module(name="counter", width=4):
+    m = Module(name)
+    m.add_clock()
+    rst = m.input("rst")
+    count = m.output("count", width)
+    m.register(count, count + 1, reset=rst)
+    return m
+
+
+class TestModuleConstruction:
+    def test_ports_registered(self):
+        m = Module("m")
+        a = m.input("a", 4)
+        y = m.output("y", 4)
+        assert m.find_port("a").direction == "input"
+        assert m.find_port("y").direction == "output"
+        assert m.find_port("nope") is None
+        assert [p.signal for p in m.ports] == [a, y]
+
+    def test_duplicate_name_rejected(self):
+        m = Module("m")
+        m.input("a")
+        with pytest.raises(RtlError):
+            m.wire("a")
+
+    def test_two_clocks_rejected(self):
+        m = Module("m")
+        m.add_clock()
+        with pytest.raises(RtlError):
+            m.add_clock("clk2")
+
+    def test_assign_width_checked(self):
+        m = Module("m")
+        a = m.input("a", 4)
+        y = m.output("y", 5)
+        with pytest.raises(WidthError):
+            m.assign(y, a)
+
+    def test_assign_int_coerced(self):
+        m = Module("m")
+        y = m.output("y", 8)
+        assign = m.assign(y, 42)
+        assert isinstance(assign.expr, Const)
+        assert assign.expr.width == 8
+
+    def test_register_width_checked(self):
+        m = Module("m")
+        m.add_clock()
+        q = m.wire("q", 4)
+        with pytest.raises(WidthError):
+            m.register(q, Const(0, 5))
+
+    def test_register_reset_value_range(self):
+        m = Module("m")
+        m.add_clock()
+        q = m.wire("q", 2)
+        with pytest.raises(WidthError):
+            m.register(q, q, reset_value=4)
+
+    def test_register_enable_must_be_bit(self):
+        m = Module("m")
+        m.add_clock()
+        q = m.wire("q", 2)
+        en = m.input("en", 2)
+        with pytest.raises(WidthError):
+            m.register(q, q, enable=en)
+
+    def test_input_and_output_lists(self):
+        m = _counter_module()
+        assert {p.name for p in m.input_ports} == {"clk", "rst"}
+        assert {p.name for p in m.output_ports} == {"count"}
+
+
+class TestRom:
+    def test_rom_reads(self):
+        m = Module("m")
+        addr = m.input("addr", 2)
+        data = m.output("data", 8)
+        rom = m.rom("r", addr, data, [10, 20, 30])
+        assert rom.depth == 3
+        assert rom.read(0) == 10
+        assert rom.read(2) == 30
+        assert rom.read(3) == 0  # padded
+
+    def test_rom_word_too_wide_rejected(self):
+        m = Module("m")
+        addr = m.input("addr", 2)
+        data = m.output("data", 4)
+        with pytest.raises(WidthError):
+            m.rom("r", addr, data, [16])
+
+    def test_rom_too_deep_rejected(self):
+        m = Module("m")
+        addr = m.input("addr", 1)
+        data = m.output("data", 4)
+        with pytest.raises(RtlError):
+            m.rom("r", addr, data, [0, 1, 2])
+
+    def test_empty_rom_rejected(self):
+        m = Module("m")
+        addr = m.input("addr", 1)
+        data = m.output("data", 4)
+        with pytest.raises(RtlError):
+            m.rom("r", addr, data, [])
+
+
+class TestInstance:
+    def test_connections_checked(self):
+        child = _counter_module("child")
+        parent = Module("parent")
+        clk = parent.add_clock()
+        rst = parent.input("rst")
+        out = parent.output("out", 4)
+        parent.instantiate(
+            child, "u0", {"clk": clk, "rst": rst, "count": out}
+        )
+        assert len(parent.instances) == 1
+
+    def test_missing_connection_rejected(self):
+        child = _counter_module("child")
+        parent = Module("parent")
+        clk = parent.add_clock()
+        with pytest.raises(RtlError):
+            parent.instantiate(child, "u0", {"clk": clk})
+
+    def test_width_mismatch_rejected(self):
+        child = _counter_module("child")
+        parent = Module("parent")
+        clk = parent.add_clock()
+        rst = parent.input("rst")
+        narrow = parent.output("out", 3)
+        with pytest.raises(WidthError):
+            parent.instantiate(
+                child, "u0", {"clk": clk, "rst": rst, "count": narrow}
+            )
+
+    def test_unknown_port_rejected(self):
+        child = _counter_module("child")
+        parent = Module("parent")
+        clk = parent.add_clock()
+        rst = parent.input("rst")
+        out = parent.output("out", 4)
+        with pytest.raises(RtlError):
+            parent.instantiate(
+                child,
+                "u0",
+                {"clk": clk, "rst": rst, "count": out, "bogus": rst},
+            )
+
+
+class TestDesign:
+    def test_modules_children_first(self):
+        child = _counter_module("child")
+        parent = Module("parent")
+        clk = parent.add_clock()
+        rst = parent.input("rst")
+        out = parent.output("out", 4)
+        parent.instantiate(
+            child, "u0", {"clk": clk, "rst": rst, "count": out}
+        )
+        design = Design(parent)
+        names = [m.name for m in design.modules()]
+        assert names == ["child", "parent"]
+
+    def test_shared_child_deduplicated(self):
+        child = _counter_module("child")
+        parent = Module("parent")
+        clk = parent.add_clock()
+        rst = parent.input("rst")
+        o1 = parent.output("o1", 4)
+        o2 = parent.output("o2", 4)
+        parent.instantiate(child, "u0", {"clk": clk, "rst": rst, "count": o1})
+        parent.instantiate(child, "u1", {"clk": clk, "rst": rst, "count": o2})
+        assert len(Design(parent).modules()) == 2
+
+    def test_design_name_defaults_to_top(self):
+        assert Design(_counter_module("abc")).name == "abc"
+
+    def test_driven_signals(self):
+        m = _counter_module()
+        driven = m.driven_signals()
+        assert m.find_port("count").signal in driven

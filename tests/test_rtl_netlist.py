@@ -1,0 +1,298 @@
+"""Bit-blaster: gate-level semantics must match expression semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtl.ast import Concat, Const, Signal, mux
+from repro.rtl.module import Module, RtlError
+from repro.rtl.netlist import CONST0, CONST1, BitBlaster, bit_blast
+
+
+def _eval_netlist(netlist, input_values: dict[int, int]) -> dict[int, int]:
+    """Reference interpreter for the gate netlist (combinational only)."""
+    values = {CONST0: 0, CONST1: 1}
+    values.update(input_values)
+    for rom in netlist.rom_bits:
+        pass  # handled in order below
+    rom_queue = list(netlist.rom_bits)
+
+    def flush_roms():
+        nonlocal rom_queue
+        remaining = []
+        for rom in rom_queue:
+            if all(n in values for n in rom.addr):
+                address = 0
+                for i, net in enumerate(rom.addr):
+                    address |= values[net] << i
+                values[rom.output] = (
+                    rom.column[address] if address < rom.depth else 0
+                )
+            else:
+                remaining.append(rom)
+        rom_queue = remaining
+
+    flush_roms()
+    for gate in netlist.gates:
+        a = [values[n] for n in gate.inputs]
+        if gate.kind == "NOT":
+            values[gate.output] = 1 - a[0]
+        elif gate.kind == "AND":
+            values[gate.output] = a[0] & a[1]
+        elif gate.kind == "OR":
+            values[gate.output] = a[0] | a[1]
+        elif gate.kind == "XOR":
+            values[gate.output] = a[0] ^ a[1]
+        elif gate.kind == "MUX":
+            values[gate.output] = a[1] if a[0] else a[2]
+        flush_roms()
+    flush_roms()
+    return values
+
+
+def _comb_module(build):
+    """Helper: module with inputs a(8), b(8) and output y; build(y<=expr)."""
+    m = Module("comb")
+    a = m.input("a", 8)
+    b = m.input("b", 8)
+    y_expr = build(a, b)
+    y = m.output("y", y_expr.width)
+    m.assign(y, y_expr)
+    return m
+
+
+def _check_function(build, samples):
+    m = _comb_module(build)
+    netlist = bit_blast(m)
+    a_sig = m.find_port("a").signal
+    # Map input nets: run() allocated them in port order a then b.
+    nets = sorted(netlist.input_nets)
+    a_nets, b_nets = nets[:8], nets[8:]
+    for a_val, b_val in samples:
+        inputs = {}
+        for i, n in enumerate(a_nets):
+            inputs[n] = (a_val >> i) & 1
+        for i, n in enumerate(b_nets):
+            inputs[n] = (b_val >> i) & 1
+        values = _eval_netlist(netlist, inputs)
+        y_nets = netlist.output_bits["y"]
+        got = 0
+        for i, n in enumerate(y_nets):
+            got |= values[n] << i
+        expected = build(
+            Signal("a", 8), Signal("b", 8)
+        ).evaluate({"a": a_val, "b": b_val})
+        assert got == expected, (a_val, b_val, got, expected)
+
+
+SAMPLES = [(0, 0), (255, 255), (170, 85), (3, 200), (99, 98), (128, 127)]
+
+
+class TestOperatorLowering:
+    def test_and(self):
+        _check_function(lambda a, b: a & b, SAMPLES)
+
+    def test_or(self):
+        _check_function(lambda a, b: a | b, SAMPLES)
+
+    def test_xor(self):
+        _check_function(lambda a, b: a ^ b, SAMPLES)
+
+    def test_not(self):
+        _check_function(lambda a, b: ~a, SAMPLES)
+
+    def test_add(self):
+        _check_function(lambda a, b: a + b, SAMPLES)
+
+    def test_sub(self):
+        _check_function(lambda a, b: a - b, SAMPLES)
+
+    def test_eq(self):
+        _check_function(lambda a, b: a.eq(b), SAMPLES + [(7, 7)])
+
+    def test_ne(self):
+        _check_function(lambda a, b: a.ne(b), SAMPLES + [(7, 7)])
+
+    def test_lt(self):
+        _check_function(lambda a, b: a.lt(b), SAMPLES)
+
+    def test_le(self):
+        _check_function(lambda a, b: a.le(b), SAMPLES + [(9, 9)])
+
+    def test_gt(self):
+        _check_function(lambda a, b: a.gt(b), SAMPLES)
+
+    def test_ge(self):
+        _check_function(lambda a, b: a.ge(b), SAMPLES + [(9, 9)])
+
+    def test_reduce_and(self):
+        _check_function(lambda a, b: a.reduce_and(), SAMPLES)
+
+    def test_reduce_or(self):
+        _check_function(lambda a, b: a.reduce_or(), SAMPLES)
+
+    def test_reduce_xor(self):
+        _check_function(lambda a, b: a.reduce_xor(), SAMPLES)
+
+    def test_shift_left_const(self):
+        _check_function(lambda a, b: a << 3, SAMPLES)
+
+    def test_shift_right_const(self):
+        _check_function(lambda a, b: a >> 2, SAMPLES)
+
+    def test_shift_by_signal(self):
+        _check_function(
+            lambda a, b: a << b.slice(2, 0), SAMPLES
+        )
+
+    def test_ternary(self):
+        _check_function(
+            lambda a, b: mux(a.bit(0), b, a), SAMPLES
+        )
+
+    def test_slice_concat(self):
+        _check_function(
+            lambda a, b: Concat([a.slice(3, 0), b.slice(7, 4)]), SAMPLES
+        )
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60)
+    def test_add_property(self, x, y):
+        _check_function(lambda a, b: a + b, [(x, y)])
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60)
+    def test_compare_property(self, x, y):
+        _check_function(lambda a, b: a.lt(b), [(x, y)])
+
+
+class TestOptimizations:
+    def test_constant_folding(self):
+        m = Module("m")
+        a = m.input("a", 4)
+        y = m.output("y", 4)
+        m.assign(y, a & Const(0, 4))
+        netlist = bit_blast(m)
+        assert len(netlist.gates) == 0
+        assert netlist.output_bits["y"] == (CONST0,) * 4
+
+    def test_cse_shares_gates(self):
+        m = Module("m")
+        a = m.input("a", 8)
+        b = m.input("b", 8)
+        y1 = m.output("y1", 8)
+        y2 = m.output("y2", 8)
+        m.assign(y1, a & b)
+        m.assign(y2, a & b)
+        netlist = bit_blast(m)
+        assert netlist.output_bits["y1"] == netlist.output_bits["y2"]
+        assert len(netlist.gates) == 8
+
+    def test_commutative_cse(self):
+        m = Module("m")
+        a = m.input("a", 1)
+        b = m.input("b", 1)
+        y1 = m.output("y1", 1)
+        y2 = m.output("y2", 1)
+        m.assign(y1, a & b)
+        m.assign(y2, b & a)
+        netlist = bit_blast(m)
+        assert len(netlist.gates) == 1
+
+    def test_xor_self_is_zero(self):
+        m = Module("m")
+        a = m.input("a", 4)
+        y = m.output("y", 4)
+        m.assign(y, a ^ a)
+        netlist = bit_blast(m)
+        assert netlist.output_bits["y"] == (CONST0,) * 4
+
+    def test_carry_nets_marked(self):
+        m = Module("m")
+        a = m.input("a", 8)
+        b = m.input("b", 8)
+        y = m.output("y", 8)
+        m.assign(y, a + b)
+        netlist = bit_blast(m)
+        assert len(netlist.carry_nets) >= 6
+
+
+class TestSequentialAndRom:
+    def test_dff_cells_created(self):
+        m = Module("m")
+        m.add_clock()
+        rst = m.input("rst")
+        en = m.input("en")
+        q = m.output("q", 4)
+        m.register(q, q + 1, enable=en, reset=rst)
+        netlist = bit_blast(m)
+        assert len(netlist.dffs) == 4
+        assert all(d.ce is not None and d.rst is not None
+                   for d in netlist.dffs)
+
+    def test_dff_reset_values(self):
+        m = Module("m")
+        m.add_clock()
+        rst = m.input("rst")
+        q = m.output("q", 4)
+        m.register(q, q, reset=rst, reset_value=0b1010)
+        netlist = bit_blast(m)
+        assert [d.rst_value for d in netlist.dffs] == [0, 1, 0, 1]
+
+    def test_rom_bits_created(self):
+        m = Module("m")
+        addr = m.input("addr", 3)
+        data = m.output("data", 5)
+        m.rom("r", addr, data, list(range(8)))
+        netlist = bit_blast(m)
+        assert len(netlist.rom_bits) == 5
+        assert all(r.depth == 8 for r in netlist.rom_bits)
+
+    def test_rom_column_contents(self):
+        m = Module("m")
+        addr = m.input("addr", 2)
+        data = m.output("data", 2)
+        m.rom("r", addr, data, [0b00, 0b01, 0b10, 0b11])
+        netlist = bit_blast(m)
+        bit0 = netlist.rom_bits[0]
+        bit1 = netlist.rom_bits[1]
+        assert bit0.column == (0, 1, 0, 1)
+        assert bit1.column == (0, 0, 1, 1)
+
+    def test_register_feedback_loop_allowed(self):
+        # Registers legally close cycles.
+        m = Module("m")
+        m.add_clock()
+        q = m.output("q", 4)
+        w = m.wire("w", 4)
+        m.assign(w, q + 3)
+        m.register(q, w)
+        netlist = bit_blast(m)
+        assert len(netlist.dffs) == 4
+
+    def test_undriven_output_rejected(self):
+        m = Module("m")
+        m.input("a", 2)
+        m.output("y", 2)
+        with pytest.raises(RtlError):
+            bit_blast(m)
+
+
+class TestHierarchyFlattening:
+    def test_instance_flattened(self):
+        child = Module("child")
+        a = child.input("a", 4)
+        y = child.output("y", 4)
+        child.assign(y, ~a)
+        parent = Module("parent")
+        pa = parent.input("pa", 4)
+        py = parent.output("py", 4)
+        inner = parent.wire("inner", 4)
+        parent.instantiate(child, "u0", {"a": pa, "y": inner})
+        parent.assign(py, ~inner)
+        netlist = bit_blast(parent)
+        # ~~a == a: output nets should be the input nets.
+        nets = sorted(netlist.input_nets)
+        assert tuple(nets) == netlist.output_bits["py"]

@@ -1,0 +1,229 @@
+"""Two-phase RTL simulator: register semantics, hierarchy, loops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtl.ast import Const, Signal, mux
+from repro.rtl.module import Design, Module
+from repro.rtl.simulator import SimulationError, Simulator
+
+
+def _counter(width=8):
+    m = Module("counter")
+    m.add_clock()
+    rst = m.input("rst")
+    en = m.input("en")
+    count = m.output("count", width)
+    m.register(count, count + 1, enable=en, reset=rst)
+    return m
+
+
+class TestRegisters:
+    def test_counter_counts(self):
+        sim = Simulator(_counter())
+        sim.poke("en", 1)
+        sim.step(5)
+        assert sim.peek("count") == 5
+
+    def test_enable_holds(self):
+        sim = Simulator(_counter())
+        sim.poke("en", 1)
+        sim.step(3)
+        sim.poke("en", 0)
+        sim.step(10)
+        assert sim.peek("count") == 3
+
+    def test_reset_overrides_enable(self):
+        sim = Simulator(_counter())
+        sim.poke("en", 1)
+        sim.step(3)
+        sim.poke("rst", 1)
+        sim.step()
+        assert sim.peek("count") == 0
+
+    def test_reset_value(self):
+        m = Module("m")
+        m.add_clock()
+        rst = m.input("rst")
+        q = m.output("q", 4)
+        m.register(q, q, reset=rst, reset_value=9)
+        sim = Simulator(m)
+        sim.poke("rst", 1)
+        sim.step()
+        assert sim.peek("q") == 9
+
+    def test_register_updates_simultaneous(self):
+        # Swap register: a <= b, b <= a must exchange, not chain.
+        m = Module("swap")
+        m.add_clock()
+        a = m.output("a", 4)
+        b = m.output("b", 4)
+        init = m.input("init")
+        m.register(a, mux(init, Const(1, 4), b))
+        m.register(b, mux(init, Const(2, 4), a))
+        sim = Simulator(m)
+        sim.poke("init", 1)
+        sim.step()
+        sim.poke("init", 0)
+        assert (sim.peek("a"), sim.peek("b")) == (1, 2)
+        sim.step()
+        assert (sim.peek("a"), sim.peek("b")) == (2, 1)
+        sim.step()
+        assert (sim.peek("a"), sim.peek("b")) == (1, 2)
+
+    def test_wrap_around(self):
+        sim = Simulator(_counter(width=2))
+        sim.poke("en", 1)
+        sim.step(5)
+        assert sim.peek("count") == 1  # 5 mod 4
+
+
+class TestCombinational:
+    def test_chained_assigns_settle_in_order(self):
+        m = Module("chain")
+        a = m.input("a", 4)
+        w1 = m.wire("w1", 4)
+        w2 = m.wire("w2", 4)
+        y = m.output("y", 4)
+        # Deliberately declared out of dependency order.
+        m.assign(y, w2 + 1)
+        m.assign(w2, w1 + 1)
+        m.assign(w1, a + 1)
+        sim = Simulator(m)
+        sim.poke_settle("a", 1)
+        assert sim.peek("y") == 4
+
+    def test_comb_loop_detected(self):
+        m = Module("loop")
+        a = m.wire("a")
+        b = m.wire("b")
+        y = m.output("y")
+        m.assign(a, b)
+        m.assign(b, a)
+        m.assign(y, a)
+        with pytest.raises(SimulationError):
+            Simulator(m)
+
+    def test_multiple_drivers_detected(self):
+        m = Module("multi")
+        a = m.input("a")
+        y = m.output("y")
+        m.assign(y, a)
+        m.assign(y, ~a)
+        with pytest.raises(SimulationError):
+            Simulator(m)
+
+    def test_rom_read_combinational(self):
+        m = Module("romtest")
+        addr = m.input("addr", 2)
+        data = m.output("data", 8)
+        m.rom("r", addr, data, [5, 6, 7, 8])
+        sim = Simulator(m)
+        for a, expected in enumerate([5, 6, 7, 8]):
+            sim.poke_settle("addr", a)
+            assert sim.peek("data") == expected
+
+    def test_rom_addressed_by_register(self):
+        m = Module("romreg")
+        m.add_clock()
+        rst = m.input("rst")
+        addr = m.wire("addr", 2)
+        data = m.output("data", 4)
+        m.register(addr, addr + 1, reset=rst)
+        m.rom("r", addr, data, [1, 3, 5, 7])
+        sim = Simulator(m)
+        seen = [sim.peek("data")]
+        for _ in range(3):
+            sim.step()
+            seen.append(sim.peek("data"))
+        assert seen == [1, 3, 5, 7]
+
+
+class TestHierarchy:
+    def _parent(self):
+        child = _counter(4)
+        parent = Module("parent")
+        clk = parent.add_clock()
+        rst = parent.input("rst")
+        en = parent.input("en")
+        out = parent.output("out", 4)
+        doubled = parent.output("doubled", 4)
+        inner = parent.wire("inner", 4)
+        parent.instantiate(
+            child, "c0", {"clk": clk, "rst": rst, "en": en, "count": inner}
+        )
+        parent.assign(out, inner)
+        parent.assign(doubled, inner + inner)
+        return parent
+
+    def test_child_simulated(self):
+        sim = Simulator(self._parent())
+        sim.poke("en", 1)
+        sim.step(3)
+        assert sim.peek("out") == 3
+        assert sim.peek("doubled") == 6
+
+    def test_flat_names_accessible(self):
+        # Child-internal (non-port) signals appear under "inst.name".
+        child = Module("child")
+        child.add_clock()
+        rst = child.input("rst")
+        q = child.output("q", 4)
+        internal = child.wire("internal", 4)
+        child.assign(internal, q + 1)
+        child.register(q, internal, reset=rst)
+        parent = Module("p")
+        clk = parent.add_clock()
+        prst = parent.input("rst")
+        out = parent.output("out", 4)
+        parent.instantiate(child, "c0", {"clk": clk, "rst": prst, "q": out})
+        sim = Simulator(parent)
+        sim.step(2)
+        assert sim.peek_flat("c0.internal") == 3
+
+    def test_two_instances_independent(self):
+        child = _counter(4)
+        parent = Module("p2")
+        clk = parent.add_clock()
+        rst = parent.input("rst")
+        en_a = parent.input("en_a")
+        en_b = parent.input("en_b")
+        out_a = parent.output("a", 4)
+        out_b = parent.output("b", 4)
+        parent.instantiate(
+            child, "u_a", {"clk": clk, "rst": rst, "en": en_a, "count": out_a}
+        )
+        parent.instantiate(
+            child, "u_b", {"clk": clk, "rst": rst, "en": en_b, "count": out_b}
+        )
+        sim = Simulator(parent)
+        sim.poke("en_a", 1)
+        sim.poke("en_b", 0)
+        sim.step(4)
+        assert sim.peek("a") == 4
+        assert sim.peek("b") == 0
+
+
+class TestPokePeek:
+    def test_poke_masks_value(self):
+        sim = Simulator(_counter())
+        sim.poke("en", 0xFF)
+        assert sim.peek("en") == 1
+
+    def test_unknown_signal_raises(self):
+        sim = Simulator(_counter())
+        with pytest.raises(KeyError):
+            sim.peek("nope")
+
+    def test_design_wrapper_accepted(self):
+        sim = Simulator(Design(_counter()))
+        sim.poke("en", 1)
+        sim.step()
+        assert sim.peek("count") == 1
+
+    def test_cycle_counter(self):
+        sim = Simulator(_counter())
+        assert sim.cycle == 0
+        sim.step(7)
+        assert sim.cycle == 7

@@ -1,0 +1,223 @@
+"""Technology mapping: LUT covering, slices, ROM styles, SRL, timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtl.ast import Concat, Const, all_of
+from repro.rtl.module import Module
+from repro.rtl.netlist import bit_blast
+from repro.rtl.techmap import VIRTEX2, TechMapper, TechModel, tech_map
+
+
+def _wide_and(n_inputs: int) -> Module:
+    m = Module("wide_and")
+    sigs = [m.input(f"i{k}") for k in range(n_inputs)]
+    y = m.output("y")
+    m.assign(y, all_of(sigs))
+    return m
+
+
+class TestLutCovering:
+    def test_single_lut_for_4_input_function(self):
+        rep = tech_map(bit_blast(_wide_and(4)))
+        assert rep.luts == 1
+        assert rep.lut_levels == 1
+
+    def test_two_levels_for_16_inputs(self):
+        rep = tech_map(bit_blast(_wide_and(16)))
+        assert rep.luts == 5  # 4 first-level + 1 combiner
+        assert rep.lut_levels == 2
+
+    def test_lut_count_grows_with_inputs(self):
+        sizes = [tech_map(bit_blast(_wide_and(n))).luts
+                 for n in (4, 8, 16, 32, 64)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_constant_output_costs_nothing(self):
+        m = Module("m")
+        a = m.input("a", 4)
+        y = m.output("y", 4)
+        m.assign(y, a & Const(0, 4))
+        rep = tech_map(bit_blast(m))
+        assert rep.luts == 0
+
+    def test_levels_grow_logarithmically(self):
+        l16 = tech_map(bit_blast(_wide_and(16))).lut_levels
+        l256 = tech_map(bit_blast(_wide_and(256))).lut_levels
+        assert l256 <= l16 * 2 + 1
+
+
+class TestSlices:
+    def test_two_luts_per_slice(self):
+        m = Module("m")
+        a = m.input("a", 8)
+        b = m.input("b", 8)
+        y = m.output("y", 8)
+        m.assign(y, a & b)  # 8 independent LUTs
+        rep = tech_map(bit_blast(m))
+        assert rep.luts == 8
+        assert rep.slices == 4
+
+    def test_ff_dominated_slices(self):
+        m = Module("m")
+        m.add_clock()
+        d = m.input("d", 16)
+        q = m.output("q", 16)
+        m.register(q, d)
+        rep = tech_map(bit_blast(m), rom_style="auto")
+        mapper = TechMapper(bit_blast(m))
+        mapper.infer_srl = False
+        rep = mapper.run()
+        assert rep.ffs == 16
+        assert rep.slices == 8
+
+    def test_minimum_one_slice(self):
+        m = Module("m")
+        a = m.input("a")
+        y = m.output("y")
+        m.assign(y, a)
+        assert tech_map(bit_blast(m)).slices == 1
+
+
+class TestCarryChains:
+    def test_adder_uses_carry_cells(self):
+        m = Module("m")
+        a = m.input("a", 16)
+        b = m.input("b", 16)
+        y = m.output("y", 16)
+        m.assign(y, a + b)
+        rep = tech_map(bit_blast(m))
+        assert rep.carry_cells >= 14
+        # Carry chain keeps LUT levels shallow.
+        assert rep.lut_levels <= 3
+
+    def test_adder_fast_despite_width(self):
+        def fmax(width):
+            m = Module("m")
+            m.add_clock()
+            rst = m.input("rst")
+            q = m.output("q", width)
+            m.register(q, q + 1, reset=rst)
+            return tech_map(bit_blast(m)).fmax_mhz
+
+        # A 32-bit counter must not be ~4x slower than an 8-bit one.
+        assert fmax(32) > fmax(8) * 0.5
+
+
+class TestRomStyles:
+    def _rom_module(self, depth, width=8):
+        m = Module("m")
+        addr_w = max(1, (depth - 1).bit_length())
+        addr = m.input("addr", addr_w)
+        data = m.output("data", width)
+        m.rom("r", addr, data, list(range(depth * 0 + depth)) if depth <= 256
+              else [i % 256 for i in range(depth)])
+        return m
+
+    def test_small_rom_distributed(self):
+        rep = tech_map(bit_blast(self._rom_module(16)), rom_style="auto")
+        assert rep.rom_style == "distributed"
+        assert rep.brams == 0
+        assert rep.rom_luts >= 8  # one LUT per output bit at depth 16
+
+    def test_large_rom_block(self):
+        rep = tech_map(bit_blast(self._rom_module(1024)), rom_style="auto")
+        assert rep.rom_style == "block"
+        assert rep.brams >= 1
+        assert rep.rom_luts == 0
+
+    def test_forced_distributed(self):
+        rep = tech_map(
+            bit_blast(self._rom_module(1024)), rom_style="distributed"
+        )
+        assert rep.rom_style == "distributed"
+        assert rep.rom_luts > 100
+
+    def test_forced_block(self):
+        rep = tech_map(bit_blast(self._rom_module(16)), rom_style="block")
+        assert rep.brams == 1
+
+    def test_bad_style_rejected(self):
+        with pytest.raises(ValueError):
+            TechMapper(bit_blast(self._rom_module(16)), rom_style="magic")
+
+    def test_bram_count_scales_with_bits(self):
+        small = tech_map(
+            bit_blast(self._rom_module(1024, 8)), rom_style="block"
+        )
+        # 4096 x 8 = 32 Kib > one 18 Kib BRAM
+        m = Module("m")
+        addr = m.input("addr", 12)
+        data = m.output("data", 8)
+        m.rom("r", addr, data, [i % 256 for i in range(4096)])
+        big = tech_map(bit_blast(m), rom_style="block")
+        assert big.brams > small.brams
+
+
+class TestSrlInference:
+    def _shift_chain(self, length, with_feedback=False):
+        m = Module("m")
+        m.add_clock()
+        d = m.input("d")
+        chain = m.wire("chain", length)
+        q = m.output("q")
+        head = chain.bit(0) if with_feedback else d
+        m.register(
+            chain,
+            Concat([head, chain.slice(length - 1, 1)])
+            if length > 1
+            else head,
+        )
+        m.assign(q, chain.bit(0))
+        return m
+
+    def test_long_chain_folds(self):
+        netlist = bit_blast(self._shift_chain(32))
+        mapper = TechMapper(netlist)
+        rep = mapper.run()
+        assert rep.ffs == 0
+        assert rep.luts == 2  # ceil(32/16)
+
+    def test_inference_can_be_disabled(self):
+        netlist = bit_blast(self._shift_chain(32))
+        mapper = TechMapper(netlist)
+        mapper.infer_srl = False
+        rep = mapper.run()
+        assert rep.ffs == 32
+
+    def test_short_chain_not_folded(self):
+        netlist = bit_blast(self._shift_chain(2))
+        rep = TechMapper(netlist).run()
+        assert rep.ffs == 2
+
+    def test_ring_folds(self):
+        netlist = bit_blast(self._shift_chain(24, with_feedback=True))
+        rep = TechMapper(netlist).run()
+        assert rep.ffs == 0
+        assert rep.luts == 2
+
+
+class TestTiming:
+    def test_fmax_decreases_with_depth(self):
+        shallow = tech_map(bit_blast(_wide_and(4))).fmax_mhz
+        deep = tech_map(bit_blast(_wide_and(256))).fmax_mhz
+        assert deep < shallow
+
+    def test_period_includes_overheads(self):
+        rep = tech_map(bit_blast(_wide_and(4)))
+        model = VIRTEX2
+        floor = model.t_setup + model.t_clock_skew
+        assert rep.period_ns > floor
+
+    def test_custom_model_changes_results(self):
+        slow = TechModel(name="slow", t_lut=5.0)
+        base = tech_map(bit_blast(_wide_and(16)))
+        slowed = tech_map(bit_blast(_wide_and(16)), model=slow)
+        assert slowed.fmax_mhz < base.fmax_mhz
+
+    def test_report_summary_mentions_slices(self):
+        rep = tech_map(bit_blast(_wide_and(8)))
+        assert "slices" in rep.summary()
+        assert rep.name == "wide_and"

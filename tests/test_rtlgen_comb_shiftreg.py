@@ -1,0 +1,152 @@
+"""Combinational and shift-register wrapper RTL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rtlgen import (
+    compute_port_patterns,
+    generate_comb_wrapper,
+    generate_shiftreg_wrapper,
+)
+from repro.core.schedule import IOSchedule, SyncPoint
+from repro.rtl.lint import check
+from repro.rtl.netlist import bit_blast
+from repro.rtl.simulator import Simulator
+from repro.rtl.techmap import tech_map
+
+
+class TestCombWrapper:
+    def _module(self):
+        schedule = IOSchedule(
+            ["a", "b"], ["y"], [SyncPoint({"a", "b"}, {"y"})]
+        )
+        return schedule, generate_comb_wrapper(schedule)
+
+    def test_lint_clean(self):
+        _s, module = self._module()
+        assert all(m.severity != "error" for m in check(module))
+
+    def test_enable_requires_all_ports(self):
+        _s, module = self._module()
+        sim = Simulator(module)
+        cases = [
+            (1, 1, 1, 1),
+            (0, 1, 1, 0),
+            (1, 0, 1, 0),
+            (1, 1, 0, 0),
+            (0, 0, 0, 0),
+        ]
+        for a, b, y, expected in cases:
+            sim.poke("a_not_empty", a)
+            sim.poke("b_not_empty", b)
+            sim.poke("y_not_full", y)
+            sim.settle()
+            assert sim.peek("ip_enable") == expected
+            assert sim.peek("a_pop") == expected
+            assert sim.peek("b_pop") == expected
+            assert sim.peek("y_push") == expected
+
+    def test_stateless(self):
+        _s, module = self._module()
+        assert module.registers == []
+
+    def test_tiny_area(self):
+        _s, module = self._module()
+        report = tech_map(bit_blast(module))
+        assert report.slices <= 2
+        assert report.ffs == 0
+
+
+class TestPortPatterns:
+    def test_full_speed_patterns(self, simple_schedule):
+        enable, pops, pushes = compute_port_patterns(
+            simple_schedule, [True] * simple_schedule.period_cycles
+        )
+        assert enable == [True] * 5
+        assert pops["a"] == [True, False, False, False, False]
+        assert pops["b"] == [False, False, True, False, False]
+        assert pushes["y"] == [False, False, True, False, False]
+
+    def test_gapped_pattern_shifts_events(self, simple_schedule):
+        activation = [False, True, True, False, True, True, True, False]
+        enable, pops, pushes = compute_port_patterns(
+            simple_schedule, activation
+        )
+        assert pops["a"] == [
+            False, True, False, False, False, False, False, False,
+        ]
+        assert pops["b"] == [
+            False, False, False, False, True, False, False, False,
+        ]
+
+    def test_rate_mismatch_rejected(self, simple_schedule):
+        with pytest.raises(ValueError):
+            compute_port_patterns(simple_schedule, [True] * 7)
+
+    def test_never_firing_rejected(self, simple_schedule):
+        with pytest.raises(ValueError):
+            compute_port_patterns(simple_schedule, [False] * 5)
+
+
+class TestShiftRegWrapper:
+    def test_lint_clean(self, simple_schedule):
+        module = generate_shiftreg_wrapper(simple_schedule)
+        assert all(m.severity != "error" for m in check(module))
+
+    def test_rtl_replays_pattern(self, simple_schedule):
+        module = generate_shiftreg_wrapper(simple_schedule)
+        sim = Simulator(module)
+        sim.poke("rst", 1)
+        sim.step()
+        sim.poke("rst", 0)
+        enable, pops, pushes = compute_port_patterns(
+            simple_schedule, [True] * simple_schedule.period_cycles
+        )
+        period = simple_schedule.period_cycles
+        for cycle in range(3 * period):
+            sim.settle()
+            k = cycle % period
+            assert bool(sim.peek("ip_enable")) == enable[k]
+            assert bool(sim.peek("a_pop")) == pops["a"][k]
+            assert bool(sim.peek("b_pop")) == pops["b"][k]
+            assert bool(sim.peek("y_push")) == pushes["y"][k]
+            sim.step()
+
+    def test_custom_activation_pattern(self, simple_schedule):
+        activation = [False] * 2 + [True] * simple_schedule.period_cycles
+        module = generate_shiftreg_wrapper(simple_schedule, activation)
+        sim = Simulator(module)
+        sim.poke("rst", 1)
+        sim.step()
+        sim.poke("rst", 0)
+        seen = []
+        for _ in range(len(activation)):
+            sim.settle()
+            seen.append(bool(sim.peek("ip_enable")))
+            sim.step()
+        assert seen == list(activation)
+
+    def test_area_grows_with_period_without_srl(self, simple_schedule):
+        from repro.rtl.techmap import TechMapper
+
+        def slices(times):
+            module = generate_shiftreg_wrapper(
+                simple_schedule.repeated(times),
+                name=f"sr_{times}",
+            )
+            mapper = TechMapper(bit_blast(module))
+            mapper.infer_srl = False
+            return mapper.run().slices
+
+        assert slices(16) > slices(1) * 4
+
+    def test_srl_keeps_growth_but_cheaper(self, simple_schedule):
+        module = generate_shiftreg_wrapper(simple_schedule.repeated(16))
+        with_srl = tech_map(bit_blast(module)).slices
+        from repro.rtl.techmap import TechMapper
+
+        mapper = TechMapper(bit_blast(module))
+        mapper.infer_srl = False
+        without = mapper.run().slices
+        assert with_srl < without

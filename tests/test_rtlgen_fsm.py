@@ -1,0 +1,166 @@
+"""FSM wrapper RTL: binary and one-hot encodings vs expected behaviour."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.rtlgen import generate_fsm_wrapper
+from repro.core.schedule import IOSchedule, SyncPoint
+from repro.rtl.lint import check
+from repro.rtl.netlist import bit_blast
+from repro.rtl.simulator import Simulator
+from repro.rtl.techmap import tech_map
+
+
+def _expected_trace(schedule, stimulus):
+    """Reference interpreter for the Mealy-FSM wrapper semantics."""
+    plan = schedule.unrolled_cycles()
+    state = 0
+    trace = []
+    for in_ready, out_ready in stimulus:
+        point_index, kind = plan[state]
+        point = schedule.points[point_index]
+        if kind == "run":
+            enable, pop, push = True, 0, 0
+            state = (state + 1) % len(plan)
+        else:
+            in_mask = schedule.input_mask(point)
+            out_mask = schedule.output_mask(point)
+            ready = (
+                (in_mask & in_ready) == in_mask
+                and (out_mask & out_ready) == out_mask
+            )
+            enable = ready
+            pop = in_mask if ready else 0
+            push = out_mask if ready else 0
+            if ready:
+                state = (state + 1) % len(plan)
+        trace.append((enable, pop, push))
+    return trace
+
+
+def _rtl_trace(module, schedule, stimulus):
+    sim = Simulator(module)
+    sim.poke("rst", 1)
+    sim.step()
+    sim.poke("rst", 0)
+    trace = []
+    for in_ready, out_ready in stimulus:
+        for bit, name in enumerate(schedule.inputs):
+            sim.poke(f"{name}_not_empty", (in_ready >> bit) & 1)
+        for bit, name in enumerate(schedule.outputs):
+            sim.poke(f"{name}_not_full", (out_ready >> bit) & 1)
+        sim.settle()
+        enable = bool(sim.peek("ip_enable"))
+        pop = 0
+        for bit, name in enumerate(schedule.inputs):
+            pop |= sim.peek(f"{name}_pop") << bit
+        push = 0
+        for bit, name in enumerate(schedule.outputs):
+            push |= sim.peek(f"{name}_push") << bit
+        trace.append((enable, pop, push))
+        sim.step()
+    return trace
+
+
+SCHEDULES = {
+    "two_point": IOSchedule(
+        ["a", "b"], ["y"],
+        [SyncPoint({"a"}, run=1), SyncPoint({"b"}, {"y"}, run=2)],
+    ),
+    "uniform": IOSchedule(["x"], ["y"], [SyncPoint({"x"}, {"y"})]),
+    "wait_heavy": IOSchedule(
+        ["x"], ["y"],
+        [SyncPoint({"x"}) for _ in range(7)] + [SyncPoint(set(), {"y"})],
+    ),
+}
+
+
+class TestBinaryEncoding:
+    @pytest.mark.parametrize("name", list(SCHEDULES))
+    def test_lint_clean(self, name):
+        module = generate_fsm_wrapper(SCHEDULES[name])
+        assert all(m.severity != "error" for m in check(module))
+
+    @pytest.mark.parametrize("name", list(SCHEDULES))
+    def test_matches_reference(self, name):
+        schedule = SCHEDULES[name]
+        module = generate_fsm_wrapper(schedule)
+        rng = random.Random(5)
+        n_in = len(schedule.inputs)
+        n_out = len(schedule.outputs)
+        stimulus = [
+            (rng.getrandbits(n_in), rng.getrandbits(n_out))
+            for _ in range(300)
+        ]
+        assert _rtl_trace(module, schedule, stimulus) == _expected_trace(
+            schedule, stimulus
+        )
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            generate_fsm_wrapper(SCHEDULES["uniform"], encoding="gray")
+
+
+class TestOneHotEncoding:
+    @pytest.mark.parametrize("name", list(SCHEDULES))
+    def test_matches_reference(self, name):
+        schedule = SCHEDULES[name]
+        module = generate_fsm_wrapper(schedule, encoding="onehot")
+        rng = random.Random(9)
+        n_in = len(schedule.inputs)
+        n_out = len(schedule.outputs)
+        stimulus = [
+            (rng.getrandbits(n_in), rng.getrandbits(n_out))
+            for _ in range(300)
+        ]
+        assert _rtl_trace(module, schedule, stimulus) == _expected_trace(
+            schedule, stimulus
+        )
+
+    def test_state_register_width_is_period(self):
+        schedule = SCHEDULES["wait_heavy"]
+        module = generate_fsm_wrapper(schedule, encoding="onehot")
+        state = next(w for w in module.wires if w.name == "state")
+        assert state.width == schedule.period_cycles
+
+    def test_onehot_ffs_equal_states(self):
+        schedule = SCHEDULES["wait_heavy"]
+        module = generate_fsm_wrapper(schedule, encoding="onehot")
+        netlist = bit_blast(module)
+        assert len(netlist.dffs) == schedule.period_cycles
+
+
+class TestScaling:
+    def _fsm_slices(self, n_waits, encoding):
+        points = [SyncPoint({"x"}) for _ in range(n_waits)]
+        points.append(SyncPoint(set(), {"y"}))
+        schedule = IOSchedule(["x"], ["y"], points)
+        module = generate_fsm_wrapper(schedule, encoding=encoding)
+        from repro.rtl.techmap import TechMapper
+
+        mapper = TechMapper(bit_blast(module))
+        mapper.infer_srl = False
+        return mapper.run().slices
+
+    def test_onehot_area_grows_linearly(self):
+        small = self._fsm_slices(16, "onehot")
+        large = self._fsm_slices(256, "onehot")
+        assert large > small * 8  # roughly linear in states
+
+    def test_binary_area_grows(self):
+        small = self._fsm_slices(16, "binary")
+        large = self._fsm_slices(512, "binary")
+        assert large > small
+
+    def test_fmax_degrades_with_states(self):
+        def fmax(n_waits):
+            points = [SyncPoint({"x"}) for _ in range(n_waits)]
+            points.append(SyncPoint(set(), {"y"}))
+            schedule = IOSchedule(["x"], ["y"], points)
+            module = generate_fsm_wrapper(schedule, encoding="onehot")
+            return tech_map(bit_blast(module)).fmax_mhz
+
+        assert fmax(512) < fmax(8)

@@ -1,0 +1,217 @@
+"""SP wrapper RTL: structure, ROM, and behaviour vs the CFSMD model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.compiler import CompilerOptions, compile_schedule
+from repro.core.processor import SyncProcessor
+from repro.core.rtlgen import generate_sp_wrapper
+from repro.core.schedule import IOSchedule, SyncPoint
+from repro.rtl.emitter import emit_module
+from repro.rtl.lint import check
+from repro.rtl.netlist import bit_blast
+from repro.rtl.simulator import Simulator
+from repro.rtl.techmap import tech_map
+
+
+def _sp(points, inputs=("a", "b"), outputs=("y",), run_width=None):
+    schedule = IOSchedule(inputs, outputs, points)
+    options = CompilerOptions(run_width=run_width) if run_width else None
+    program = compile_schedule(schedule, options)
+    module = generate_sp_wrapper(program, schedule=schedule)
+    return schedule, program, module
+
+
+def _cosim(module, program, stimulus, n_in, n_out):
+    """Compare RTL against the behavioural CFSMD for each readiness
+    pair in ``stimulus``; returns the number of mismatches."""
+    sim = Simulator(module)
+    sim.poke("rst", 1)
+    sim.step()
+    sim.poke("rst", 0)
+    proc = SyncProcessor(program)
+    in_names = ["a", "b"][:n_in]
+    out_names = ["y"][:n_out]
+    mismatches = 0
+    for in_ready, out_ready in stimulus:
+        for bit, name in enumerate(in_names):
+            sim.poke(f"{name}_not_empty", (in_ready >> bit) & 1)
+        for bit, name in enumerate(out_names):
+            sim.poke(f"{name}_not_full", (out_ready >> bit) & 1)
+        sim.settle()
+        rtl_enable = bool(sim.peek("ip_enable"))
+        rtl_pop = 0
+        for bit, name in enumerate(in_names):
+            rtl_pop |= sim.peek(f"{name}_pop") << bit
+        rtl_push = 0
+        for bit, name in enumerate(out_names):
+            rtl_push |= sim.peek(f"{name}_push") << bit
+        action = proc.step(in_ready, out_ready)
+        if (rtl_enable, rtl_pop, rtl_push) != (
+            action.enable,
+            action.pop_mask,
+            action.push_mask,
+        ):
+            mismatches += 1
+        sim.step()
+    return mismatches
+
+
+class TestStructure:
+    def test_interface_ports(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        module = generate_sp_wrapper(program, schedule=simple_schedule)
+        names = {p.name for p in module.ports}
+        assert {
+            "clk", "rst", "a_not_empty", "a_pop", "b_not_empty",
+            "b_pop", "y_not_full", "y_push", "ip_enable",
+        } <= names
+
+    def test_lint_clean(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        module = generate_sp_wrapper(program, schedule=simple_schedule)
+        assert all(m.severity != "error" for m in check(module))
+
+    def test_rom_contents_match_program(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        module = generate_sp_wrapper(program, schedule=simple_schedule)
+        assert len(module.roms) == 1
+        assert list(module.roms[0].contents) == program.rom_image()
+
+    def test_default_port_names(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        module = generate_sp_wrapper(program)
+        names = {p.name for p in module.ports}
+        assert "in0_not_empty" in names
+        assert "out0_push" in names
+
+    def test_schedule_mismatch_rejected(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        other = IOSchedule(["x"], ["y"], [SyncPoint({"x"}, {"y"})])
+        with pytest.raises(ValueError):
+            generate_sp_wrapper(program, schedule=other)
+
+    def test_verilog_mentions_three_states(self, simple_schedule):
+        program = compile_schedule(simple_schedule)
+        module = generate_sp_wrapper(program, schedule=simple_schedule)
+        text = emit_module(module)
+        assert "ops_memory" in text
+        assert "run_counter" in text
+        assert "state" in text
+
+
+class TestBehaviour:
+    def test_matches_cfsmd_full_throughput(self):
+        _s, program, module = _sp(
+            [SyncPoint({"a"}, run=1), SyncPoint({"b"}, {"y"}, run=2)]
+        )
+        stimulus = [(0b11, 0b1)] * 100
+        assert _cosim(module, program, stimulus, 2, 1) == 0
+
+    def test_matches_cfsmd_random_readiness(self):
+        _s, program, module = _sp(
+            [SyncPoint({"a"}), SyncPoint({"b"}, {"y"}, run=3)]
+        )
+        rng = random.Random(7)
+        stimulus = [
+            (rng.getrandbits(2), rng.getrandbits(1)) for _ in range(500)
+        ]
+        assert _cosim(module, program, stimulus, 2, 1) == 0
+
+    def test_matches_cfsmd_with_continuations(self):
+        _s, program, module = _sp(
+            [SyncPoint({"a"}, run=20)], run_width=2
+        )
+        assert len(program.ops) > 1
+        rng = random.Random(3)
+        stimulus = [
+            (rng.getrandbits(2), rng.getrandbits(1)) for _ in range(300)
+        ]
+        assert _cosim(module, program, stimulus, 2, 1) == 0
+
+    def test_single_op_program(self):
+        _s, program, module = _sp(
+            [SyncPoint({"a"}, {"y"})], inputs=("a",), outputs=("y",)
+        )
+        rng = random.Random(11)
+        stimulus = [
+            (rng.getrandbits(1), rng.getrandbits(1)) for _ in range(200)
+        ]
+        assert _cosim(module, program, stimulus, 1, 1) == 0
+
+    def test_reset_mid_run_restarts(self):
+        _s, program, module = _sp([SyncPoint({"a"}, run=5)])
+        sim = Simulator(module)
+        sim.poke("rst", 1)
+        sim.step()
+        sim.poke("rst", 0)
+        sim.poke("a_not_empty", 1)
+        sim.poke("b_not_empty", 1)
+        sim.poke("y_not_full", 1)
+        sim.step(4)  # into the free run
+        sim.poke("rst", 1)
+        sim.step()
+        sim.poke("rst", 0)
+        sim.settle()
+        assert sim.peek("ip_enable") == 0  # back in RESET state
+        sim.step()
+        sim.settle()
+        assert sim.peek("ip_enable") == 1  # READ_OP fires again
+
+    def test_no_output_ports_schedule(self):
+        schedule = IOSchedule(
+            ["a"], [], [SyncPoint({"a"}, run=1)]
+        )
+        program = compile_schedule(schedule)
+        module = generate_sp_wrapper(program, schedule=schedule)
+        check(module)
+        sim = Simulator(module)
+        sim.poke("rst", 1)
+        sim.step()
+        sim.poke("rst", 0)
+        sim.poke("a_not_empty", 1)
+        sim.settle()
+        assert sim.peek("ip_enable") == 0  # reset cycle
+        sim.step()
+        sim.settle()
+        assert sim.peek("ip_enable") == 1
+
+
+class TestScaling:
+    def test_area_independent_of_schedule_length(self):
+        """The paper's §5: SP slices constant for fixed ports/counters."""
+        def slices(n_waits):
+            points = [SyncPoint({"a"}) for _ in range(n_waits - 1)]
+            points.append(SyncPoint({"b"}, {"y"}, run=2))
+            _s, program, module = _sp(points, run_width=8)
+            return tech_map(bit_blast(module), rom_style="block").slices
+
+        results = {n: slices(n) for n in (8, 64, 512)}
+        values = list(results.values())
+        # Identical datapath; only the ROM (block RAM) and the read
+        # counter width grow: allow a few slices of address logic.
+        assert max(values) - min(values) <= max(3, min(values) // 2)
+
+    def test_area_grows_with_ports(self):
+        def slices(n_ports):
+            inputs = tuple(f"i{k}" for k in range(n_ports))
+            points = [SyncPoint(set(inputs), {"y"}, run=1)]
+            schedule = IOSchedule(inputs, ("y",), points)
+            program = compile_schedule(schedule)
+            module = generate_sp_wrapper(program, schedule=schedule)
+            return tech_map(bit_blast(module), rom_style="block").slices
+
+        assert slices(32) > slices(2)
+
+    def test_rom_bits_grow_with_schedule(self):
+        def rom_bits(n_waits):
+            points = [SyncPoint({"a"}) for _ in range(n_waits)]
+            _s, program, module = _sp(points, run_width=4)
+            return tech_map(bit_blast(module), rom_style="block")
+
+        assert (
+            rom_bits(256).rom_bits_total > rom_bits(16).rom_bits_total
+        )

@@ -1,0 +1,229 @@
+"""IOSchedule: validation, stats, masks, normalization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import (
+    IOSchedule,
+    ScheduleError,
+    SyncPoint,
+    uniform_schedule,
+)
+
+
+class TestSyncPoint:
+    def test_defaults(self):
+        p = SyncPoint()
+        assert p.inputs == frozenset()
+        assert p.outputs == frozenset()
+        assert p.run == 0
+        assert p.cycles == 1
+
+    def test_cycles_counts_sync_plus_run(self):
+        assert SyncPoint(run=5).cycles == 6
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ScheduleError):
+            SyncPoint(run=-1)
+
+    def test_sets_coerced_to_frozenset(self):
+        p = SyncPoint({"a"}, ["y"])
+        assert isinstance(p.inputs, frozenset)
+        assert isinstance(p.outputs, frozenset)
+
+
+class TestValidation:
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(ScheduleError):
+            IOSchedule(["a", "a"], ["y"], [SyncPoint({"a"})])
+
+    def test_duplicate_outputs_rejected(self):
+        with pytest.raises(ScheduleError):
+            IOSchedule(["a"], ["y", "y"], [SyncPoint({"a"})])
+
+    def test_overlapping_port_names_rejected(self):
+        with pytest.raises(ScheduleError):
+            IOSchedule(["x"], ["x"], [SyncPoint({"x"})])
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ScheduleError):
+            IOSchedule(["a"], ["y"], [])
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ScheduleError) as excinfo:
+            IOSchedule(["a"], ["y"], [SyncPoint({"b"})])
+        assert "unknown input" in str(excinfo.value)
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(ScheduleError):
+            IOSchedule(["a"], ["y"], [SyncPoint(set(), {"z"})])
+
+
+class TestStats:
+    def test_table1_triples(self, simple_schedule):
+        stats = simple_schedule.stats()
+        assert (stats.ports, stats.waits, stats.run) == (3, 2, 3)
+        assert str(stats) == "3 / 2 / 3"
+
+    def test_period_cycles(self, simple_schedule):
+        assert simple_schedule.period_cycles == 5
+
+    def test_viterbi_signature(self):
+        from repro.ips.signatures import viterbi_table1_schedule
+
+        stats = viterbi_table1_schedule().stats()
+        assert (stats.ports, stats.waits, stats.run) == (5, 4, 198)
+
+    def test_rs_signature(self):
+        from repro.ips.signatures import rs_table1_schedule
+
+        stats = rs_table1_schedule().stats()
+        assert (stats.ports, stats.waits, stats.run) == (4, 2957, 1)
+
+
+class TestMasks:
+    def test_input_mask_bit_order(self, simple_schedule):
+        p0, p1 = simple_schedule.points
+        assert simple_schedule.input_mask(p0) == 0b01  # "a" is bit 0
+        assert simple_schedule.input_mask(p1) == 0b10  # "b" is bit 1
+
+    def test_output_mask(self, simple_schedule):
+        p0, p1 = simple_schedule.points
+        assert simple_schedule.output_mask(p0) == 0
+        assert simple_schedule.output_mask(p1) == 1
+
+    def test_mask_round_trip(self, simple_schedule):
+        for point in simple_schedule.points:
+            mask = simple_schedule.input_mask(point)
+            assert simple_schedule.inputs_from_mask(mask) == point.inputs
+            omask = simple_schedule.output_mask(point)
+            assert simple_schedule.outputs_from_mask(omask) == point.outputs
+
+
+class TestNormalization:
+    def test_pure_run_point_fused(self):
+        s = IOSchedule(
+            ["a"], [],
+            [SyncPoint({"a"}, run=1), SyncPoint(run=2)],
+        )
+        normalized = s.normalized()
+        assert len(normalized.points) == 1
+        assert normalized.points[0].run == 4  # 1 + (1 sync + 2 run)
+
+    def test_leading_pure_run_wraps_to_tail(self):
+        s = IOSchedule(
+            ["a"], [],
+            [SyncPoint(run=1), SyncPoint({"a"}, run=0)],
+        )
+        normalized = s.normalized()
+        assert len(normalized.points) == 1
+        assert normalized.points[0].inputs == frozenset({"a"})
+        assert normalized.points[0].run == 2
+
+    def test_all_pure_run_collapses(self):
+        s = IOSchedule(["a"], [], [SyncPoint(run=1), SyncPoint(run=2)])
+        normalized = s.normalized()
+        assert len(normalized.points) == 1
+        assert normalized.points[0].cycles == s.period_cycles
+
+    def test_normalization_preserves_period(self, simple_schedule):
+        assert (
+            simple_schedule.normalized().period_cycles
+            == simple_schedule.period_cycles
+        )
+
+    def test_already_normal_unchanged(self, simple_schedule):
+        assert simple_schedule.normalized() == simple_schedule
+
+
+class TestTransforms:
+    def test_repeated(self, simple_schedule):
+        tripled = simple_schedule.repeated(3)
+        assert len(tripled.points) == 6
+        assert tripled.period_cycles == 15
+
+    def test_repeated_zero_rejected(self, simple_schedule):
+        with pytest.raises(ScheduleError):
+            simple_schedule.repeated(0)
+
+    def test_unrolled_cycles(self, simple_schedule):
+        cycles = simple_schedule.unrolled_cycles()
+        assert cycles == [
+            (0, "sync"), (0, "run"),
+            (1, "sync"), (1, "run"), (1, "run"),
+        ]
+
+    def test_uniform_schedule(self):
+        s = uniform_schedule(["a", "b"], ["y"], run=2)
+        assert len(s.points) == 1
+        assert s.points[0].inputs == frozenset({"a", "b"})
+        assert s.points[0].outputs == frozenset({"y"})
+        assert s.period_cycles == 3
+
+    def test_equality_and_hash(self, simple_schedule):
+        clone = IOSchedule(
+            simple_schedule.inputs,
+            simple_schedule.outputs,
+            simple_schedule.points,
+        )
+        assert clone == simple_schedule
+        assert hash(clone) == hash(simple_schedule)
+
+    def test_iteration(self, simple_schedule):
+        assert list(simple_schedule) == list(simple_schedule.points)
+        assert len(simple_schedule) == 2
+
+
+@st.composite
+def _schedules(draw):
+    n_in = draw(st.integers(1, 4))
+    n_out = draw(st.integers(1, 3))
+    inputs = [f"i{k}" for k in range(n_in)]
+    outputs = [f"o{k}" for k in range(n_out)]
+    n_points = draw(st.integers(1, 8))
+    points = []
+    for _ in range(n_points):
+        ins = draw(st.sets(st.sampled_from(inputs)))
+        outs = draw(st.sets(st.sampled_from(outputs)))
+        run = draw(st.integers(0, 12))
+        points.append(SyncPoint(ins, outs, run))
+    return IOSchedule(inputs, outputs, points)
+
+
+class TestScheduleProperties:
+    @given(_schedules())
+    @settings(max_examples=80)
+    def test_period_equals_unrolled_length(self, schedule):
+        assert len(schedule.unrolled_cycles()) == schedule.period_cycles
+
+    @given(_schedules())
+    @settings(max_examples=80)
+    def test_normalization_idempotent(self, schedule):
+        once = schedule.normalized()
+        assert once.normalized() == once
+
+    @given(_schedules())
+    @settings(max_examples=80)
+    def test_normalization_preserves_cycles_and_io(self, schedule):
+        normalized = schedule.normalized()
+        assert normalized.period_cycles == schedule.period_cycles
+        # Port-touch multiset preserved.
+        def touches(s):
+            bag = []
+            for p in s.points:
+                bag.append((p.inputs, p.outputs))
+            return sorted(
+                (sorted(i), sorted(o)) for i, o in bag if i or o
+            )
+        assert touches(normalized) == touches(schedule)
+
+    @given(_schedules())
+    @settings(max_examples=80)
+    def test_masks_invertible(self, schedule):
+        for point in schedule.points:
+            assert schedule.inputs_from_mask(
+                schedule.input_mask(point)
+            ) == point.inputs

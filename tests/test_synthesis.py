@@ -1,0 +1,134 @@
+"""Top-level synthesis flow and Table-1 reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.synthesis import (
+    SYNTH_STYLES,
+    synthesize_all_styles,
+    synthesize_wrapper,
+)
+from repro.core.schedule import IOSchedule, SyncPoint
+from repro.rtl.lint import LintError
+from repro.rtl.module import Module
+from repro.synthesis.flow import synthesize
+from repro.synthesis.report import (
+    PAPER_TABLE1,
+    ComparisonRow,
+    format_table1,
+)
+
+
+class TestFlow:
+    def test_flow_produces_report(self, simple_schedule):
+        result = synthesize_wrapper(simple_schedule, "sp")
+        assert result.report.slices >= 1
+        assert result.report.fmax_mhz > 0
+        assert result.program is not None
+        assert "module" in result.verilog
+
+    def test_flow_rejects_broken_module(self):
+        m = Module("broken")
+        m.input("a")
+        m.output("y")  # undriven
+        with pytest.raises(LintError):
+            synthesize(m)
+
+    def test_all_styles(self, simple_schedule):
+        results = synthesize_all_styles(simple_schedule)
+        assert set(results) == set(SYNTH_STYLES)
+        for style, result in results.items():
+            assert result.report.slices >= 1, style
+
+    def test_unknown_style_rejected(self, simple_schedule):
+        with pytest.raises(ValueError):
+            synthesize_wrapper(simple_schedule, "magic")
+
+    def test_sp_program_attached_only_for_sp(self, simple_schedule):
+        fsm = synthesize_wrapper(simple_schedule, "fsm")
+        assert fsm.program is None
+
+    def test_verilog_emission_stable(self, simple_schedule):
+        a = synthesize_wrapper(simple_schedule, "sp").verilog
+        b = synthesize_wrapper(simple_schedule, "sp").verilog
+        assert a == b
+
+    def test_summary_mentions_triple(self, simple_schedule):
+        result = synthesize_wrapper(simple_schedule, "sp")
+        assert "3 / 2 / 3" in result.summary()
+
+    def test_rom_style_forwarded(self, long_wait_schedule):
+        block = synthesize_wrapper(
+            long_wait_schedule, "sp", rom_style="block"
+        )
+        dist = synthesize_wrapper(
+            long_wait_schedule, "sp", rom_style="distributed"
+        )
+        assert block.report.mapping.brams >= 1
+        assert dist.report.mapping.brams == 0
+        assert dist.report.mapping.rom_luts > 0
+
+
+class TestComparisonRows:
+    def test_gains(self):
+        row = ComparisonRow(
+            ip_name="X",
+            ports=4,
+            waits=100,
+            run=1,
+            fsm_slices=200,
+            fsm_fmax=70.0,
+            sp_slices=20,
+            sp_fmax=105.0,
+        )
+        assert row.area_gain_pct == 90.0
+        assert row.fmax_gain_pct == pytest.approx(50.0)
+
+    def test_format_table(self):
+        row = ComparisonRow("RS", 4, 2957, 1, 2610, 71.0, 24, 105.0)
+        text = format_table1([row])
+        assert "RS 4/2957/1" in text
+        assert "2610" in text
+        assert "24" in text
+        assert "Port/wait/run" in text
+
+    def test_paper_reference_numbers(self):
+        assert PAPER_TABLE1["RS"]["fsm_slices"] == 2610
+        assert PAPER_TABLE1["Viterbi"]["sp_slices"] == 24
+        assert PAPER_TABLE1["RS"]["fmax_gain_pct"] == 47.0
+
+
+class TestShapeReproduction:
+    """Small-scale versions of the Table-1 asymmetry (fast enough for
+    unit tests; the full-size run lives in benchmarks/)."""
+
+    def _wait_schedule(self, n):
+        points = [SyncPoint({"sym"}) for _ in range(n)]
+        points.append(SyncPoint(frozenset(), {"out"}, run=1))
+        return IOSchedule(["sym"], ["out"], points)
+
+    def test_sp_beats_onehot_fsm_on_long_schedule(self):
+        schedule = self._wait_schedule(300)
+        sp = synthesize_wrapper(schedule, "sp")
+        fsm = synthesize_wrapper(schedule, "fsm-onehot")
+        assert sp.report.slices < fsm.report.slices / 5
+        assert sp.report.fmax_mhz >= fsm.report.fmax_mhz * 0.9
+
+    def test_fsm_area_grows_sp_does_not(self):
+        short = self._wait_schedule(50)
+        long = self._wait_schedule(400)
+        sp_short = synthesize_wrapper(short, "sp").report.slices
+        sp_long = synthesize_wrapper(long, "sp").report.slices
+        fsm_short = synthesize_wrapper(short, "fsm-onehot").report.slices
+        fsm_long = synthesize_wrapper(long, "fsm-onehot").report.slices
+        assert fsm_long > fsm_short * 4
+        assert sp_long <= sp_short + 3
+
+    def test_comb_smallest_but_limited(self, simple_schedule):
+        results = synthesize_all_styles(simple_schedule)
+        comb = results["combinational"].report.slices
+        assert comb <= min(
+            results["sp"].report.slices,
+            results["fsm"].report.slices,
+        )
