@@ -1,0 +1,266 @@
+"""Batch-verification engine benchmarks.
+
+Two measurements:
+
+* the simulator's trace-free fast path (precomputed phase lists, port
+  caches, allocation-free SP stepping) against a faithful replica of
+  the seed ``Simulation.step`` loop — the acceptance bar is >= 1.5x on
+  the bench_throughput-style ring workload;
+* end-to-end ``repro verify`` throughput in cases/second, which is
+  what bounds how much topology space a CI budget can cover.
+
+The seed replica reproduces the seed's driver loop (per-cycle block
+list copy, per-block attribute dispatch, watcher sweep), its shell
+dispatch (`_ports` generators, mask loops over dict lookups) and its
+per-cycle ``SPAction`` allocation, running on today's port/link
+internals — i.e. exactly the code paths this PR replaced.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.processor import SPAction, SPState, SyncProcessor
+from repro.core.schedule import IOSchedule, SyncPoint
+from repro.core.wrappers import SPWrapper
+from repro.lis.pearl import FunctionPearl
+from repro.lis.simulator import Simulation
+from repro.lis.system import System
+from repro.verify import BEHAVIOURAL_STYLES, BatchConfig, BatchRunner
+
+from _bench_common import write_result
+
+N_NODES = 3
+CYCLES = 15000
+ROUNDS = 3
+REQUIRED_SPEEDUP = 1.5
+
+
+# -- faithful seed replica ------------------------------------------------------
+
+
+class _SeedSyncProcessor(SyncProcessor):
+    """The seed's step(): allocates one SPAction per cycle."""
+
+    def step(self, in_ready, out_ready):
+        self.cycles += 1
+        state = self.state
+        addr = self.addr
+        if state is SPState.RESET:
+            self.state = SPState.READ_OP
+            return SPAction(False, 0, 0, None, state, addr)
+        if state is SPState.FREE_RUN:
+            self.enabled_cycles += 1
+            self.run_counter -= 1
+            if self.run_counter == 0:
+                self.state = SPState.READ_OP
+            return SPAction(True, 0, 0, None, state, addr)
+        op = self.program.ops[addr]
+        if not self._ready(op, in_ready, out_ready):
+            self.stall_cycles += 1
+            return SPAction(False, 0, 0, None, state, addr)
+        self.enabled_cycles += 1
+        next_addr = addr + 1
+        if next_addr == len(self.program.ops):
+            next_addr = 0
+            self.periods_completed += 1
+        self.addr = next_addr
+        if op.run > 0:
+            self.state = SPState.FREE_RUN
+            self.run_counter = op.run
+            self._running_op = op
+        return SPAction(True, op.in_mask, op.out_mask, op, state, addr)
+
+
+class _SeedSPWrapper(SPWrapper):
+    """The seed's shell dispatch: generator ports, dict-lookup masks,
+    no phase flattening."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.processor = _SeedSyncProcessor(self.program)
+
+    def _ports(self):
+        yield from self.in_ports.values()
+        yield from self.out_ports.values()
+
+    def phase_parts(self):
+        return [self.produce], [self.consume], [self.commit]
+
+    def _wrapper_step(self, cycle):
+        in_ready = 0
+        for bit, name in enumerate(self.pearl.schedule.inputs):
+            if self.in_ports[name].not_empty:
+                in_ready |= 1 << bit
+        out_ready = 0
+        for bit, name in enumerate(self.pearl.schedule.outputs):
+            if self.out_ports[name].not_full:
+                out_ready |= 1 << bit
+        action = self.processor.step(in_ready, out_ready)
+        if not action.enable:
+            self.stall_cycles += 1
+            if self.trace_enable is not None:
+                self.trace_enable.append(False)
+            return
+        if action.op is not None:
+            op = action.op
+            if op.is_head:
+                popped = {
+                    name: self.in_ports[name].pop()
+                    for bit, name in enumerate(self.pearl.schedule.inputs)
+                    if op.in_mask >> bit & 1
+                }
+                pushed = dict(
+                    self.pearl.on_sync(op.point_index, popped) or {}
+                )
+                for name, value in sorted(pushed.items()):
+                    self.out_ports[name].push(value)
+                self._phase_next = 0
+            else:
+                self.pearl.on_run(op.point_index, op.first_phase)
+                self._phase_next = op.first_phase + 1
+            self._running_point = op.point_index
+        else:
+            self.pearl.on_run(self._running_point, self._phase_next)
+            self._phase_next += 1
+        self.pearl._clocked()
+        self.enabled_cycles += 1
+        self.periods_completed = self.processor.periods_completed
+        if self.trace_enable is not None:
+            self.trace_enable.append(True)
+
+
+def _seed_step_loop(system, cycles):
+    """The seed driver: per-cycle list copy, attribute dispatch, and an
+    (empty) watcher sweep.  Validation happens outside the timed
+    region, mirroring the fast path's Simulation() construction."""
+    watchers = []
+    cycle = 0
+    for _ in range(cycles):
+        blocks = system.blocks
+        for block in blocks:
+            block.produce(cycle)
+        for block in blocks:
+            block.consume(cycle)
+        for block in blocks:
+            block.commit()
+        for watcher in watchers:
+            watcher(cycle)
+        cycle += 1
+
+
+def _ring(wrapper_cls):
+    schedule = IOSchedule(["x"], ["y"], [SyncPoint({"x"}, {"y"})])
+
+    def make(name):
+        def fn(index, popped):
+            return {"y": popped["x"]}
+
+        return FunctionPearl(name, schedule, fn)
+
+    system = System("ring")
+    shells = [
+        system.add_patient(wrapper_cls(make(f"n{i}")))
+        for i in range(N_NODES)
+    ]
+    for i in range(N_NODES):
+        system.connect(
+            shells[i], "y", shells[(i + 1) % N_NODES], "x",
+            initial_tokens=[0] if i == N_NODES - 1 else (),
+        )
+    return system, shells
+
+
+def _time_pair():
+    """One round: (seed loop seconds, fast path seconds), on identical
+    fresh ring workloads."""
+    seed_system, seed_shells = _ring(_SeedSPWrapper)
+    seed_system.validate()
+    started = time.perf_counter()
+    _seed_step_loop(seed_system, CYCLES)
+    seed_elapsed = time.perf_counter() - started
+
+    fast_system, fast_shells = _ring(SPWrapper)
+    simulation = Simulation(fast_system)
+    started = time.perf_counter()
+    simulation.run(CYCLES)
+    fast_elapsed = time.perf_counter() - started
+
+    # Both executions must do identical work.
+    assert [s.enabled_cycles for s in seed_shells] == [
+        s.enabled_cycles for s in fast_shells
+    ]
+    return seed_elapsed, fast_elapsed
+
+
+def test_fast_path_beats_seed_step_loop(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_time_pair() for _ in range(ROUNDS)],
+        rounds=1,
+        iterations=1,
+    )
+    best_seed = min(seed for seed, _fast in rows)
+    best_fast = min(fast for _seed, fast in rows)
+    speedup = best_seed / best_fast
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"fast path only {speedup:.2f}x over the seed step loop"
+    )
+
+    benchmark.extra_info.update(
+        cycles=CYCLES,
+        seed_ms=round(best_seed * 1e3, 1),
+        fast_ms=round(best_fast * 1e3, 1),
+        speedup=round(speedup, 2),
+    )
+    lines = [
+        f"Trace-free simulation fast path vs seed step loop "
+        f"({N_NODES}-process SP ring, {CYCLES} cycles, "
+        f"best of {ROUNDS})",
+        "",
+        f"{'variant':>12} | {'ms/run':>8} {'cycles/s':>12}",
+        "-" * 38,
+        f"{'seed loop':>12} | {best_seed * 1e3:>8.1f} "
+        f"{CYCLES / best_seed:>12.0f}",
+        f"{'fast path':>12} | {best_fast * 1e3:>8.1f} "
+        f"{CYCLES / best_fast:>12.0f}",
+        "",
+        f"speedup: {speedup:.2f}x (required >= {REQUIRED_SPEEDUP}x)",
+    ]
+    write_result("batch_verify_fastpath.txt", "\n".join(lines))
+
+
+def test_batch_verify_throughput(benchmark):
+    config = BatchConfig(
+        cases=12,
+        seed=0,
+        jobs=1,
+        cycles=200,
+        styles=BEHAVIOURAL_STYLES,
+    )
+
+    def batch():
+        return BatchRunner(config).run()
+
+    report = benchmark.pedantic(batch, rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    rate = len(report.outcomes) / report.duration_s
+
+    benchmark.extra_info.update(
+        cases=len(report.outcomes),
+        checks=report.checks,
+        cases_per_s=round(rate, 1),
+    )
+    lines = [
+        "Batch differential verification throughput "
+        f"({config.cases} topologies, {config.cycles} cycles, "
+        f"styles {', '.join(config.styles)})",
+        "",
+        f"cases/s:      {rate:.1f}",
+        f"cross-checks: {report.checks}",
+        f"sink tokens:  {sum(o.sink_tokens for o in report.outcomes)}",
+        "",
+        "Every case simulates the same random topology once per "
+        "wrapper style and cross-checks sink streams, enable traces "
+        "and analytic throughput bounds.",
+    ]
+    write_result("batch_verify_throughput.txt", "\n".join(lines))

@@ -9,12 +9,15 @@ Subcommands:
 * ``table1`` — regenerate the paper's Table 1 from the built-in
   signature schedules;
 * ``compare`` — synthesize every wrapper style for one schedule and
-  print the comparison.
+  print the comparison;
+* ``verify`` — batch differential verification of random LIS
+  topologies across wrapper styles (see :mod:`repro.verify`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -95,13 +98,87 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    # Imported lazily: the verify machinery drags in the RTL simulator
+    # and multiprocessing, which the synthesis subcommands never need.
+    from .sched.generate import topology_from_dict
+    from .verify import (
+        DEFAULT_STYLES,
+        BatchConfig,
+        BatchRunner,
+        VerifyCase,
+        run_case,
+    )
+
+    if args.repro is not None:
+        try:
+            data = json.loads(pathlib.Path(args.repro).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load reproducer {args.repro}: {exc}",
+                  file=sys.stderr)
+            return 2
+        # Saved reproducers carry their run parameters; CLI flags only
+        # fill the gaps for hand-written topology files.
+        case = VerifyCase(
+            index=0,
+            seed=int(data.get("seed", 0)),
+            cycles=int(data.get("cycles", args.cycles)),
+            topology=topology_from_dict(data),
+            styles=tuple(data.get("styles", DEFAULT_STYLES)),
+            deadlock_window=data.get(
+                "deadlock_window", args.deadlock_window
+            ),
+        )
+        outcome = run_case(case)
+        if outcome.ok:
+            print(
+                f"reproducer {args.repro}: no divergence "
+                f"({outcome.checks} checks)"
+            )
+            return 0
+        print(f"reproducer {args.repro}: DIVERGED")
+        for divergence in outcome.divergences:
+            print(f"  {divergence}")
+        return 1
+
+    try:
+        config = BatchConfig(
+            cases=args.cases,
+            seed=args.seed,
+            jobs=args.jobs,
+            cycles=args.cycles,
+            deadlock_window=args.deadlock_window,
+            shrink=not args.no_shrink,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = BatchRunner(config).run()
+    print(report.summary())
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for outcome, topology in report.shrunk:
+            path = out_dir / f"case{outcome.index}_minimal.json"
+            path.write_text(json.dumps(topology, indent=2) + "\n")
+            print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Synchronization-processor wrapper synthesis for latency "
             "insensitive systems (DATE'05 reproduction)."
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -134,6 +211,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("schedule")
     compare.set_defaults(fn=_cmd_compare)
+
+    verify = sub.add_parser(
+        "verify",
+        help="batch differential verification of random topologies",
+    )
+    verify.add_argument(
+        "--cases", type=int, default=50,
+        help="number of random topologies to check",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0, help="master seed"
+    )
+    verify.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (results are job-count independent)",
+    )
+    verify.add_argument(
+        "--cycles", type=int, default=300,
+        help="simulated cycles per case and style",
+    )
+    verify.add_argument(
+        "--deadlock-window", type=int, default=64,
+        help="stop a run after this many globally idle cycles",
+    )
+    verify.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip minimizing failing cases",
+    )
+    verify.add_argument(
+        "--out", default=None,
+        help="directory for minimal-reproducer JSON files",
+    )
+    verify.add_argument(
+        "--repro", default=None,
+        help="replay one saved topology JSON instead of a batch",
+    )
+    verify.set_defaults(fn=_cmd_verify)
     return parser
 
 

@@ -58,6 +58,26 @@ class SyncProcessor:
         self.enabled_cycles = 0
         self.stall_cycles = 0
         self.periods_completed = 0
+        # The action space is finite (state x address): precompute it so
+        # the per-cycle step allocates nothing (SPAction is immutable).
+        self._ops = program.ops
+        self._fire_actions = [
+            SPAction(
+                True, op.in_mask, op.out_mask, op, SPState.READ_OP, addr
+            )
+            for addr, op in enumerate(program.ops)
+        ]
+        self._stall_actions = [
+            SPAction(False, 0, 0, None, SPState.READ_OP, addr)
+            for addr in range(len(program.ops))
+        ]
+        self._freerun_actions = [
+            SPAction(True, 0, 0, None, SPState.FREE_RUN, addr)
+            for addr in range(len(program.ops))
+        ]
+        self._reset_action = SPAction(
+            False, 0, 0, None, SPState.RESET, 0
+        )
 
     def reset(self) -> None:
         self.state = SPState.RESET
@@ -97,24 +117,27 @@ class SyncProcessor:
         if state is SPState.RESET:
             # Power-up cycle: fetch address 0, decide nothing yet.
             self.state = SPState.READ_OP
-            return SPAction(False, 0, 0, None, state, addr)
+            return self._reset_action
 
         if state is SPState.FREE_RUN:
             self.enabled_cycles += 1
             self.run_counter -= 1
             if self.run_counter == 0:
                 self.state = SPState.READ_OP
-            return SPAction(True, 0, 0, None, state, addr)
+            return self._freerun_actions[addr]
 
         # READ_OP: the asynchronous ROM presents ops[addr] this cycle.
-        op = self.program.ops[addr]
-        if not self._ready(op, in_ready, out_ready):
+        op = self._ops[addr]
+        if (
+            (op.in_mask & in_ready) != op.in_mask
+            or (op.out_mask & out_ready) != op.out_mask
+        ):
             self.stall_cycles += 1
-            return SPAction(False, 0, 0, None, state, addr)
+            return self._stall_actions[addr]
 
         self.enabled_cycles += 1
         next_addr = addr + 1
-        if next_addr == len(self.program.ops):
+        if next_addr == len(self._ops):
             next_addr = 0
             self.periods_completed += 1
         self.addr = next_addr
@@ -122,7 +145,7 @@ class SyncProcessor:
             self.state = SPState.FREE_RUN
             self.run_counter = op.run
             self._running_op = op
-        return SPAction(True, op.in_mask, op.out_mask, op, state, addr)
+        return self._fire_actions[addr]
 
     def trace(self, in_ready: int, out_ready: int, cycles: int):
         """Run ``cycles`` steps under constant readiness (tests/demos)."""

@@ -55,17 +55,31 @@ class SPWrapper(Shell):
         self.program = compile_schedule(pearl.schedule, options)
         self.processor = SyncProcessor(self.program)
         self._phase_next = 0
+        self._ordered_in: list | None = None
+        self._ordered_out: list | None = None
 
     # The SP drives everything from its program; bypass the base class's
     # generic scheduler.
     def _wrapper_step(self, cycle: int) -> None:
+        ordered_in = self._ordered_in
+        if ordered_in is None:
+            # Ports are bound after construction; snapshot them in mask
+            # bit order on first use.
+            ordered_in = self._ordered_in = [
+                self.in_ports[name]
+                for name in self.pearl.schedule.inputs
+            ]
+            self._ordered_out = [
+                self.out_ports[name]
+                for name in self.pearl.schedule.outputs
+            ]
         in_ready = 0
-        for bit, name in enumerate(self.pearl.schedule.inputs):
-            if self.in_ports[name].not_empty:
+        for bit, port in enumerate(ordered_in):
+            if port.not_empty:
                 in_ready |= 1 << bit
         out_ready = 0
-        for bit, name in enumerate(self.pearl.schedule.outputs):
-            if self.out_ports[name].not_full:
+        for bit, port in enumerate(self._ordered_out):
+            if port.not_full:
                 out_ready |= 1 << bit
         action = self.processor.step(in_ready, out_ready)
 

@@ -15,7 +15,7 @@ not-empty / not-full guards it tested.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any
+from typing import Any, Iterable
 
 from .signals import VOID, Block, Link, is_void
 
@@ -39,13 +39,36 @@ class InputPort(Block):
         super().__init__(name)
         self.link = link
         self.depth = depth
+        self._data = link.data
+        self._stop = link.stop
         self._fifo: deque[Any] = deque()
         self._popped = 0
         self._arrived: Any = VOID
+        self._preload: list[Any] = []
         self.tokens_received = 0
         self.stall_cycles = 0
 
     # wrapper-facing FIFO interface -------------------------------------------
+
+    def preload(self, values: Iterable[Any]) -> None:
+        """Place initial tokens in the FIFO — the reset-time marking of
+        the channel (credit tokens that make feedback loops live).
+
+        The marking is part of the power-up state: :meth:`reset`
+        restores it.  Raises :class:`ValueError` if the marking exceeds
+        the port depth or contains VOID.
+        """
+        values = list(values)
+        if any(is_void(value) for value in values):
+            raise ValueError("cannot preload VOID tokens")
+        if len(self._fifo) + len(values) > self.depth:
+            raise ValueError(
+                f"preload of {len(values)} token(s) overflows port "
+                f"{self.name!r} (depth {self.depth}, "
+                f"{len(self._fifo)} already present)"
+            )
+        self._fifo.extend(values)
+        self._preload.extend(values)
 
     @property
     def not_empty(self) -> bool:
@@ -65,28 +88,34 @@ class InputPort(Block):
     # two-phase protocol ----------------------------------------------------------
 
     def produce(self, cycle: int) -> None:
-        self.link.stop.put(len(self._fifo) >= self.depth)
+        self._stop.stop = len(self._fifo) >= self.depth
 
     def consume(self, cycle: int) -> None:
-        incoming = self.link.data.get()
-        if not is_void(incoming) and len(self._fifo) < self.depth:
-            # Transfer fires: token offered while our stop is low.  An
-            # offer under stop is legal — the producer holds the token.
-            self._arrived = incoming
-            self.tokens_received += 1
-        if len(self._fifo) >= self.depth:
+        incoming = self._data.value
+        if len(self._fifo) < self.depth:
+            if incoming is not VOID:
+                # Transfer fires: token offered while our stop is low.
+                # An offer under stop is legal — the producer holds the
+                # token.
+                self._arrived = incoming
+                self.tokens_received += 1
+        else:
             self.stall_cycles += 1
 
     def commit(self) -> None:
-        for _ in range(self._popped):
-            self._fifo.popleft()
-        self._popped = 0
-        if not is_void(self._arrived):
+        popped = self._popped
+        if popped:
+            fifo = self._fifo
+            for _ in range(popped):
+                fifo.popleft()
+            self._popped = 0
+        if self._arrived is not VOID:
             self._fifo.append(self._arrived)
             self._arrived = VOID
 
     def reset(self) -> None:
         self._fifo.clear()
+        self._fifo.extend(self._preload)
         self._popped = 0
         self._arrived = VOID
         self.tokens_received = 0
@@ -108,6 +137,8 @@ class OutputPort(Block):
         super().__init__(name)
         self.link = link
         self.depth = depth
+        self._data = link.data
+        self._stop = link.stop
         self._fifo: deque[Any] = deque()
         self._pushed: list[Any] = []
         self._sent_head = False
@@ -134,21 +165,26 @@ class OutputPort(Block):
     # two-phase protocol ----------------------------------------------------------
 
     def produce(self, cycle: int) -> None:
-        head = self._fifo[0] if self._fifo else VOID
-        self.link.data.put(head)
+        fifo = self._fifo
+        self._data.value = fifo[0] if fifo else VOID
 
     def consume(self, cycle: int) -> None:
-        self._sent_head = bool(self._fifo) and not self.link.stop.get()
-        if self._fifo and not self._sent_head:
-            self.stall_cycles += 1
+        if self._fifo:
+            sent = not self._stop.stop
+            self._sent_head = sent
+            if not sent:
+                self.stall_cycles += 1
+        else:
+            self._sent_head = False
 
     def commit(self) -> None:
         if self._sent_head:
             self._fifo.popleft()
             self.tokens_sent += 1
             self._sent_head = False
-        self._fifo.extend(self._pushed)
-        self._pushed.clear()
+        if self._pushed:
+            self._fifo.extend(self._pushed)
+            self._pushed.clear()
 
     def reset(self) -> None:
         self._fifo.clear()

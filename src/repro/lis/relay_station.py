@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
-from .signals import VOID, Block, Link, is_void
+from .signals import VOID, Block, Link
 
 RELAY_CAPACITY = 2
 
@@ -28,8 +28,13 @@ class RelayStation(Block):
         super().__init__(name)
         self.upstream = upstream
         self.downstream = downstream
+        self._up_data = upstream.data
+        self._up_stop = upstream.stop
+        self._down_data = downstream.data
+        self._down_stop = downstream.stop
         self._buffer: deque[Any] = deque()
-        self._next_buffer: deque[Any] | None = None
+        self._pop_head = False
+        self._arrived: Any = VOID
         # Telemetry for benches: cycles spent full / tokens moved.
         self.tokens_forwarded = 0
         self.full_cycles = 0
@@ -37,32 +42,38 @@ class RelayStation(Block):
     # -- two-phase protocol --------------------------------------------------
 
     def produce(self, cycle: int) -> None:
-        head = self._buffer[0] if self._buffer else VOID
-        self.downstream.data.put(head)
-        self.upstream.stop.put(len(self._buffer) >= RELAY_CAPACITY)
+        buffer = self._buffer
+        self._down_data.value = buffer[0] if buffer else VOID
+        self._up_stop.stop = len(buffer) >= RELAY_CAPACITY
 
     def consume(self, cycle: int) -> None:
-        buffer = deque(self._buffer)
-        if self._buffer and not self.downstream.stop.get():
-            buffer.popleft()
-            self.tokens_forwarded += 1
-        incoming = self.upstream.data.get()
-        if not is_void(incoming) and len(self._buffer) < RELAY_CAPACITY:
+        occupancy = len(self._buffer)
+        next_occupancy = occupancy
+        if occupancy and not self._down_stop.stop:
+            self._pop_head = True
+            next_occupancy -= 1
+        incoming = self._up_data.value
+        if incoming is not VOID and occupancy < RELAY_CAPACITY:
             # Transfer fires: token offered while our stop is low.  An
             # offer under stop is legal — the producer holds the token.
-            buffer.append(incoming)
-        if len(buffer) >= RELAY_CAPACITY:
+            self._arrived = incoming
+            next_occupancy += 1
+        if next_occupancy >= RELAY_CAPACITY:
             self.full_cycles += 1
-        self._next_buffer = buffer
 
     def commit(self) -> None:
-        if self._next_buffer is not None:
-            self._buffer = self._next_buffer
-            self._next_buffer = None
+        if self._pop_head:
+            self._buffer.popleft()
+            self.tokens_forwarded += 1
+            self._pop_head = False
+        if self._arrived is not VOID:
+            self._buffer.append(self._arrived)
+            self._arrived = VOID
 
     def reset(self) -> None:
         self._buffer.clear()
-        self._next_buffer = None
+        self._pop_head = False
+        self._arrived = VOID
         self.tokens_forwarded = 0
         self.full_cycles = 0
 

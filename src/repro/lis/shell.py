@@ -49,6 +49,7 @@ class Shell(Block):
         self.stall_cycles = 0
         self.periods_completed = 0
         self.trace_enable: list[bool] | None = None
+        self._port_cache: list[InputPort | OutputPort] | None = None
 
     # -- wiring ------------------------------------------------------------------
 
@@ -65,6 +66,7 @@ class Shell(Block):
             f"{self.name}.{port_name}", link, self.port_depth
         )
         self.in_ports[port_name] = port
+        self._port_cache = None
         return port
 
     def bind_output(self, port_name: str, link: Link) -> OutputPort:
@@ -80,6 +82,7 @@ class Shell(Block):
             f"{self.name}.{port_name}", link, self.port_depth
         )
         self.out_ports[port_name] = port
+        self._port_cache = None
         return port
 
     def check_bound(self) -> None:
@@ -94,9 +97,14 @@ class Shell(Block):
                 f"{missing}"
             )
 
-    def _ports(self):
-        yield from self.in_ports.values()
-        yield from self.out_ports.values()
+    def _ports(self) -> list[InputPort | OutputPort]:
+        ports = self._port_cache
+        if ports is None:
+            ports = self._port_cache = [
+                *self.in_ports.values(),
+                *self.out_ports.values(),
+            ]
+        return ports
 
     # -- firing policy (overridden by wrapper styles) -----------------------------
 
@@ -124,6 +132,22 @@ class Shell(Block):
     def commit(self) -> None:
         for port in self._ports():
             port.commit()
+
+    def phase_parts(self):
+        cls = type(self)
+        if (
+            cls.produce is not Shell.produce
+            or cls.consume is not Shell.consume
+            or cls.commit is not Shell.commit
+        ):
+            # A subclass replaced a phase wholesale; don't flatten.
+            return super().phase_parts()
+        ports = self._ports()
+        return (
+            [port.produce for port in ports],
+            [port.consume for port in ports] + [self._wrapper_step],
+            [port.commit for port in ports],
+        )
 
     def reset(self) -> None:
         for port in self._ports():

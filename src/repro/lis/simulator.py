@@ -5,6 +5,13 @@ each cycle, every block's ``produce`` runs (outputs from registered
 state), then every ``consume`` (inputs -> next state), then every
 ``commit``.  No fixed-point iteration is needed because no block has a
 same-cycle input-to-output path.
+
+The driver keeps precomputed per-phase bound-method lists (built once,
+when the :class:`Simulation` is constructed) and :meth:`Simulation.run`
+has a *trace-free fast path*: with no watchers attached and no deadlock
+window requested, the cycle loop is a tight sweep over those lists with
+no per-cycle bookkeeping at all.  Batch verification
+(:mod:`repro.verify`) and the throughput benches run in that mode.
 """
 
 from __future__ import annotations
@@ -27,41 +34,73 @@ class SimulationResult:
     deadlocked: bool = False
 
     def utilization(self, shell_name: str) -> float:
+        """Enabled fraction for ``shell_name``.
+
+        Raises :class:`KeyError` for names the run never saw; a run of
+        zero cycles reports 0.0 for every known shell.
+        """
+        enabled = self.shell_enabled[shell_name]
         if self.cycles == 0:
             return 0.0
-        return self.shell_enabled.get(shell_name, 0) / self.cycles
+        return enabled / self.cycles
 
     def throughput(self, sink_name: str) -> float:
+        """Tokens per cycle delivered to ``sink_name``.
+
+        Raises :class:`KeyError` for names the run never saw; a run of
+        zero cycles reports 0.0 for every known sink.
+        """
+        tokens = self.sink_tokens[sink_name]
         if self.cycles == 0:
             return 0.0
-        return self.sink_tokens.get(sink_name, 0) / self.cycles
+        return tokens / self.cycles
 
 
 class Simulation:
-    """Drives a validated :class:`System`."""
+    """Drives a validated :class:`System`.
+
+    The block set is frozen at construction: blocks added to the system
+    afterwards are not simulated (construct a new :class:`Simulation`).
+    """
 
     def __init__(self, system: System) -> None:
         system.validate()
         self.system = system
         self.cycle = 0
         self._watchers: list[Callable[[int], None]] = []
+        self._produce: list[Callable[[int], None]] = []
+        self._consume: list[Callable[[int], None]] = []
+        self._commit: list[Callable[[], None]] = []
+        for block in system.blocks:
+            produce, consume, commit = block.phase_parts()
+            self._produce.extend(produce)
+            self._consume.extend(consume)
+            self._commit.extend(commit)
+        self._shells = list(system.shells.values())
 
     def add_watcher(self, fn: Callable[[int], None]) -> None:
         """``fn(cycle)`` runs after every commit (trace collection)."""
         self._watchers.append(fn)
 
     def step(self, cycles: int = 1) -> None:
-        blocks = self.system.blocks
-        for _ in range(cycles):
-            for block in blocks:
-                block.produce(self.cycle)
-            for block in blocks:
-                block.consume(self.cycle)
-            for block in blocks:
-                block.commit()
-            for watcher in self._watchers:
-                watcher(self.cycle)
-            self.cycle += 1
+        produce = self._produce
+        consume = self._consume
+        commit = self._commit
+        watchers = self._watchers
+        cycle = self.cycle
+        try:
+            for _ in range(cycles):
+                for fn in produce:
+                    fn(cycle)
+                for fn in consume:
+                    fn(cycle)
+                for fn in commit:
+                    fn()
+                for watcher in watchers:
+                    watcher(cycle)
+                cycle += 1
+        finally:
+            self.cycle = cycle
 
     def run(
         self,
@@ -70,26 +109,45 @@ class Simulation:
     ) -> SimulationResult:
         """Run for ``cycles`` cycles; optionally stop early if no shell
         fires for ``deadlock_window`` consecutive cycles."""
-        quiet = 0
         deadlocked = False
         executed = 0
-        last_enabled = {
-            name: shell.enabled_cycles
-            for name, shell in self.system.shells.items()
-        }
-        for _ in range(cycles):
-            self.step()
-            executed += 1
-            if deadlock_window is not None:
-                progressed = False
-                for name, shell in self.system.shells.items():
-                    if shell.enabled_cycles != last_enabled[name]:
-                        progressed = True
-                        last_enabled[name] = shell.enabled_cycles
-                quiet = 0 if progressed else quiet + 1
-                if quiet >= deadlock_window:
-                    deadlocked = True
-                    break
+        if deadlock_window is None and not self._watchers:
+            # Trace-free fast path: nothing to observe per cycle.
+            produce = self._produce
+            consume = self._consume
+            commit = self._commit
+            cycle = self.cycle
+            try:
+                for _ in range(cycles):
+                    for fn in produce:
+                        fn(cycle)
+                    for fn in consume:
+                        fn(cycle)
+                    for fn in commit:
+                        fn()
+                    cycle += 1
+                    executed += 1
+            finally:
+                self.cycle = cycle
+        else:
+            quiet = 0
+            # enabled_cycles counters only ever grow, so the sum moves
+            # exactly when some shell made progress.
+            last_total = sum(
+                shell.enabled_cycles for shell in self._shells
+            )
+            for _ in range(cycles):
+                self.step()
+                executed += 1
+                if deadlock_window is not None:
+                    total = sum(
+                        shell.enabled_cycles for shell in self._shells
+                    )
+                    quiet = 0 if total != last_total else quiet + 1
+                    last_total = total
+                    if quiet >= deadlock_window:
+                        deadlocked = True
+                        break
         return SimulationResult(
             cycles=executed,
             shell_enabled={

@@ -30,6 +30,8 @@ class Source(Block):
     ) -> None:
         super().__init__(name)
         self.link = link
+        self._data = link.data
+        self._stop = link.stop
         self._iter: Iterator[Any] = iter(tokens)
         self._pending: Any = VOID
         self._gaps = list(gaps) if gaps is not None else [True]
@@ -40,26 +42,27 @@ class Source(Block):
         self.blocked_cycles = 0
 
     def _refill(self) -> None:
-        if is_void(self._pending):
+        if self._pending is VOID:
             try:
                 self._pending = next(self._iter)
             except StopIteration:
                 self._pending = VOID
 
     def produce(self, cycle: int) -> None:
-        available = self._gaps[cycle % len(self._gaps)]
+        gaps = self._gaps
+        available = gaps[cycle % len(gaps)]
         self._refill()
-        if available and not is_void(self._pending):
-            self.link.data.put(self._pending)
+        if available and self._pending is not VOID:
+            self._data.value = self._pending
         else:
-            self.link.data.put(VOID)
+            self._data.value = VOID
 
     def consume(self, cycle: int) -> None:
-        offered = not is_void(self.link.data.get())
-        if offered and not self.link.stop.get():
-            self._sent_this_cycle = True
-        elif offered:
-            self.blocked_cycles += 1
+        if self._data.value is not VOID:
+            if not self._stop.stop:
+                self._sent_this_cycle = True
+            else:
+                self.blocked_cycles += 1
 
     def commit(self) -> None:
         if self._sent_this_cycle:
@@ -95,6 +98,8 @@ class Sink(Block):
     ) -> None:
         super().__init__(name)
         self.link = link
+        self._data = link.data
+        self._stop = link.stop
         self._accepts = list(stalls) if stalls is not None else [True]
         self._limit = limit
         self._accepted_this_cycle: Any = VOID
@@ -103,21 +108,22 @@ class Sink(Block):
         self.last_arrival_cycle: int | None = None
 
     def produce(self, cycle: int) -> None:
-        accepting = self._accepts[cycle % len(self._accepts)]
-        if self._limit is not None and len(self.received) >= self._limit:
-            accepting = False
-        self.link.stop.put(not accepting)
+        accepts = self._accepts
+        accepting = accepts[cycle % len(accepts)]
+        if accepting and self._limit is not None:
+            accepting = len(self.received) < self._limit
+        self._stop.stop = not accepting
 
     def consume(self, cycle: int) -> None:
-        value = self.link.data.get()
-        if not is_void(value) and not self.link.stop.get():
+        value = self._data.value
+        if value is not VOID and not self._stop.stop:
             self._accepted_this_cycle = value
             if self.first_arrival_cycle is None:
                 self.first_arrival_cycle = cycle
             self.last_arrival_cycle = cycle
 
     def commit(self) -> None:
-        if not is_void(self._accepted_this_cycle):
+        if self._accepted_this_cycle is not VOID:
             self.received.append(self._accepted_this_cycle)
             self._accepted_this_cycle = VOID
 

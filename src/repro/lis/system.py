@@ -31,17 +31,20 @@ class Channel:
         consumer: str,
         latency: int,
         stations: Sequence[RelayStation],
+        tokens: int = 0,
     ) -> None:
         self.name = name
         self.producer = producer
         self.consumer = consumer
         self.latency = latency
         self.stations = list(stations)
+        self.tokens = tokens
 
     def __repr__(self) -> str:
         return (
             f"Channel({self.name!r}, {self.producer} -> {self.consumer}, "
-            f"latency={self.latency}, relays={len(self.stations)})"
+            f"latency={self.latency}, relays={len(self.stations)}, "
+            f"tokens={self.tokens})"
         )
 
 
@@ -88,8 +91,15 @@ class System:
         consumer: Shell,
         in_name: str,
         latency: int = 1,
+        initial_tokens: Sequence[Any] = (),
     ) -> Channel:
-        """Channel from ``producer.out_name`` to ``consumer.in_name``."""
+        """Channel from ``producer.out_name`` to ``consumer.in_name``.
+
+        ``initial_tokens`` is the channel's reset-time marking: the
+        token values are preloaded into the consumer's input-port FIFO
+        (credit tokens that make feedback loops live) and counted in
+        the channel's marked-graph model.
+        """
         channel_name = (
             f"{producer.name}.{out_name}->{consumer.name}.{in_name}"
         )
@@ -97,9 +107,12 @@ class System:
         stations, tail = segment_channel(channel_name, head, latency)
         self._register_stations(stations)
         producer.bind_output(out_name, head)
-        consumer.bind_input(in_name, tail)
+        port = consumer.bind_input(in_name, tail)
+        if initial_tokens:
+            port.preload(initial_tokens)
         channel = Channel(
-            channel_name, producer.name, consumer.name, latency, stations
+            channel_name, producer.name, consumer.name, latency,
+            stations, tokens=len(initial_tokens),
         )
         self.channels.append(channel)
         return channel

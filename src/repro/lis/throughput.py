@@ -210,7 +210,9 @@ def system_marked_graph(system) -> MarkedGraph:
     """Build the analysis graph of a :class:`~repro.lis.system.System`.
 
     Only inter-shell channels form the feedback structure; sources and
-    sinks are throughput-1 endpoints and are omitted.
+    sinks are throughput-1 endpoints and are omitted.  Each channel's
+    reset-time marking (``initial_tokens`` of :meth:`System.connect`)
+    carries over as its marked-graph token count.
     """
     marked = MarkedGraph()
     for name in system.shells:
@@ -224,6 +226,6 @@ def system_marked_graph(system) -> MarkedGraph:
                 channel.producer,
                 channel.consumer,
                 latency=channel.latency,
-                tokens=0,
+                tokens=channel.tokens,
             )
     return marked

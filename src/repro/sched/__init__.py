@@ -7,7 +7,20 @@ from .analysis import (
     sp_area_is_schedule_independent,
     table1_triple,
 )
-from .generate import DSPProfile, dsp_schedule, random_schedule
+from .generate import (
+    DSPProfile,
+    ProcessNode,
+    SystemTopology,
+    TopologyChannel,
+    TopologyProfile,
+    TopologySink,
+    TopologySource,
+    dsp_schedule,
+    random_schedule,
+    random_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
 from .extraction import (
     ExtractionError,
     TraceEvent,
@@ -33,9 +46,18 @@ __all__ = [
     "StaticScheduleError",
     "TraceEvent",
     "DSPProfile",
+    "ProcessNode",
+    "SystemTopology",
+    "TopologyChannel",
+    "TopologyProfile",
+    "TopologySink",
+    "TopologySource",
     "analyze",
     "dsp_schedule",
     "random_schedule",
+    "random_topology",
+    "topology_from_dict",
+    "topology_to_dict",
     "compute_static_schedule",
     "events_to_schedule",
     "extract_schedule",

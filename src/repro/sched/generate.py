@@ -1,9 +1,18 @@
-"""Synthetic HLS-style schedule generation.
+"""Synthetic HLS-style schedule and system-topology generation.
 
 The paper's schedules come from GAUT's high-level synthesis of DSP
 cores; this module generates schedules with the same *structure* —
 streaming input phases, compute bursts, streaming output phases —
 parameterized and seeded, for fuzz testing and scaling studies.
+
+Beyond single-pearl schedules, :func:`random_topology` generates whole
+*latency-insensitive system* descriptions: seeded DAG or cyclic
+networks of patient processes, relay-segmented channels, jittery
+sources and backpressuring sinks.  The description
+(:class:`SystemTopology`) is pure data — picklable, JSON round-trip via
+:func:`topology_to_dict` — so the batch verifier
+(:mod:`repro.verify`) can ship cases across worker processes and
+shrink failing ones to minimal reproducers.
 """
 
 from __future__ import annotations
@@ -11,6 +20,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..core.io import schedule_from_dict, schedule_to_dict
 from ..core.schedule import IOSchedule, SyncPoint
 
 
@@ -104,3 +114,452 @@ def random_schedule(
         )
         points.append(SyncPoint(ins, outs, rng.randrange(0, max_run + 1)))
     return IOSchedule(inputs, outputs, points)
+
+
+# -- random system topologies --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologyProfile:
+    """Shape parameters of a random latency-insensitive system."""
+
+    min_processes: int = 2
+    max_processes: int = 5
+    max_ports: int = 2  # max inputs and max outputs per process
+    max_points: int = 4  # sync points per non-uniform process schedule
+    max_run: int = 6  # free-run cycles granted per sync point
+    max_latency: int = 3  # channel forward latency (relay segmentation)
+    p_internal: float = 0.65  # input fed by an upstream process
+    p_feedback: float = 0.35  # topology gets feedback edges at all
+    max_feedback: int = 2  # feedback channels per topology
+    p_uniform: float = 0.4  # all-uniform topology (analytic throughput)
+    p_source_jitter: float = 0.6  # source gets an irregular gap pattern
+    p_sink_backpressure: float = 0.5  # sink gets a stall pattern
+    source_tokens: int = 256  # tokens offered per source
+    port_depth: int = 2  # shell FIFO port depth
+
+    def __post_init__(self) -> None:
+        if self.min_processes < 1:
+            raise ValueError("need at least one process")
+        if self.max_processes < self.min_processes:
+            raise ValueError("max_processes < min_processes")
+        if self.max_ports < 1 or self.max_points < 1:
+            raise ValueError("need at least one port and one point")
+        if self.max_latency < 1:
+            raise ValueError("channel latency must be >= 1")
+        if self.port_depth < 1:
+            raise ValueError("port depth must be >= 1")
+        if self.source_tokens < 1:
+            raise ValueError("sources need at least one token")
+
+
+@dataclass(frozen=True)
+class ProcessNode:
+    """One patient process of a generated topology."""
+
+    name: str
+    schedule: IOSchedule
+    uniform: bool  # single sync point touching every port exactly once
+
+
+@dataclass(frozen=True)
+class TopologyChannel:
+    """Process-to-process channel; ``tokens`` is the reset marking."""
+
+    producer: str
+    out_port: str
+    consumer: str
+    in_port: str
+    latency: int = 1
+    tokens: int = 0
+
+
+@dataclass(frozen=True)
+class TopologySource:
+    """External stream feeding one process input."""
+
+    name: str
+    consumer: str
+    in_port: str
+    latency: int = 1
+    n_tokens: int = 256
+    base: int = 0  # token values are base, base+1, ...
+    gaps: tuple[bool, ...] | None = None
+
+
+@dataclass(frozen=True)
+class TopologySink:
+    """External consumer draining one process output."""
+
+    name: str
+    producer: str
+    out_port: str
+    latency: int = 1
+    stalls: tuple[bool, ...] | None = None
+
+
+@dataclass(frozen=True)
+class SystemTopology:
+    """A complete random LIS description — pure data, picklable.
+
+    Instantiate it with :func:`repro.verify.build_system`, which pairs
+    every process with a deterministic token-mixing pearl and a wrapper
+    of the requested style.
+    """
+
+    name: str
+    seed: int
+    processes: tuple[ProcessNode, ...]
+    channels: tuple[TopologyChannel, ...] = ()
+    sources: tuple[TopologySource, ...] = ()
+    sinks: tuple[TopologySink, ...] = ()
+    port_depth: int = 2
+
+    @property
+    def uniform(self) -> bool:
+        """True when every process has a single all-ports sync point —
+        the regime where the marked-graph throughput model is exact."""
+        return all(process.uniform for process in self.processes)
+
+    @property
+    def has_feedback(self) -> bool:
+        return any(channel.tokens > 0 for channel in self.channels)
+
+    def process(self, name: str) -> ProcessNode:
+        for node in self.processes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+    def stats(self) -> str:
+        return (
+            f"{len(self.processes)}p/{len(self.channels)}c/"
+            f"{len(self.sources)}src/{len(self.sinks)}snk"
+            f"{'/fb' if self.has_feedback else ''}"
+        )
+
+
+def _uniform_process_schedule(
+    rng: random.Random, profile: TopologyProfile
+) -> IOSchedule:
+    n_in = rng.randint(1, profile.max_ports)
+    n_out = rng.randint(1, profile.max_ports)
+    inputs = tuple(f"i{k}" for k in range(n_in))
+    outputs = tuple(f"o{k}" for k in range(n_out))
+    run = rng.randrange(0, profile.max_run + 1)
+    return IOSchedule(
+        inputs,
+        outputs,
+        [SyncPoint(frozenset(inputs), frozenset(outputs), run)],
+    )
+
+
+def _structured_process_schedule(
+    rng: random.Random, profile: TopologyProfile
+) -> IOSchedule:
+    """Random multi-point schedule in which every declared port is
+    touched at least once per period (so every channel carries
+    traffic)."""
+    n_in = rng.randint(1, profile.max_ports)
+    n_out = rng.randint(1, profile.max_ports)
+    inputs = tuple(f"i{k}" for k in range(n_in))
+    outputs = tuple(f"o{k}" for k in range(n_out))
+    n_points = rng.randint(1, profile.max_points)
+    ins_of: list[set[str]] = []
+    outs_of: list[set[str]] = []
+    runs: list[int] = []
+    for _ in range(n_points):
+        ins_of.append({name for name in inputs if rng.random() < 0.5})
+        outs_of.append({name for name in outputs if rng.random() < 0.45})
+        runs.append(
+            rng.randrange(0, profile.max_run + 1)
+            if rng.random() < 0.4
+            else 0
+        )
+    for name in inputs:
+        if not any(name in ins for ins in ins_of):
+            ins_of[rng.randrange(n_points)].add(name)
+    for name in outputs:
+        if not any(name in outs for outs in outs_of):
+            outs_of[rng.randrange(n_points)].add(name)
+    return IOSchedule(
+        inputs,
+        outputs,
+        [
+            SyncPoint(frozenset(ins), frozenset(outs), run)
+            for ins, outs, run in zip(ins_of, outs_of, runs)
+        ],
+    )
+
+
+def random_topology(
+    seed: int, profile: TopologyProfile | None = None
+) -> SystemTopology:
+    """Generate one seeded random LIS topology.
+
+    Construction order makes every topology well-formed by design:
+
+    1. processes with port-covering schedules (all-uniform with
+       probability ``p_uniform`` — the analytically checkable regime);
+    2. feedback channels (later process -> earlier process), each
+       carrying at least one credit token, so every directed cycle in
+       the resulting graph is marked and structurally live;
+    3. forward DAG wiring of the remaining inputs, falling back to
+       jittery sources; leftover outputs drain into sinks with optional
+       backpressure patterns.
+    """
+    profile = profile or TopologyProfile()
+    rng = random.Random(seed)
+    n = rng.randint(profile.min_processes, profile.max_processes)
+    all_uniform = rng.random() < profile.p_uniform
+    processes = []
+    for i in range(n):
+        schedule = (
+            _uniform_process_schedule(rng, profile)
+            if all_uniform
+            else _structured_process_schedule(rng, profile)
+        )
+        processes.append(
+            ProcessNode(f"p{i}", schedule, uniform=all_uniform)
+        )
+
+    channels: list[TopologyChannel] = []
+    bound_inputs: set[tuple[str, str]] = set()
+    bound_outputs: set[tuple[str, str]] = set()
+
+    # Feedback first: forward wiring below only consumes the leftovers.
+    if n >= 2 and rng.random() < profile.p_feedback:
+        for _ in range(rng.randint(1, profile.max_feedback)):
+            j = rng.randrange(1, n)
+            i = rng.randrange(0, j)
+            producer, consumer = processes[j], processes[i]
+            free_outs = [
+                port
+                for port in producer.schedule.outputs
+                if (producer.name, port) not in bound_outputs
+            ]
+            free_ins = [
+                port
+                for port in consumer.schedule.inputs
+                if (consumer.name, port) not in bound_inputs
+            ]
+            if not free_outs or not free_ins:
+                continue
+            out_port = rng.choice(free_outs)
+            in_port = rng.choice(free_ins)
+            channels.append(
+                TopologyChannel(
+                    producer.name,
+                    out_port,
+                    consumer.name,
+                    in_port,
+                    latency=rng.randint(1, profile.max_latency),
+                    tokens=rng.randint(1, profile.port_depth),
+                )
+            )
+            bound_outputs.add((producer.name, out_port))
+            bound_inputs.add((consumer.name, in_port))
+
+    # Forward DAG wiring; unbound inputs fall back to sources.
+    sources: list[TopologySource] = []
+    for j, consumer in enumerate(processes):
+        for in_port in consumer.schedule.inputs:
+            if (consumer.name, in_port) in bound_inputs:
+                continue
+            candidates = [
+                (producer, out_port)
+                for producer in processes[:j]
+                for out_port in producer.schedule.outputs
+                if (producer.name, out_port) not in bound_outputs
+            ]
+            if candidates and rng.random() < profile.p_internal:
+                producer, out_port = candidates[
+                    rng.randrange(len(candidates))
+                ]
+                channels.append(
+                    TopologyChannel(
+                        producer.name,
+                        out_port,
+                        consumer.name,
+                        in_port,
+                        latency=rng.randint(1, profile.max_latency),
+                    )
+                )
+                bound_outputs.add((producer.name, out_port))
+            else:
+                index = len(sources)
+                gaps = None
+                if rng.random() < profile.p_source_jitter:
+                    gaps = tuple(
+                        rng.random() < 0.45 + 0.5 * rng.random()
+                        for _ in range(rng.randint(7, 31))
+                    )
+                    if not any(gaps):
+                        gaps = (True,) + gaps[1:]
+                sources.append(
+                    TopologySource(
+                        f"src{index}",
+                        consumer.name,
+                        in_port,
+                        latency=rng.randint(1, profile.max_latency),
+                        n_tokens=profile.source_tokens,
+                        base=1_000_000 * (index + 1),
+                        gaps=gaps,
+                    )
+                )
+            bound_inputs.add((consumer.name, in_port))
+
+    # Every leftover output drains into a sink.
+    sinks: list[TopologySink] = []
+    for producer in processes:
+        for out_port in producer.schedule.outputs:
+            if (producer.name, out_port) in bound_outputs:
+                continue
+            index = len(sinks)
+            stalls = None
+            if rng.random() < profile.p_sink_backpressure:
+                stalls = tuple(
+                    rng.random() < 0.5 + 0.45 * rng.random()
+                    for _ in range(rng.randint(5, 23))
+                )
+                if not any(stalls):
+                    stalls = (True,) + stalls[1:]
+            sinks.append(
+                TopologySink(
+                    f"snk{index}",
+                    producer.name,
+                    out_port,
+                    latency=rng.randint(1, profile.max_latency),
+                    stalls=stalls,
+                )
+            )
+            bound_outputs.add((producer.name, out_port))
+
+    return SystemTopology(
+        name=f"topo{seed}",
+        seed=seed,
+        processes=tuple(processes),
+        channels=tuple(channels),
+        sources=tuple(sources),
+        sinks=tuple(sinks),
+        port_depth=profile.port_depth,
+    )
+
+
+# -- JSON round-trip (shrunk-reproducer exchange format) ----------------------
+
+
+def topology_to_dict(topology: SystemTopology) -> dict:
+    """JSON-ready representation of a topology."""
+    return {
+        "name": topology.name,
+        "seed": topology.seed,
+        "port_depth": topology.port_depth,
+        "processes": [
+            {
+                "name": node.name,
+                "uniform": node.uniform,
+                "schedule": schedule_to_dict(node.schedule),
+            }
+            for node in topology.processes
+        ],
+        "channels": [
+            {
+                "producer": ch.producer,
+                "out_port": ch.out_port,
+                "consumer": ch.consumer,
+                "in_port": ch.in_port,
+                "latency": ch.latency,
+                "tokens": ch.tokens,
+            }
+            for ch in topology.channels
+        ],
+        "sources": [
+            {
+                "name": src.name,
+                "consumer": src.consumer,
+                "in_port": src.in_port,
+                "latency": src.latency,
+                "n_tokens": src.n_tokens,
+                "base": src.base,
+                "gaps": (
+                    None
+                    if src.gaps is None
+                    else [int(g) for g in src.gaps]
+                ),
+            }
+            for src in topology.sources
+        ],
+        "sinks": [
+            {
+                "name": snk.name,
+                "producer": snk.producer,
+                "out_port": snk.out_port,
+                "latency": snk.latency,
+                "stalls": (
+                    None
+                    if snk.stalls is None
+                    else [int(s) for s in snk.stalls]
+                ),
+            }
+            for snk in topology.sinks
+        ],
+    }
+
+
+def topology_from_dict(data: dict) -> SystemTopology:
+    """Inverse of :func:`topology_to_dict`."""
+    return SystemTopology(
+        name=str(data["name"]),
+        seed=int(data["seed"]),
+        port_depth=int(data.get("port_depth", 2)),
+        processes=tuple(
+            ProcessNode(
+                name=str(p["name"]),
+                schedule=schedule_from_dict(p["schedule"]),
+                uniform=bool(p.get("uniform", False)),
+            )
+            for p in data["processes"]
+        ),
+        channels=tuple(
+            TopologyChannel(
+                producer=str(c["producer"]),
+                out_port=str(c["out_port"]),
+                consumer=str(c["consumer"]),
+                in_port=str(c["in_port"]),
+                latency=int(c.get("latency", 1)),
+                tokens=int(c.get("tokens", 0)),
+            )
+            for c in data["channels"]
+        ),
+        sources=tuple(
+            TopologySource(
+                name=str(s["name"]),
+                consumer=str(s["consumer"]),
+                in_port=str(s["in_port"]),
+                latency=int(s.get("latency", 1)),
+                n_tokens=int(s.get("n_tokens", 256)),
+                base=int(s.get("base", 0)),
+                gaps=(
+                    None
+                    if s.get("gaps") is None
+                    else tuple(bool(g) for g in s["gaps"])
+                ),
+            )
+            for s in data["sources"]
+        ),
+        sinks=tuple(
+            TopologySink(
+                name=str(s["name"]),
+                producer=str(s["producer"]),
+                out_port=str(s["out_port"]),
+                latency=int(s.get("latency", 1)),
+                stalls=(
+                    None
+                    if s.get("stalls") is None
+                    else tuple(bool(v) for v in s["stalls"])
+                ),
+            )
+            for s in data["sinks"]
+        ),
+    )

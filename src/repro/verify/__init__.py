@@ -1,0 +1,64 @@
+"""Batch differential verification of latency-insensitive systems.
+
+The paper's central claim is that a synthesized synchronization-
+processor wrapper is cycle-equivalent to the behavioural schedule it
+was compiled from, inside *any* latency-insensitive system.  This
+package exercises that claim at throughput: it draws whole random
+system topologies (:func:`repro.sched.generate.random_topology`),
+instantiates each one under every wrapper style — behavioural FSM/SP/
+combinational shells and RTL-in-the-loop SP/FSM shells — feeds them
+identical stimuli, and cross-checks:
+
+* **token streams** — every sink's received sequence must agree across
+  styles on the common prefix (the LIS functional-equivalence
+  property; styles only differ in *when* tokens move);
+* **cycle accuracy** — the behavioural SP and the simulated SP RTL
+  (and likewise FSM vs FSM RTL) must produce identical per-cycle
+  enable traces for every process;
+* **analytic throughput** — the marked-graph bound of
+  :mod:`repro.lis.throughput` (both implementations cross-checked)
+  must upper-bound every measured process rate in the uniform regime.
+
+Failing cases are shrunk to minimal reproducers
+(:func:`repro.verify.shrink_case`) and reported with their topology as
+JSON.  The :class:`BatchRunner` fans cases across
+``concurrent.futures`` workers with deterministic per-case seeds, so
+``repro verify --cases N --seed S`` is reproducible at any job count.
+
+The shift-register wrapper is deliberately absent: it requires a
+perfectly regular environment (the hypothesis the paper's §2 flags),
+which random jittery topologies violate by design.
+"""
+
+from .cases import (
+    BEHAVIOURAL_STYLES,
+    DEFAULT_STYLES,
+    RTL_STYLES,
+    CaseOutcome,
+    Divergence,
+    MixPearl,
+    VerifyCase,
+    build_system,
+    run_case,
+    topology_marked_graph,
+)
+from .runner import BatchConfig, BatchReport, BatchRunner, make_cases
+from .shrink import shrink_case
+
+__all__ = [
+    "BEHAVIOURAL_STYLES",
+    "BatchConfig",
+    "BatchReport",
+    "BatchRunner",
+    "CaseOutcome",
+    "DEFAULT_STYLES",
+    "Divergence",
+    "MixPearl",
+    "RTL_STYLES",
+    "VerifyCase",
+    "build_system",
+    "make_cases",
+    "run_case",
+    "shrink_case",
+    "topology_marked_graph",
+]

@@ -1,0 +1,419 @@
+"""One verification case: build, simulate, cross-check a topology.
+
+A *case* is pure data — a :class:`~repro.sched.generate.SystemTopology`
+plus run parameters — and :func:`run_case` is a pure function of it, so
+cases can be shipped to worker processes and replayed bit-identically.
+
+Every process is paired with a :class:`MixPearl`, a deterministic
+token-mixing pearl whose outputs hash everything it has consumed so
+far; any token that is lost, duplicated, reordered or fabricated
+anywhere in the system changes the sink streams, which is what makes
+prefix comparison across wrapper styles a strong oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Mapping
+
+from ..core.compiler import CompilerOptions, compile_schedule
+from ..core.equivalence import RTLShell
+from ..core.rtlgen import generate_fsm_wrapper, generate_sp_wrapper
+from ..core.wrappers import CombinationalWrapper, FSMWrapper, SPWrapper
+from ..lis.pearl import Pearl
+from ..lis.shell import Shell
+from ..lis.simulator import Simulation
+from ..lis.stream import Sink
+from ..lis.system import System
+from ..lis.throughput import MarkedGraph
+from ..sched.generate import SystemTopology
+
+BEHAVIOURAL_STYLES = ("fsm", "sp", "combinational")
+RTL_STYLES = ("rtl-sp", "rtl-fsm")
+DEFAULT_STYLES = BEHAVIOURAL_STYLES + RTL_STYLES
+
+#: (behavioural style, RTL style) pairs that implement the *same*
+#: firing policy and must therefore match cycle-for-cycle.
+CYCLE_EXACT_PAIRS = (("sp", "rtl-sp"), ("fsm", "rtl-fsm"))
+
+_MIX = 0x9E3779B9
+_MASK = 0xFFFFFFFF
+
+
+class MixPearl(Pearl):
+    """Deterministic token-mixing pearl.
+
+    Keeps a running 32-bit accumulator over everything consumed (port
+    names resolve consumption order, so the value is independent of
+    dict ordering) and derives every pushed token from it.
+    """
+
+    def __init__(self, name: str, schedule) -> None:
+        super().__init__(name, schedule)
+        self._acc = self._initial_acc(name)
+
+    @staticmethod
+    def _initial_acc(name: str) -> int:
+        acc = 0
+        for char in name:
+            acc = (acc * 31 + ord(char)) & _MASK
+        return acc
+
+    def on_sync(
+        self, index: int, popped: Mapping[str, Any]
+    ) -> Mapping[str, Any]:
+        acc = self._acc
+        for port in sorted(popped):
+            acc = (
+                acc * 1000003 + (int(popped[port]) & _MASK) + _MIX
+            ) & _MASK
+        acc = (acc * 1000003 + index + 1) & _MASK
+        self._acc = acc
+        point = self.schedule.points[index]
+        return {
+            port: (acc ^ (bit * _MIX)) & _MASK
+            for bit, port in enumerate(sorted(point.outputs))
+        }
+
+    def on_reset(self) -> None:
+        super().on_reset()
+        self._acc = self._initial_acc(self.name)
+
+
+def _credit_tokens(seed: int, channel_index: int, count: int) -> list[int]:
+    """Deterministic reset-marking values for one feedback channel."""
+    base = ((seed + 1) * 2654435761 + channel_index * 7919) & _MASK
+    return [(base + k) & _MASK for k in range(count)]
+
+
+def _make_shell(style: str, node, port_depth: int) -> Shell:
+    pearl = MixPearl(node.name, node.schedule)
+    if style == "fsm":
+        return FSMWrapper(pearl, port_depth)
+    if style == "sp":
+        return SPWrapper(pearl, port_depth)
+    if style == "combinational":
+        return CombinationalWrapper(pearl, port_depth)
+    if style == "rtl-sp":
+        # fuse=False keeps op.point_index aligned with the pearl's own
+        # schedule, exactly as the behavioural SPWrapper compiles it.
+        program = compile_schedule(
+            node.schedule, CompilerOptions(fuse=False)
+        )
+        module = generate_sp_wrapper(
+            program, name=f"sp_{node.name}", schedule=node.schedule
+        )
+        return RTLShell(pearl, module, program=program,
+                        port_depth=port_depth)
+    if style == "rtl-fsm":
+        module = generate_fsm_wrapper(
+            node.schedule, name=f"fsm_{node.name}"
+        )
+        return RTLShell(pearl, module, port_depth=port_depth)
+    raise ValueError(
+        f"unknown verify style {style!r}; choose from "
+        f"{sorted(BEHAVIOURAL_STYLES + RTL_STYLES)}"
+    )
+
+
+def build_system(
+    topology: SystemTopology, style: str, trace: bool = False
+) -> tuple[System, dict[str, Shell], dict[str, Sink]]:
+    """Instantiate ``topology`` with wrappers of ``style``.
+
+    Returns (system, shells by process name, sinks by sink name).
+    With ``trace=True`` every shell records its per-cycle enable trace.
+    """
+    system = System(f"{topology.name}:{style}")
+    shells: dict[str, Shell] = {}
+    for node in topology.processes:
+        shell = _make_shell(style, node, topology.port_depth)
+        if trace:
+            shell.trace_enable = []
+        system.add_patient(shell)
+        shells[node.name] = shell
+    for index, channel in enumerate(topology.channels):
+        system.connect(
+            shells[channel.producer],
+            channel.out_port,
+            shells[channel.consumer],
+            channel.in_port,
+            latency=channel.latency,
+            initial_tokens=_credit_tokens(
+                topology.seed, index, channel.tokens
+            ),
+        )
+    for source in topology.sources:
+        system.connect_source(
+            source.name,
+            range(source.base, source.base + source.n_tokens),
+            shells[source.consumer],
+            source.in_port,
+            latency=source.latency,
+            gaps=source.gaps,
+        )
+    sinks: dict[str, Sink] = {}
+    for sink in topology.sinks:
+        sinks[sink.name] = system.connect_sink(
+            shells[sink.producer],
+            sink.out_port,
+            sink.name,
+            latency=sink.latency,
+            stalls=sink.stalls,
+        )
+    return system, shells, sinks
+
+
+def topology_marked_graph(topology: SystemTopology) -> MarkedGraph:
+    """The analytic throughput model of a topology (inter-process
+    channels only, with their reset markings)."""
+    graph = MarkedGraph()
+    for node in topology.processes:
+        graph.add_process(node.name)
+    for channel in topology.channels:
+        graph.add_channel(
+            channel.producer,
+            channel.consumer,
+            latency=channel.latency,
+            tokens=channel.tokens,
+        )
+    return graph
+
+
+# -- case description and outcome ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class VerifyCase:
+    """One differential-verification work item (picklable)."""
+
+    index: int
+    seed: int
+    cycles: int
+    topology: SystemTopology
+    styles: tuple[str, ...] = DEFAULT_STYLES
+    deadlock_window: int | None = 64
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One cross-check failure inside a case."""
+
+    check: str  # "exception" | "streams" | "trace" | "analytic"
+    style: str  # offending style ("" for style-independent checks)
+    subject: str  # sink / process / graph element concerned
+    detail: str
+
+    def __str__(self) -> str:
+        where = f" [{self.style}]" if self.style else ""
+        return f"{self.check}{where} {self.subject}: {self.detail}"
+
+
+@dataclass
+class CaseOutcome:
+    """Everything :func:`run_case` learned about one case."""
+
+    index: int
+    seed: int
+    checks: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+    cycles_executed: dict[str, int] = field(default_factory=dict)
+    sink_tokens: int = 0
+    topology_stats: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+@dataclass
+class _StyleRun:
+    streams: dict[str, list[Any]]
+    traces: dict[str, list[bool]]
+    periods: dict[str, int]
+    executed: int
+    error: str | None = None
+
+
+def _run_style(case: VerifyCase, style: str) -> _StyleRun:
+    try:
+        system, shells, sinks = build_system(
+            case.topology, style, trace=True
+        )
+        result = Simulation(system).run(
+            case.cycles, deadlock_window=case.deadlock_window
+        )
+    except Exception as exc:  # any failure is a finding, not a crash
+        return _StyleRun(
+            streams={}, traces={}, periods={}, executed=0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return _StyleRun(
+        streams={
+            name: list(sink.received) for name, sink in sinks.items()
+        },
+        traces={
+            name: list(shell.trace_enable or [])
+            for name, shell in shells.items()
+        },
+        periods=dict(result.shell_periods),
+        executed=result.cycles,
+    )
+
+
+def _check_stream_prefixes(
+    runs: dict[str, _StyleRun],
+    reference: str,
+    outcome: CaseOutcome,
+) -> None:
+    ref = runs[reference]
+    for style, run in runs.items():
+        if style == reference or run.error is not None:
+            continue
+        for sink_name, ref_stream in ref.streams.items():
+            other = run.streams.get(sink_name, [])
+            outcome.checks += 1
+            common = min(len(ref_stream), len(other))
+            for pos in range(common):
+                if ref_stream[pos] != other[pos]:
+                    outcome.divergences.append(
+                        Divergence(
+                            "streams",
+                            style,
+                            sink_name,
+                            f"token {pos}: {reference}="
+                            f"{ref_stream[pos]!r} vs {style}="
+                            f"{other[pos]!r}",
+                        )
+                    )
+                    break
+
+
+def _check_cycle_exact_pairs(
+    runs: dict[str, _StyleRun],
+    outcome: CaseOutcome,
+) -> None:
+    for behavioural, rtl in CYCLE_EXACT_PAIRS:
+        if behavioural not in runs or rtl not in runs:
+            continue
+        a, b = runs[behavioural], runs[rtl]
+        if a.error is not None or b.error is not None:
+            continue
+        outcome.checks += 1
+        if a.executed != b.executed:
+            outcome.divergences.append(
+                Divergence(
+                    "trace",
+                    rtl,
+                    "*",
+                    f"{behavioural} ran {a.executed} cycles, "
+                    f"{rtl} ran {b.executed}",
+                )
+            )
+            continue
+        for process, trace_a in a.traces.items():
+            trace_b = b.traces.get(process, [])
+            if trace_a != trace_b:
+                first = next(
+                    (
+                        i
+                        for i, (x, y) in enumerate(zip(trace_a, trace_b))
+                        if x != y
+                    ),
+                    min(len(trace_a), len(trace_b)),
+                )
+                outcome.divergences.append(
+                    Divergence(
+                        "trace",
+                        rtl,
+                        process,
+                        f"enable traces diverge at cycle {first} "
+                        f"(vs behavioural {behavioural})",
+                    )
+                )
+
+
+def _check_analytic(
+    case: VerifyCase,
+    runs: dict[str, _StyleRun],
+    outcome: CaseOutcome,
+) -> None:
+    graph = topology_marked_graph(case.topology)
+    enumerated = graph.throughput_enumerated()
+    parametric = graph.throughput_parametric()
+    outcome.checks += 1
+    if abs(enumerated - parametric) > Fraction(1, 10**6):
+        outcome.divergences.append(
+            Divergence(
+                "analytic",
+                "",
+                "throughput",
+                f"enumerated {enumerated} != parametric "
+                f"{float(parametric):.9f}",
+            )
+        )
+
+    if not case.topology.uniform:
+        return
+    # In the uniform regime every process pops and pushes each port
+    # exactly once per period, so the marked-graph cycle ratio is a
+    # sound upper bound on its period rate.  The additive slack covers
+    # tokens already staged in FIFOs at the measurement boundary.
+    metrics = graph.cycle_metrics()
+    if not metrics:
+        return
+    bounds: dict[str, Fraction] = {}
+    for nodes, tokens, latency in metrics:
+        ratio = (
+            Fraction(0) if tokens == 0 else Fraction(tokens, latency)
+        )
+        for name in nodes:
+            previous = bounds.get(name)
+            if previous is None or ratio < previous:
+                bounds[name] = ratio
+    slack = case.topology.port_depth * len(case.topology.processes) + 2
+    for style, run in runs.items():
+        if run.error is not None:
+            continue
+        for process, bound in bounds.items():
+            outcome.checks += 1
+            periods = run.periods.get(process, 0)
+            if periods > bound * run.executed + slack:
+                outcome.divergences.append(
+                    Divergence(
+                        "analytic",
+                        style,
+                        process,
+                        f"{periods} periods in {run.executed} cycles "
+                        f"exceeds loop bound {bound} (+{slack} slack)",
+                    )
+                )
+
+
+def run_case(case: VerifyCase) -> CaseOutcome:
+    """Execute every style of one case and cross-check the results."""
+    outcome = CaseOutcome(
+        index=case.index,
+        seed=case.seed,
+        topology_stats=case.topology.stats(),
+    )
+    runs: dict[str, _StyleRun] = {}
+    for style in case.styles:
+        run = runs[style] = _run_style(case, style)
+        outcome.cycles_executed[style] = run.executed
+        if run.error is not None:
+            outcome.divergences.append(
+                Divergence("exception", style, "*", run.error)
+            )
+    reference = next(
+        (s for s in case.styles if runs[s].error is None), None
+    )
+    if reference is not None:
+        outcome.sink_tokens = sum(
+            len(stream) for stream in runs[reference].streams.values()
+        )
+        _check_stream_prefixes(runs, reference, outcome)
+        _check_cycle_exact_pairs(runs, outcome)
+    _check_analytic(case, runs, outcome)
+    return outcome

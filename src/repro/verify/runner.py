@@ -1,0 +1,165 @@
+"""Batch execution of verification cases across worker processes.
+
+Per-case seeds are drawn once from the master seed, so the case list —
+and therefore the whole report — is a pure function of
+``(seed, cases, profile)``: changing ``--jobs`` only changes wall
+clock, never results.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..sched.generate import (
+    TopologyProfile,
+    random_topology,
+    topology_to_dict,
+)
+from .cases import DEFAULT_STYLES, CaseOutcome, VerifyCase, run_case
+from .shrink import shrink_case
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Parameters of one ``repro verify`` batch."""
+
+    cases: int = 50
+    seed: int = 0
+    jobs: int = 1
+    cycles: int = 300
+    styles: tuple[str, ...] = DEFAULT_STYLES
+    profile: TopologyProfile = field(default_factory=TopologyProfile)
+    deadlock_window: int | None = 64
+    shrink: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cases < 1:
+            raise ValueError("need at least one case")
+        if self.jobs < 1:
+            raise ValueError("need at least one job")
+        if self.cycles < 1:
+            raise ValueError("need at least one cycle")
+
+
+def make_cases(config: BatchConfig) -> list[VerifyCase]:
+    """The deterministic case list of a batch."""
+    rng = random.Random(config.seed)
+    seeds = [rng.getrandbits(31) for _ in range(config.cases)]
+    return [
+        VerifyCase(
+            index=index,
+            seed=case_seed,
+            cycles=config.cycles,
+            topology=random_topology(case_seed, config.profile),
+            styles=config.styles,
+            deadlock_window=config.deadlock_window,
+        )
+        for index, case_seed in enumerate(seeds)
+    ]
+
+
+@dataclass
+class BatchReport:
+    """Aggregated outcome of one batch."""
+
+    config: BatchConfig
+    outcomes: list[CaseOutcome]
+    duration_s: float
+    shrunk: list[tuple[CaseOutcome, dict]] = field(default_factory=list)
+
+    @property
+    def vacuous(self) -> bool:
+        """True when the whole batch moved zero sink tokens — every
+        case stalled, so the differential checks compared nothing."""
+        return bool(self.outcomes) and not any(
+            outcome.sink_tokens for outcome in self.outcomes
+        )
+
+    @property
+    def ok(self) -> bool:
+        # A batch that verified nothing must not read as a pass: a
+        # regression that deadlocks every wrapper style produces clean
+        # prefix/trace comparisons over empty data.
+        return not self.failures and not self.vacuous
+
+    @property
+    def failures(self) -> list[CaseOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def checks(self) -> int:
+        return sum(outcome.checks for outcome in self.outcomes)
+
+    def summary(self) -> str:
+        total = len(self.outcomes)
+        failed = len(self.failures)
+        tokens = sum(o.sink_tokens for o in self.outcomes)
+        rate = total / self.duration_s if self.duration_s > 0 else 0.0
+        lines = [
+            f"verify: {total} cases, {self.checks} cross-checks, "
+            f"{failed} divergent, seed {self.config.seed}",
+            f"  {tokens} sink tokens observed; {self.duration_s:.1f}s "
+            f"({rate:.1f} cases/s, jobs={self.config.jobs})",
+        ]
+        for outcome in self.failures:
+            lines.append(
+                f"  case {outcome.index} (seed {outcome.seed}, "
+                f"{outcome.topology_stats}):"
+            )
+            for divergence in outcome.divergences:
+                lines.append(f"    {divergence}")
+        for outcome, topology in self.shrunk:
+            lines.append(
+                f"  minimal reproducer for case {outcome.index}: "
+                f"{len(topology['processes'])} process(es) — replay "
+                "with `repro verify --repro <file.json>`"
+            )
+        if self.vacuous:
+            lines.append(
+                "  VACUOUS: no sink received a single token in any "
+                "case — nothing was actually compared"
+            )
+        elif not self.failures:
+            lines.append("  zero divergences")
+        return "\n".join(lines)
+
+
+class BatchRunner:
+    """Fans verification cases over ``concurrent.futures`` workers."""
+
+    def __init__(self, config: BatchConfig) -> None:
+        self.config = config
+
+    def run(self) -> BatchReport:
+        config = self.config
+        cases = make_cases(config)
+        started = time.perf_counter()
+        if config.jobs == 1:
+            outcomes = [run_case(case) for case in cases]
+        else:
+            chunksize = max(1, len(cases) // (config.jobs * 4))
+            with ProcessPoolExecutor(
+                max_workers=config.jobs
+            ) as executor:
+                outcomes = list(
+                    executor.map(run_case, cases, chunksize=chunksize)
+                )
+        duration = time.perf_counter() - started
+        report = BatchReport(
+            config=config, outcomes=outcomes, duration_s=duration
+        )
+        if config.shrink:
+            case_by_index = {case.index: case for case in cases}
+            for outcome in report.failures:
+                minimal = shrink_case(case_by_index[outcome.index])
+                # Carry the run parameters alongside the topology so
+                # `--repro` replays the case exactly as it failed.
+                reproducer = topology_to_dict(minimal.topology)
+                reproducer["cycles"] = minimal.cycles
+                reproducer["deadlock_window"] = minimal.deadlock_window
+                reproducer["styles"] = list(minimal.styles)
+                report.shrunk.append((outcome, reproducer))
+        return report

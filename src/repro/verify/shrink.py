@@ -1,0 +1,173 @@
+"""Greedy shrinking of failing verification cases.
+
+Given a case whose :func:`~repro.verify.cases.run_case` outcome
+diverges, repeatedly apply the first structure-reducing transformation
+that *keeps it failing*, until none applies: fewer cycles, fewer
+processes (dangling channel ends are rewired to fresh sources/sinks),
+regular streams instead of jittery ones, unit channel latencies,
+truncated schedules.  The result is a minimal reproducer whose
+topology JSON (:func:`repro.sched.generate.topology_to_dict`) can be
+replayed with ``repro verify --repro``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterator
+
+from ..sched.generate import (
+    ProcessNode,
+    SystemTopology,
+    TopologyChannel,
+    TopologySink,
+    TopologySource,
+)
+from ..core.schedule import IOSchedule
+from .cases import VerifyCase, run_case
+
+
+def _drop_process(
+    topology: SystemTopology, name: str
+) -> SystemTopology:
+    """Remove one process; channels into it become sinks, channels out
+    of it become sources (fresh deterministic streams)."""
+    processes = tuple(
+        node for node in topology.processes if node.name != name
+    )
+    channels = []
+    sources = [
+        src for src in topology.sources if src.consumer != name
+    ]
+    sinks = [snk for snk in topology.sinks if snk.producer != name]
+    fresh = 0
+    for channel in topology.channels:
+        if channel.producer == name and channel.consumer == name:
+            continue
+        if channel.consumer == name:
+            # Port-derived names cannot collide across shrink rounds
+            # (each port binds exactly once).
+            sinks.append(
+                TopologySink(
+                    f"shrsnk_{channel.producer}_{channel.out_port}",
+                    channel.producer,
+                    channel.out_port,
+                    latency=channel.latency,
+                )
+            )
+        elif channel.producer == name:
+            fresh += 1
+            sources.append(
+                TopologySource(
+                    f"shrsrc_{channel.consumer}_{channel.in_port}",
+                    channel.consumer,
+                    channel.in_port,
+                    latency=channel.latency,
+                    n_tokens=256,
+                    base=10_000_000 * fresh,
+                )
+            )
+        else:
+            channels.append(channel)
+    return replace(
+        topology,
+        processes=processes,
+        channels=tuple(channels),
+        sources=tuple(sources),
+        sinks=tuple(sinks),
+    )
+
+
+def _truncate_schedule(
+    topology: SystemTopology, name: str
+) -> SystemTopology:
+    """Halve the sync-point count of one process's schedule."""
+    processes = []
+    for node in topology.processes:
+        if node.name == name and len(node.schedule.points) > 1:
+            keep = len(node.schedule.points) // 2
+            schedule = IOSchedule(
+                node.schedule.inputs,
+                node.schedule.outputs,
+                node.schedule.points[:keep],
+            )
+            node = ProcessNode(node.name, schedule, node.uniform)
+        processes.append(node)
+    return replace(topology, processes=tuple(processes))
+
+
+def _variants(case: VerifyCase) -> Iterator[VerifyCase]:
+    """Candidate reductions, most aggressive first."""
+    if case.cycles > 50:
+        yield replace(case, cycles=case.cycles // 2)
+    topology = case.topology
+    if len(topology.processes) > 1:
+        for node in topology.processes:
+            yield replace(
+                case, topology=_drop_process(topology, node.name)
+            )
+    if any(src.gaps is not None for src in topology.sources):
+        yield replace(
+            case,
+            topology=replace(
+                topology,
+                sources=tuple(
+                    replace(src, gaps=None)
+                    for src in topology.sources
+                ),
+            ),
+        )
+    if any(snk.stalls is not None for snk in topology.sinks):
+        yield replace(
+            case,
+            topology=replace(
+                topology,
+                sinks=tuple(
+                    replace(snk, stalls=None)
+                    for snk in topology.sinks
+                ),
+            ),
+        )
+    if any(ch.latency > 1 for ch in topology.channels) or any(
+        src.latency > 1 for src in topology.sources
+    ) or any(snk.latency > 1 for snk in topology.sinks):
+        yield replace(
+            case,
+            topology=replace(
+                topology,
+                channels=tuple(
+                    replace(ch, latency=1) for ch in topology.channels
+                ),
+                sources=tuple(
+                    replace(src, latency=1)
+                    for src in topology.sources
+                ),
+                sinks=tuple(
+                    replace(snk, latency=1)
+                    for snk in topology.sinks
+                ),
+            ),
+        )
+    for node in topology.processes:
+        if len(node.schedule.points) > 1:
+            yield replace(
+                case, topology=_truncate_schedule(topology, node.name)
+            )
+
+
+def shrink_case(case: VerifyCase, max_attempts: int = 120) -> VerifyCase:
+    """Minimize a failing case; returns the smallest variant that still
+    diverges (``case`` itself if no reduction reproduces the failure)."""
+    current = case
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for variant in _variants(current):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            if not run_case(variant).ok:
+                current = variant
+                progress = True
+                break
+    return current

@@ -8,6 +8,20 @@ from repro.core.schedule import IOSchedule, SyncPoint
 from repro.lis.pearl import FunctionPearl
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden files (tests/golden/) instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def simple_schedule() -> IOSchedule:
     """2-in / 1-out, two sync points, some free run."""

@@ -1,0 +1,21 @@
+module golden_combinational(clk, rst, a_not_empty, a_pop, b_not_empty, b_pop, y_not_full, y_push, status_not_full, status_push, ip_enable);
+    input clk;
+    input rst;
+    input a_not_empty;
+    output a_pop;
+    input b_not_empty;
+    output b_pop;
+    input y_not_full;
+    output y_push;
+    input status_not_full;
+    output status_push;
+    output ip_enable;
+    wire all_ready;
+
+    assign all_ready = ((a_not_empty & b_not_empty) & (y_not_full & status_not_full));
+    assign ip_enable = all_ready;
+    assign a_pop = all_ready;
+    assign b_pop = all_ready;
+    assign y_push = all_ready;
+    assign status_push = all_ready;
+endmodule

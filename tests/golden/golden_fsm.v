@@ -1,0 +1,38 @@
+module golden_fsm(clk, rst, a_not_empty, a_pop, b_not_empty, b_pop, y_not_full, y_push, status_not_full, status_push, ip_enable);
+    input clk;
+    input rst;
+    input a_not_empty;
+    output a_pop;
+    input b_not_empty;
+    output b_pop;
+    input y_not_full;
+    output y_push;
+    input status_not_full;
+    output status_push;
+    output ip_enable;
+    reg [3:0] state;
+    wire ready_0;
+    wire ready_1;
+    wire ready_2;
+    wire ready_3;
+    wire [3:0] next_state;
+
+    assign ready_0 = a_not_empty;
+    assign ready_1 = (a_not_empty & b_not_empty);
+    assign ready_2 = y_not_full;
+    assign ready_3 = (y_not_full & status_not_full);
+    assign next_state = (state[3] ? (state[2] ? 4'd0 : (state[1] ? 4'd0 : (state[0] ? 4'd0 : 4'd9))) : (state[2] ? (state[1] ? (state[0] ? (ready_3 ? 4'd8 : 4'd7) : (ready_2 ? 4'd7 : 4'd6)) : (state[0] ? 4'd6 : 4'd5)) : (state[1] ? (state[0] ? 4'd4 : (ready_1 ? 4'd3 : 4'd2)) : (state[0] ? 4'd2 : (ready_0 ? 4'd1 : 4'd0)))));
+    assign ip_enable = (state[3] ? (state[2] ? 1'd0 : (state[1] ? 1'd0 : 1'd1)) : (state[2] ? (state[1] ? (state[0] ? ready_3 : ready_2) : 1'd1) : (state[1] ? (state[0] ? 1'd1 : ready_1) : (state[0] ? 1'd1 : ready_0))));
+    assign a_pop = (state[3] ? 1'd0 : (state[2] ? 1'd0 : (state[1] ? (state[0] ? 1'd0 : ready_1) : (state[0] ? 1'd0 : ready_0))));
+    assign b_pop = (state[3] ? 1'd0 : (state[2] ? 1'd0 : (state[1] ? (state[0] ? 1'd0 : ready_1) : 1'd0)));
+    assign y_push = (state[3] ? 1'd0 : (state[2] ? (state[1] ? (state[0] ? ready_3 : ready_2) : 1'd0) : 1'd0));
+    assign status_push = (state[3] ? 1'd0 : (state[2] ? (state[1] ? (state[0] ? ready_3 : 1'd0) : 1'd0) : 1'd0));
+
+    always @(posedge clk) begin
+        if (rst)
+            state <= 4'd0;
+        else begin
+            state <= next_state;
+        end
+    end
+endmodule

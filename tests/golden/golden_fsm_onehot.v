@@ -1,0 +1,38 @@
+module golden_fsm_onehot(clk, rst, a_not_empty, a_pop, b_not_empty, b_pop, y_not_full, y_push, status_not_full, status_push, ip_enable);
+    input clk;
+    input rst;
+    input a_not_empty;
+    output a_pop;
+    input b_not_empty;
+    output b_pop;
+    input y_not_full;
+    output y_push;
+    input status_not_full;
+    output status_push;
+    output ip_enable;
+    reg [9:0] state;
+    wire ready_0;
+    wire ready_1;
+    wire ready_2;
+    wire ready_3;
+    wire [9:0] next_state;
+
+    assign ready_0 = a_not_empty;
+    assign ready_1 = (a_not_empty & b_not_empty);
+    assign ready_2 = y_not_full;
+    assign ready_3 = (y_not_full & status_not_full);
+    assign next_state = {((state[9] & (~state[9])) | state[8]), ((state[8] & (~state[8])) | (state[7] & ready_3)), ((state[7] & (~(state[7] & ready_3))) | (state[6] & ready_2)), ((state[6] & (~(state[6] & ready_2))) | state[5]), ((state[5] & (~state[5])) | state[4]), ((state[4] & (~state[4])) | state[3]), ((state[3] & (~state[3])) | (state[2] & ready_1)), ((state[2] & (~(state[2] & ready_1))) | state[1]), ((state[1] & (~state[1])) | (state[0] & ready_0)), ((state[0] & (~(state[0] & ready_0))) | state[9])};
+    assign ip_enable = (((((state[0] & ready_0) | state[1]) | ((state[2] & ready_1) | state[3])) | ((state[4] | state[5]) | ((state[6] & ready_2) | (state[7] & ready_3)))) | (state[8] | state[9]));
+    assign a_pop = ((state[0] & ready_0) | (state[2] & ready_1));
+    assign b_pop = (state[2] & ready_1);
+    assign y_push = ((state[6] & ready_2) | (state[7] & ready_3));
+    assign status_push = (state[7] & ready_3);
+
+    always @(posedge clk) begin
+        if (rst)
+            state <= 10'd1;
+        else begin
+            state <= next_state;
+        end
+    end
+endmodule

@@ -1,0 +1,64 @@
+module golden_shiftreg(clk, rst, a_not_empty, a_pop, b_not_empty, b_pop, y_not_full, y_push, status_not_full, status_push, ip_enable);
+    input clk;
+    input rst;
+    input a_not_empty;
+    output a_pop;
+    input b_not_empty;
+    output b_pop;
+    input y_not_full;
+    output y_push;
+    input status_not_full;
+    output status_push;
+    output ip_enable;
+    reg [9:0] enable_ring;
+    reg [9:0] pop_ring_0;
+    reg [9:0] pop_ring_1;
+    reg [9:0] push_ring_0;
+    reg [9:0] push_ring_1;
+
+    assign ip_enable = enable_ring[0];
+    assign a_pop = pop_ring_0[0];
+    assign b_pop = pop_ring_1[0];
+    assign y_push = push_ring_0[0];
+    assign status_push = push_ring_1[0];
+
+    always @(posedge clk) begin
+        if (rst)
+            enable_ring <= 10'd1023;
+        else begin
+            enable_ring <= {enable_ring[0], enable_ring[9:1]};
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst)
+            pop_ring_0 <= 10'd5;
+        else begin
+            pop_ring_0 <= {pop_ring_0[0], pop_ring_0[9:1]};
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst)
+            pop_ring_1 <= 10'd4;
+        else begin
+            pop_ring_1 <= {pop_ring_1[0], pop_ring_1[9:1]};
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst)
+            push_ring_0 <= 10'd192;
+        else begin
+            push_ring_0 <= {push_ring_0[0], push_ring_0[9:1]};
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst)
+            push_ring_1 <= 10'd128;
+        else begin
+            push_ring_1 <= {push_ring_1[0], push_ring_1[9:1]};
+        end
+    end
+endmodule

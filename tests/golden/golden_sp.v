@@ -1,0 +1,79 @@
+module golden_sp(clk, rst, a_not_empty, a_pop, b_not_empty, b_pop, y_not_full, y_push, status_not_full, status_push, ip_enable);
+    input clk;
+    input rst;
+    input a_not_empty;
+    output a_pop;
+    input b_not_empty;
+    output b_pop;
+    input y_not_full;
+    output y_push;
+    input status_not_full;
+    output status_push;
+    output ip_enable;
+    reg [1:0] state;
+    reg [1:0] addr;
+    reg [1:0] run_counter;
+    reg [5:0] op_word;
+    wire [1:0] run_field;
+    wire [1:0] out_mask;
+    wire [1:0] in_mask;
+    wire ready;
+    wire in_read;
+    wire in_run;
+    wire fire;
+    wire last_addr;
+    wire starts_run;
+    wire run_done;
+
+    assign run_field = op_word[1:0];
+    assign out_mask = op_word[3:2];
+    assign in_mask = op_word[5:4];
+    assign ready = ((((~in_mask[0]) | a_not_empty) & ((~in_mask[1]) | b_not_empty)) & (((~out_mask[0]) | y_not_full) & ((~out_mask[1]) | status_not_full)));
+    assign in_read = (state == 2'd1);
+    assign in_run = (state == 2'd2);
+    assign fire = (in_read & ready);
+    assign ip_enable = (fire | in_run);
+    assign a_pop = (fire & in_mask[0]);
+    assign b_pop = (fire & in_mask[1]);
+    assign y_push = (fire & out_mask[0]);
+    assign status_push = (fire & out_mask[1]);
+    assign last_addr = (addr == 2'd3);
+    assign starts_run = (fire & (run_field != 2'd0));
+    assign run_done = (run_counter == 2'd1);
+
+    // ROM ops_memory: 4 x 6 bits
+    always @* begin
+        case (addr)
+            2'd0: op_word = 6'd17;
+            2'd1: op_word = 6'd51;
+            2'd2: op_word = 6'd4;
+            2'd3: op_word = 6'd14;
+            default: op_word = 6'd0;
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst)
+            addr <= 2'd0;
+        else begin
+            addr <= (fire ? (last_addr ? 2'd0 : (addr + 2'd1)) : addr);
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst)
+            run_counter <= 2'd0;
+        else begin
+            if ((starts_run | in_run))
+                run_counter <= (starts_run ? run_field : (run_counter - 2'd1));
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst)
+            state <= 2'd0;
+        else begin
+            state <= ((state == 2'd0) ? 2'd1 : (in_read ? (starts_run ? 2'd2 : 2'd1) : (run_done ? 2'd1 : 2'd2)));
+        end
+    end
+endmodule

@@ -1,15 +1,25 @@
-"""Synthetic schedule generation + the generator-driven fuzz pipeline."""
+"""Synthetic schedule/topology generation + generator-driven fuzzing."""
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.compiler import CompilerOptions, compile_schedule, decompile_program
 from repro.core.processor import SyncProcessor
 from repro.core.rtlgen import generate_fsm_wrapper, generate_sp_wrapper
 from repro.rtl.lint import check
 from repro.rtl.simulator import Simulator
-from repro.sched.generate import DSPProfile, dsp_schedule, random_schedule
+from repro.sched.generate import (
+    DSPProfile,
+    TopologyProfile,
+    dsp_schedule,
+    random_schedule,
+    random_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
 
 
 class TestDSPSchedules:
@@ -74,6 +84,139 @@ class TestRandomSchedules:
             program, schedule.inputs, schedule.outputs
         )
         assert back == schedule.normalized()
+
+
+class TestRoundTripProperties:
+    """Seeded property tests: generate -> compile -> decode preserves
+    the sync-point sequence across compiler-option variants."""
+
+    OPTION_VARIANTS = [
+        CompilerOptions(),
+        CompilerOptions(fuse=False),
+        CompilerOptions(run_width=1),
+        CompilerOptions(run_width=2, fuse=False),
+        CompilerOptions(run_width=6),
+    ]
+
+    @pytest.mark.parametrize(
+        "options", OPTION_VARIANTS, ids=lambda o: repr(o)
+    )
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_decode_recovers_sync_sequence(self, options, seed):
+        schedule = random_schedule(seed)
+        program = compile_schedule(schedule, options)
+        back = decompile_program(
+            program, schedule.inputs, schedule.outputs
+        )
+        # Continuation splits and pure-run fusion are invertible up to
+        # normalization; the normalized sync-point sequence survives.
+        assert back.normalized() == schedule.normalized()
+        # Total enabled cycles per period are preserved exactly.
+        assert (
+            program.enabled_cycles_per_period()
+            == schedule.period_cycles
+        )
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_unfused_decode_is_exact_without_pure_run_points(self, seed):
+        schedule = random_schedule(seed)
+        if any(
+            not point.inputs and not point.outputs
+            for point in schedule.points
+        ):
+            return  # fusion is the documented normalization there
+        program = compile_schedule(schedule, CompilerOptions(fuse=False))
+        back = decompile_program(
+            program, schedule.inputs, schedule.outputs
+        )
+        assert back == schedule
+
+
+class TestRandomTopologies:
+    def test_deterministic(self):
+        assert random_topology(11) == random_topology(11)
+
+    def test_seeds_differ(self):
+        topologies = {random_topology(seed).stats() for seed in range(12)}
+        assert len(topologies) > 1
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_well_formed(self, seed):
+        topology = random_topology(seed)
+        profile = TopologyProfile()
+        assert (
+            profile.min_processes
+            <= len(topology.processes)
+            <= profile.max_processes
+        )
+        # Every process port is bound exactly once.
+        bound_in = [
+            (c.consumer, c.in_port) for c in topology.channels
+        ] + [(s.consumer, s.in_port) for s in topology.sources]
+        bound_out = [
+            (c.producer, c.out_port) for c in topology.channels
+        ] + [(s.producer, s.out_port) for s in topology.sinks]
+        expected_in = [
+            (node.name, port)
+            for node in topology.processes
+            for port in node.schedule.inputs
+        ]
+        expected_out = [
+            (node.name, port)
+            for node in topology.processes
+            for port in node.schedule.outputs
+        ]
+        assert sorted(bound_in) == sorted(expected_in)
+        assert sorted(bound_out) == sorted(expected_out)
+        # Feedback channels always carry credit tokens.
+        order = {
+            node.name: index
+            for index, node in enumerate(topology.processes)
+        }
+        for channel in topology.channels:
+            if order[channel.producer] >= order[channel.consumer]:
+                assert channel.tokens >= 1
+            assert channel.tokens <= topology.port_depth
+
+    def test_uniform_topologies_exist_and_are_flagged(self):
+        uniform = [
+            seed for seed in range(30)
+            if random_topology(seed).uniform
+        ]
+        assert uniform  # p_uniform makes these common
+        topology = random_topology(uniform[0])
+        for node in topology.processes:
+            assert len(node.schedule.points) == 1
+            point = node.schedule.points[0]
+            assert point.inputs == frozenset(node.schedule.inputs)
+            assert point.outputs == frozenset(node.schedule.outputs)
+
+    def test_every_port_touched_per_period(self):
+        for seed in range(10):
+            topology = random_topology(seed)
+            for node in topology.processes:
+                touched_in = set()
+                touched_out = set()
+                for point in node.schedule.points:
+                    touched_in |= point.inputs
+                    touched_out |= point.outputs
+                assert touched_in == set(node.schedule.inputs)
+                assert touched_out == set(node.schedule.outputs)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_json_round_trip(self, seed):
+        topology = random_topology(seed)
+        assert topology_from_dict(topology_to_dict(topology)) == topology
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            TopologyProfile(min_processes=0)
+        with pytest.raises(ValueError):
+            TopologyProfile(min_processes=5, max_processes=2)
+        with pytest.raises(ValueError):
+            TopologyProfile(max_latency=0)
 
 
 class TestGeneratorFuzzPipeline:
