@@ -128,6 +128,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             deadlock_window=data.get(
                 "deadlock_window", args.deadlock_window
             ),
+            engine=args.engine,
         )
         outcome = run_case(case)
         if outcome.ok:
@@ -147,8 +148,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             seed=args.seed,
             jobs=args.jobs,
             cycles=args.cycles,
+            profile=args.profile,
             deadlock_window=args.deadlock_window,
             shrink=not args.no_shrink,
+            engine=args.engine,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -230,6 +233,19 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--cycles", type=int, default=300,
         help="simulated cycles per case and style",
+    )
+    verify.add_argument(
+        "--profile", default="small",
+        choices=("small", "soc", "stress"),
+        help="topology-shape preset (size/feedback/jitter bundle)",
+    )
+    verify.add_argument(
+        "--engine", default=None,
+        choices=("compiled", "interp"),
+        help=(
+            "RTL simulation backend for the rtl-* styles (default: "
+            "compiled, or the REPRO_RTL_ENGINE environment override)"
+        ),
     )
     verify.add_argument(
         "--deadlock-window", type=int, default=64,

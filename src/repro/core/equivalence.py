@@ -84,6 +84,9 @@ class RTLShell(Shell):
     :mod:`repro.core.rtlgen.common`.  ``program`` supplies the expected
     operation stream for SP wrappers; omitted, the pearl's schedule
     order is expected (FSM / shift-register wrappers).
+
+    ``engine`` selects the RTL simulation backend (``"compiled"`` /
+    ``"interp"``; None follows the simulator default).
     """
 
     style = "rtl"
@@ -94,10 +97,12 @@ class RTLShell(Shell):
         module: Module,
         program: SPProgram | None = None,
         port_depth: int = DEFAULT_PORT_DEPTH,
+        engine: str | None = None,
     ) -> None:
         super().__init__(pearl, port_depth)
         self.module = module
-        self.rtl = Simulator(module)
+        self.engine = engine
+        self.rtl = Simulator(module, engine=engine)
         self._script = (
             _script_from_program(program)
             if program is not None
@@ -108,6 +113,19 @@ class RTLShell(Shell):
         self._phase_next = 0
         self._in_names = [sanitize(n) for n in pearl.schedule.inputs]
         self._out_names = [sanitize(n) for n in pearl.schedule.outputs]
+        # Per-cycle poke/peek targets, precomputed once: formatting
+        # these strings inside _wrapper_step dominated small-wrapper
+        # simulation before the compiled engine existed.
+        self._not_empty_pokes = [
+            (name, f"{port}_not_empty")
+            for name, port in zip(pearl.schedule.inputs, self._in_names)
+        ]
+        self._not_full_pokes = [
+            (name, f"{port}_not_full")
+            for name, port in zip(pearl.schedule.outputs, self._out_names)
+        ]
+        self._pop_names = [f"{port}_pop" for port in self._in_names]
+        self._push_names = [f"{port}_push" for port in self._out_names]
         self._apply_reset()
 
     def _apply_reset(self) -> None:
@@ -116,30 +134,26 @@ class RTLShell(Shell):
         self.rtl.poke("rst", 0)
 
     def _wrapper_step(self, cycle: int) -> None:
-        schedule = self.pearl.schedule
-        for bit, name in enumerate(schedule.inputs):
-            self.rtl.poke(
-                f"{self._in_names[bit]}_not_empty",
-                int(self.in_ports[name].not_empty),
-            )
-        for bit, name in enumerate(schedule.outputs):
-            self.rtl.poke(
-                f"{self._out_names[bit]}_not_full",
-                int(self.out_ports[name].not_full),
-            )
-        self.rtl.settle()
+        rtl = self.rtl
+        in_ports = self.in_ports
+        out_ports = self.out_ports
+        for name, poke_name in self._not_empty_pokes:
+            rtl.poke(poke_name, int(in_ports[name].not_empty))
+        for name, poke_name in self._not_full_pokes:
+            rtl.poke(poke_name, int(out_ports[name].not_full))
+        rtl.settle()
 
-        enable = bool(self.rtl.peek("ip_enable"))
+        enable = bool(rtl.peek("ip_enable"))
         pop_mask = 0
-        for bit, name in enumerate(self._in_names):
-            if self.rtl.peek(f"{name}_pop"):
+        for bit, name in enumerate(self._pop_names):
+            if rtl.peek(name):
                 pop_mask |= 1 << bit
         push_mask = 0
-        for bit, name in enumerate(self._out_names):
-            if self.rtl.peek(f"{name}_push"):
+        for bit, name in enumerate(self._push_names):
+            if rtl.peek(name):
                 push_mask |= 1 << bit
 
-        self.rtl.step()
+        rtl.step()
 
         if not enable:
             if pop_mask or push_mask:
@@ -211,7 +225,7 @@ class RTLShell(Shell):
 
     def reset(self) -> None:
         super().reset()
-        self.rtl = Simulator(self.module)
+        self.rtl = Simulator(self.module, engine=self.engine)
         self._script_pos = 0
         self._rtl_run_left = 0
         self._phase_next = 0

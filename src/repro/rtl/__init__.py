@@ -36,8 +36,15 @@ from .module import (
     Rom,
     RtlError,
 )
+from .compile_sim import CompiledSimulator, compile_design
 from .netlist import BitBlaster, Netlist, bit_blast
-from .simulator import SimulationError, Simulator
+from .simulator import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    InterpSimulator,
+    SimulationError,
+    Simulator,
+)
 from .techmap import VIRTEX2, MappingReport, TechMapper, TechModel, tech_map
 
 __all__ = [
@@ -45,11 +52,15 @@ __all__ = [
     "BinOp",
     "BitBlaster",
     "BitSelect",
+    "CompiledSimulator",
     "Concat",
     "Const",
+    "DEFAULT_ENGINE",
     "Design",
+    "ENGINES",
     "Expr",
     "Instance",
+    "InterpSimulator",
     "LintError",
     "LintMessage",
     "MappingReport",
@@ -74,6 +85,7 @@ __all__ = [
     "bit_blast",
     "check",
     "clog2",
+    "compile_design",
     "emit_design",
     "emit_expr",
     "emit_module",

@@ -1,0 +1,725 @@
+"""Compiled RTL simulation engine: lower the IR to flat Python.
+
+The interpreter in :mod:`repro.rtl.simulator` walks every expression
+tree per cycle through rename-map dict views.  This backend instead
+*schedules once and executes straight-line*: a :class:`Design` is
+elaborated one time and emitted as Python source for one flat
+``settle`` function and one ``step`` function, which are ``exec``'d and
+then called per cycle with a plain list environment.
+
+Lowering pipeline (:func:`compile_design`):
+
+1. **flatten** — walk the hierarchy exactly like the interpreter,
+   assigning every distinct flat signal a *slot* (a list index);
+   instance ports alias parent slots;
+2. **schedule** — topologically order combinational items (continuous
+   assigns and ROM reads) over slot dependencies, rejecting multiple
+   drivers and combinational loops with the interpreter's
+   :class:`~repro.rtl.simulator.SimulationError`;
+3. **lower** — translate each expression to an inline Python source
+   fragment over ``e[slot]`` reads, with width masking folded into the
+   fragment (every *stored* value is already masked, so reads need no
+   masks), constants folded bottom-up, and constant-valued nets
+   propagated into their readers;
+4. **prune** — combinational targets that feed no register, no
+   top-level signal and no live net are moved out of the hot ``settle``
+   body into a separate ``settle_dead`` function, run lazily only when
+   such a net is actually peeked (the laziness is exact: a pending
+   refresh is flushed *before* any poke mutates the environment);
+5. **emit + cache** — register sampling and commits are unrolled into
+   the generated ``step`` body (sample all, commit all, then the
+   inlined settle body), ROMs become padded tuple lookups, and the
+   whole kernel is compiled once per *shape*.
+
+Cache-key contract: kernels are cached per worker process under the
+structural key ``(slot count, generated source, ROM images)``.  The
+generated source refers to signals only by slot index, so two designs
+that differ merely in signal/module naming lower to byte-identical
+source and share one kernel; widths, expression structure, register
+forms and evaluation order are all reflected in the source text, and
+ROM contents are keyed explicitly because they live in the kernel's
+namespace rather than its source.  A second cache layer memoizes the
+full per-module plan (kernel + name/slot/mask tables) by module
+identity, so re-simulating the same :class:`Module` object — e.g. an
+``RTLShell`` reset — skips elaboration entirely; the memo entry
+carries an identity snapshot of the hierarchy's structural elements,
+so a module mutated after compilation is transparently re-elaborated
+instead of served stale.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+
+from .ast import (
+    BinOp,
+    BitSelect,
+    Concat,
+    Const,
+    Expr,
+    Signal,
+    Slice,
+    Ternary,
+    UnaryOp,
+)
+from .module import Design, Module, Register, Rom
+from .simulator import SimulationError, Simulator
+
+#: Cap on cached kernels per process; beyond it the least recently
+#: used shape is evicted (bounds memory in long-lived verify workers).
+KERNEL_CACHE_MAX = 128
+
+#: ROMs whose address is at most this wide are padded to the full
+#: address space so the generated read is a bare tuple index.
+_ROM_PAD_LIMIT = 16
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+# -- expression lowering -------------------------------------------------------
+#
+# ``_lower`` returns either ("c", value) for a compile-time constant
+# (already masked to the node's width) or ("s", source) for a Python
+# fragment that yields a masked int.  Fragments are parenthesized, so
+# composition never needs precedence analysis.
+
+
+def _const_eval(expr: Expr, parts: list[tuple[str, int | str]]) -> int:
+    """Fold a node whose children all lowered to constants by
+    rebuilding it over ``Const`` leaves and running the interpreter's
+    own ``evaluate`` — constant folding is exact by construction."""
+    consts = [
+        Const(int(value), child.width)
+        for child, (_kind, value) in zip(expr.children(), parts)
+    ]
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, consts[0]).evaluate({})
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, consts[0], consts[1]).evaluate({})
+    if isinstance(expr, Ternary):
+        return Ternary(consts[0], consts[1], consts[2]).evaluate({})
+    if isinstance(expr, BitSelect):
+        return BitSelect(consts[0], expr.index).evaluate({})
+    if isinstance(expr, Slice):
+        return Slice(consts[0], expr.msb, expr.lsb).evaluate({})
+    if isinstance(expr, Concat):
+        return Concat(consts).evaluate({})
+    raise TypeError(f"cannot fold {type(expr).__name__}")
+
+
+def _lower(
+    expr: Expr,
+    local: dict[int, int],
+    const_slots: dict[int, int],
+    used: set[int],
+) -> tuple[str, int | str]:
+    if isinstance(expr, Signal):
+        slot = local[id(expr)]
+        if slot in const_slots:
+            return ("c", const_slots[slot])
+        used.add(slot)
+        return ("s", f"e[{slot}]")
+    if isinstance(expr, Const):
+        return ("c", expr.value)
+
+    parts = [
+        _lower(child, local, const_slots, used)
+        for child in expr.children()
+    ]
+    if all(kind == "c" for kind, _ in parts):
+        return ("c", _const_eval(expr, parts))
+
+    if isinstance(expr, UnaryOp):
+        (_, x) = parts[0]
+        n = expr.operand.width
+        if expr.op == "~":
+            return ("s", f"(~{x} & {_mask(n)})")
+        if expr.op == "&":
+            return ("s", f"+({x} == {_mask(n)})")
+        if expr.op == "|":
+            return ("s", f"+({x} != 0)")
+        return ("s", f"(({x}).bit_count() & 1)")  # ^ reduction
+
+    if isinstance(expr, BinOp):
+        return _lower_binop(expr, parts)
+
+    if isinstance(expr, Ternary):
+        ckind, cond = parts[0]
+        if ckind == "c":
+            return parts[1] if cond else parts[2]
+        return (
+            "s",
+            f"({parts[1][1]} if {cond} else {parts[2][1]})",
+        )
+
+    if isinstance(expr, BitSelect):
+        (_, x) = parts[0]
+        if expr.index == 0:
+            return ("s", f"({x} & 1)")
+        return ("s", f"({x} >> {expr.index} & 1)")
+
+    if isinstance(expr, Slice):
+        (_, x) = parts[0]
+        if expr.lsb == 0:
+            return ("s", f"({x} & {_mask(expr.width)})")
+        return ("s", f"({x} >> {expr.lsb} & {_mask(expr.width)})")
+
+    if isinstance(expr, Concat):
+        return _lower_concat(expr, parts)
+
+    raise TypeError(f"cannot lower {type(expr).__name__}")
+
+
+def _lower_binop(
+    expr: BinOp, parts: list[tuple[str, int | str]]
+) -> tuple[str, int | str]:
+    op = expr.op
+    (lk, a), (rk, b) = parts
+    m = _mask(expr.width)
+    # Width-safe identity folds (bitwise operands share one width; a
+    # zero add/sub/shift never changes the already-masked value).
+    if op in ("&", "|", "^"):
+        if lk == "c" or rk == "c":
+            c, other = (a, parts[1]) if lk == "c" else (b, parts[0])
+            if op == "&" and c == m:
+                return other
+            if op == "&" and c == 0:
+                return ("c", 0)
+            if op in ("|", "^") and c == 0:
+                return other
+            if op == "|" and c == m:
+                return ("c", m)
+        return ("s", f"({a} {op} {b})")
+    if op in ("+", "-"):
+        if rk == "c" and b == 0:
+            return parts[0]
+        if op == "+" and lk == "c" and a == 0:
+            return parts[1]
+        return ("s", f"(({a} {op} {b}) & {m})")
+    if op == "<<":
+        if rk == "c":
+            if b == 0:
+                return parts[0]
+            if b >= expr.width:
+                return ("c", 0)
+        return ("s", f"(({a} << {b}) & {m})")
+    if op == ">>":
+        if rk == "c":
+            if b == 0:
+                return parts[0]
+            if b >= expr.left.width:
+                return ("c", 0)
+        return ("s", f"({a} >> {b})")
+    # Comparison: unary plus coerces the bool to a stored int.
+    return ("s", f"+({a} {op} {b})")
+
+
+def _lower_concat(
+    expr: Concat, parts: list[tuple[str, int | str]]
+) -> tuple[str, int | str]:
+    terms: list[str] = []
+    const_acc = 0
+    shift = expr.width
+    for child, (kind, value) in zip(expr.parts, parts):
+        shift -= child.width
+        if kind == "c":
+            const_acc |= int(value) << shift
+        elif shift == 0:
+            terms.append(str(value))
+        else:
+            terms.append(f"({value} << {shift})")
+    if const_acc:
+        terms.append(str(const_acc))
+    if not terms:
+        return ("c", 0)
+    if len(terms) == 1:
+        return ("s", terms[0])
+    return ("s", f"({' | '.join(terms)})")
+
+
+# -- elaboration ---------------------------------------------------------------
+
+
+class _CombItem:
+    """One combinational evaluation: a continuous assign or ROM read."""
+
+    __slots__ = ("target", "expr", "rom", "local", "deps")
+
+    def __init__(
+        self,
+        target: int,
+        expr: Expr,
+        rom: Rom | None,
+        local: dict[int, int],
+    ) -> None:
+        self.target = target
+        self.expr = expr
+        self.rom = rom
+        self.local = local
+        self.deps = frozenset(
+            local[id(signal)] for signal in expr.signals()
+        )
+
+
+class _RegItem:
+    """One register with its slot-level rename map."""
+
+    __slots__ = ("target", "reg", "local")
+
+    def __init__(
+        self, target: int, reg: Register, local: dict[int, int]
+    ) -> None:
+        self.target = target
+        self.reg = reg
+        self.local = local
+
+
+class _Elaboration:
+    """Flat slot-level view of a design (step 1 of the pipeline)."""
+
+    def __init__(self, design: Design) -> None:
+        self.names: list[str] = []
+        self.widths: list[int] = []
+        self.comb: list[_CombItem] = []
+        self.regs: list[_RegItem] = []
+        self.top_slots = 0
+        self._flatten(design.top, prefix="", bindings={})
+
+    def _new_slot(self, name: str, width: int) -> int:
+        slot = len(self.names)
+        self.names.append(name)
+        self.widths.append(width)
+        return slot
+
+    def _flatten(
+        self, module: Module, prefix: str, bindings: dict[int, int]
+    ) -> None:
+        local = dict(bindings)
+        for signal in module.all_signals():
+            if id(signal) in local:
+                continue
+            local[id(signal)] = self._new_slot(
+                prefix + signal.name, signal.width
+            )
+        if prefix == "":
+            self.top_slots = len(self.names)
+        for assign in module.assigns:
+            self.comb.append(
+                _CombItem(
+                    local[id(assign.target)], assign.expr, None, local
+                )
+            )
+        for rom in module.roms:
+            self.comb.append(
+                _CombItem(local[id(rom.data)], rom.addr, rom, local)
+            )
+        for register in module.registers:
+            self.regs.append(
+                _RegItem(local[id(register.target)], register, local)
+            )
+        for instance in module.instances:
+            child_bindings = {}
+            for name, signal in instance.connections.items():
+                port = instance.module.find_port(name)
+                child_bindings[id(port.signal)] = local[id(signal)]
+            self._flatten(
+                instance.module,
+                prefix=f"{prefix}{instance.name}.",
+                bindings=child_bindings,
+            )
+
+    def schedule(self) -> list[int]:
+        """Topological order over ``self.comb``; mirrors the
+        interpreter's driver/loop diagnostics."""
+        producers: dict[int, int] = {}
+        for index, item in enumerate(self.comb):
+            if item.target in producers:
+                raise SimulationError(
+                    f"multiple drivers for {self.names[item.target]!r}"
+                )
+            producers[item.target] = index
+        order: list[int] = []
+        state = [0] * len(self.comb)  # 0 new, 1 visiting, 2 done
+
+        def visit(i: int) -> None:
+            if state[i] == 2:
+                return
+            if state[i] == 1:
+                raise SimulationError(
+                    "combinational loop through "
+                    f"{self.names[self.comb[i].target]!r}"
+                )
+            state[i] = 1
+            for slot in self.comb[i].deps:
+                j = producers.get(slot)
+                if j is not None:
+                    visit(j)
+            state[i] = 2
+            order.append(i)
+
+        for i in range(len(self.comb)):
+            visit(i)
+        return order
+
+
+# -- code emission -------------------------------------------------------------
+
+
+class _Kernel:
+    """One exec'd settle/step/settle_dead function triple."""
+
+    __slots__ = (
+        "settle",
+        "step",
+        "settle_dead",
+        "dead_slots",
+        "n_slots",
+        "source",
+    )
+
+    def __init__(
+        self,
+        n_slots: int,
+        source: str,
+        rom_tables: list[tuple[int, ...]],
+        dead_slots: frozenset[int],
+    ) -> None:
+        namespace: dict = {
+            f"_rom{k}": table for k, table in enumerate(rom_tables)
+        }
+        exec(compile(source, "<compiled-rtl>", "exec"), namespace)
+        self.settle = namespace["_settle"]
+        self.step = namespace["_step"]
+        self.settle_dead = namespace["_settle_dead"]
+        self.dead_slots = dead_slots
+        self.n_slots = n_slots
+        self.source = source
+
+
+class _Plan:
+    """Everything a :class:`CompiledSimulator` needs for one module."""
+
+    __slots__ = ("kernel", "name_slot", "masks")
+
+    def __init__(
+        self,
+        kernel: _Kernel,
+        name_slot: dict[str, int],
+        masks: list[int],
+    ) -> None:
+        self.kernel = kernel
+        self.name_slot = name_slot
+        self.masks = masks
+
+
+_KERNEL_CACHE: OrderedDict[tuple, _Kernel] = OrderedDict()
+# Module -> (structure snapshot, plan).  The snapshot invalidates the
+# memo when any module in the hierarchy is mutated after it was first
+# compiled — whether through the builder methods or by touching the
+# public lists directly — because the interpreter re-elaborates every
+# construction and the compiled engine must notice too.  Holding the
+# snapshotted items alive makes the identity comparison sound (a
+# replaced item can never alias a snapshotted one).
+_PLAN_MEMO: "weakref.WeakKeyDictionary[Module, tuple[tuple, _Plan]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _structure(design: Design) -> tuple:
+    """Identity snapshot of every structural element per module.
+    Unmutated designs compare equal at pointer speed (tuple comparison
+    short-circuits on element identity)."""
+    return tuple(
+        (
+            module,
+            tuple(module.ports),
+            tuple(module.wires),
+            tuple(module.assigns),
+            tuple(module.registers),
+            tuple(module.roms),
+            tuple(module.instances),
+        )
+        for module in design.modules()
+    )
+
+
+def kernel_cache_info() -> tuple[int, int]:
+    """(cached kernels, capacity) — exposed for tests and diagnostics."""
+    return len(_KERNEL_CACHE), KERNEL_CACHE_MAX
+
+
+def _emit_comb_line(
+    item: _CombItem,
+    const_slots: dict[int, int],
+    used: set[int],
+    rom_tables: list[tuple[int, ...]],
+) -> str:
+    if item.rom is None:
+        kind, value = _lower(item.expr, item.local, const_slots, used)
+        if kind == "c":
+            const_slots[item.target] = int(value)
+        return f"e[{item.target}] = {value}"
+    rom = item.rom
+    akind, addr = _lower(item.expr, item.local, const_slots, used)
+    if akind == "c":
+        value = rom.read(int(addr))
+        const_slots[item.target] = value
+        return f"e[{item.target}] = {value}"
+    index = len(rom_tables)
+    if rom.addr.width <= _ROM_PAD_LIMIT:
+        # Pad to the full address space: the address slot is already
+        # masked, so the lookup can never go out of range, and reads
+        # past the image return 0 exactly like ``Rom.read``.
+        span = 1 << rom.addr.width
+        rom_tables.append(
+            rom.contents + (0,) * (span - len(rom.contents))
+        )
+        return f"e[{item.target}] = _rom{index}[{addr}]"
+    rom_tables.append(rom.contents)
+    return (
+        f"e[{item.target}] = _rom{index}[_a] "
+        f"if (_a := {addr}) < {len(rom.contents)} else 0"
+    )
+
+
+def _emit_reg_lines(
+    regs: list[_RegItem],
+    const_slots: dict[int, int],
+    used: set[int],
+) -> list[str]:
+    """Sample-then-commit lines reproducing the interpreter's register
+    semantics: reset wins, a deasserted enable holds, else load."""
+    samples: list[str] = []
+    commits: list[str] = []
+    for item in regs:
+        reg = item.reg
+        target = item.target
+        reset = (
+            _lower(reg.reset, item.local, const_slots, used)
+            if reg.reset is not None
+            else None
+        )
+        enable = (
+            _lower(reg.enable, item.local, const_slots, used)
+            if reg.enable is not None
+            else None
+        )
+        if reset is not None and reset[0] == "c" and not reset[1]:
+            reset = None  # reset tied low: never fires
+        if enable is not None and enable[0] == "c":
+            if enable[1]:
+                enable = None  # enable tied high: plain load
+            elif reset is None:
+                continue  # enable tied low, no reset: inert register
+        if enable is not None and enable[0] == "c":
+            sample = f"e[{target}]"  # tied low; only the reset can act
+        else:
+            sample = str(
+                _lower(reg.next, item.local, const_slots, used)[1]
+            )
+            if enable is not None:
+                sample = f"({sample} if {enable[1]} else e[{target}])"
+        if reset is not None:
+            if reset[0] == "c":  # tied high: unconditional reset
+                sample = str(reg.reset_value)
+            else:
+                sample = (
+                    f"({reg.reset_value} if {reset[1]} else {sample})"
+                )
+        name = f"t{len(samples)}"
+        samples.append(f"{name} = {sample}")
+        commits.append(f"e[{target}] = {name}")
+    return samples + commits
+
+
+def _emit(
+    elab: _Elaboration,
+) -> tuple[str, list[tuple[int, ...]], frozenset[int]]:
+    """Lower a scheduled elaboration to (kernel source, ROM images,
+    pruned dead-target slots)."""
+    order = elab.schedule()
+    const_slots: dict[int, int] = {}
+    rom_tables: list[tuple[int, ...]] = []
+
+    comb_lines: list[tuple[int, str]] = []  # (target, line) in order
+    comb_used: list[set[int]] = []
+    for i in order:
+        used: set[int] = set()
+        line = _emit_comb_line(
+            elab.comb[i], const_slots, used, rom_tables
+        )
+        comb_lines.append((elab.comb[i].target, line))
+        comb_used.append(used)
+
+    reg_used: set[int] = set()
+    reg_lines = _emit_reg_lines(elab.regs, const_slots, reg_used)
+
+    # Liveness: a combinational target matters if a register samples
+    # it, it is visible at top level, or a live net reads it.
+    live: set[int] = set(reg_used)
+    live.update(range(elab.top_slots))
+    live_flags = [False] * len(comb_lines)
+    for pos in range(len(comb_lines) - 1, -1, -1):
+        target, _line = comb_lines[pos]
+        if target in live:
+            live_flags[pos] = True
+            live.update(comb_used[pos])
+    settle_lines = [
+        line
+        for (_t, line), flag in zip(comb_lines, live_flags)
+        if flag
+    ]
+    dead_lines = [
+        line
+        for (_t, line), flag in zip(comb_lines, live_flags)
+        if not flag
+    ]
+    dead_slots = frozenset(
+        target
+        for (target, _line), flag in zip(comb_lines, live_flags)
+        if not flag
+    )
+
+    def body(lines: list[str], indent: str) -> str:
+        if not lines:
+            return f"{indent}pass"
+        return "\n".join(indent + line for line in lines)
+
+    source = "\n".join(
+        [
+            "def _settle(e):",
+            body(settle_lines, "    "),
+            "",
+            "def _settle_dead(e):",
+            body(dead_lines, "    "),
+            "",
+            "def _step(e, cycles):",
+            "    for _ in range(cycles):",
+            body(reg_lines + settle_lines, "        "),
+            "",
+        ]
+    )
+    return source, rom_tables, dead_slots
+
+
+def compile_design(design: Design | Module) -> _Plan:
+    """Elaborate + lower + compile one design, memoized per module."""
+    if isinstance(design, Module):
+        design = Design(design)
+    structure = _structure(design)
+    memoized = _PLAN_MEMO.get(design.top)
+    if memoized is not None and memoized[0] == structure:
+        return memoized[1]
+    elab = _Elaboration(design)
+    source, rom_tables, dead_slots = _emit(elab)
+    key = (
+        len(elab.names),
+        source,
+        tuple(rom_tables),
+        dead_slots,
+    )
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        kernel = _Kernel(
+            len(elab.names), source, rom_tables, dead_slots
+        )
+        _KERNEL_CACHE[key] = kernel
+        if len(_KERNEL_CACHE) > KERNEL_CACHE_MAX:
+            _KERNEL_CACHE.popitem(last=False)
+    else:
+        _KERNEL_CACHE.move_to_end(key)
+    name_slot: dict[str, int] = {}
+    for slot, name in enumerate(elab.names):
+        name_slot.setdefault(name, slot)
+    masks = [_mask(width) for width in elab.widths]
+    plan = _Plan(kernel, name_slot, masks)
+    _PLAN_MEMO[design.top] = (structure, plan)
+    return plan
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+class CompiledSimulator(Simulator):
+    """Drop-in :class:`~repro.rtl.simulator.Simulator` running exec'd
+    straight-line kernels over a slot-list environment."""
+
+    engine = "compiled"
+
+    def __init__(
+        self, design: Design | Module, engine: str | None = None
+    ) -> None:
+        plan = compile_design(design)
+        self._kernel = plan.kernel
+        self._name_slot = plan.name_slot
+        self._masks = plan.masks
+        self._env: list[int] = [0] * plan.kernel.n_slots
+        self._dead_stale = False
+        self.cycle = 0
+        self.settle()
+
+    @property
+    def source(self) -> str:
+        """The generated kernel source (for inspection and tests)."""
+        return self._kernel.source
+
+    # -- environment access ----------------------------------------------------
+
+    def _slot(self, name: str) -> int:
+        slot = self._name_slot.get(name)
+        if slot is None:
+            raise KeyError(f"no signal named {name!r} in top module")
+        return slot
+
+    def _refresh_dead(self) -> None:
+        self._kernel.settle_dead(self._env)
+        self._dead_stale = False
+
+    def poke(self, name: str, value: int) -> None:
+        """Drive a top-level input (propagates at the next settle/step)."""
+        if self._dead_stale:
+            # Flush pruned nets against the pre-poke environment so a
+            # later peek sees exactly the values of the last settle.
+            self._refresh_dead()
+        slot = self._slot(name)
+        self._env[slot] = value & self._masks[slot]
+
+    def poke_settle(self, name: str, value: int) -> None:
+        """Poke and immediately settle combinational logic."""
+        self.poke(name, value)
+        self.settle()
+
+    def peek(self, name: str) -> int:
+        """Read a top-level signal's settled value."""
+        slot = self._slot(name)
+        if self._dead_stale and slot in self._kernel.dead_slots:
+            self._refresh_dead()
+        return self._env[slot]
+
+    def peek_flat(self, flat_name: str) -> int:
+        """Read a hierarchical flat name, e.g. ``"sp0.state"``."""
+        slot = self._name_slot[flat_name]
+        if self._dead_stale and slot in self._kernel.dead_slots:
+            self._refresh_dead()
+        return self._env[slot]
+
+    def flat_names(self) -> list[str]:
+        return sorted(self._name_slot)
+
+    # -- execution ---------------------------------------------------------------
+
+    def settle(self) -> None:
+        """Propagate combinational logic (one straight-line pass)."""
+        self._kernel.settle(self._env)
+        if self._kernel.dead_slots:
+            self._dead_stale = True
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the clock by ``cycles`` rising edges."""
+        self._kernel.step(self._env, cycles)
+        self.cycle += cycles
+        if cycles and self._kernel.dead_slots:
+            self._dead_stale = True

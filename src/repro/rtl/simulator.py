@@ -13,18 +13,48 @@ aliases onto parent signals, so the whole design simulates in a single
 flat environment.  This mirrors the flattening performed by
 :mod:`repro.rtl.netlist`, keeping simulation and the area model
 consistent with each other and with the emitted Verilog.
+
+Two interchangeable engines implement these semantics:
+
+* ``"compiled"`` (default) — :mod:`repro.rtl.compile_sim` lowers the
+  flattened design to one straight-line Python ``settle``/``step``
+  function pair, compiled once per module *shape* and cached;
+* ``"interp"`` — the reference tree-walking evaluator below, kept as
+  the semantic oracle the compiled engine is differentially tested
+  against.
+
+``Simulator(design)`` dispatches on the ``engine`` argument (or the
+``REPRO_RTL_ENGINE`` environment variable); both engines expose the
+identical ``poke``/``peek``/``peek_flat``/``settle``/``step``/``cycle``
+surface.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Mapping
 
 from .ast import Expr, Signal
 from .module import Design, Module, Register, Rom
 
+ENGINES = ("compiled", "interp")
+
+DEFAULT_ENGINE = "compiled"
+
 
 class SimulationError(RuntimeError):
     """Raised on combinational loops or unresolvable evaluation order."""
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Normalize an engine request (None -> env override -> default)."""
+    if engine is None:
+        engine = os.environ.get("REPRO_RTL_ENGINE") or DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown RTL engine {engine!r}; choose from {ENGINES}"
+        )
+    return engine
 
 
 class _RenamedEnv(Mapping):
@@ -64,9 +94,36 @@ class Simulator:
         sim.poke("reset", 1)
         sim.step()               # one rising clock edge
         value = sim.peek("data_out")
+
+    Constructing ``Simulator(...)`` directly dispatches to the engine
+    selected by ``engine`` (``"compiled"`` by default); instantiate
+    :class:`InterpSimulator` or
+    :class:`~repro.rtl.compile_sim.CompiledSimulator` to pin one.
     """
 
-    def __init__(self, design: Design | Module) -> None:
+    engine = "abstract"
+
+    def __new__(
+        cls, design: Design | Module, engine: str | None = None
+    ) -> "Simulator":
+        if cls is Simulator:
+            if resolve_engine(engine) == "compiled":
+                from .compile_sim import CompiledSimulator
+
+                cls = CompiledSimulator
+            else:
+                cls = InterpSimulator
+        return object.__new__(cls)
+
+
+class InterpSimulator(Simulator):
+    """Reference tree-walking engine (the semantic oracle)."""
+
+    engine = "interp"
+
+    def __init__(
+        self, design: Design | Module, engine: str | None = None
+    ) -> None:
         if isinstance(design, Module):
             design = Design(design)
         self._env: dict[str, int] = {}
@@ -85,8 +142,13 @@ class Simulator:
             ]
         ] = []
         self._top = design.top
-        self._top_names: dict[int, str] = {}
+        # name -> flat-name lookup for poke/peek, built once here: the
+        # top module's signal names first (they win any collision),
+        # then every hierarchical flat name mapping to itself.
+        self._name_map: dict[str, str] = {}
         self._flatten(design.top, prefix="", bindings={})
+        for flat in self._env:
+            self._name_map.setdefault(flat, flat)
         self._order = self._schedule()
         self.cycle = 0
         self.settle()
@@ -105,8 +167,8 @@ class Simulator:
             self._widths[flat] = signal.width
             self._env[flat] = 0
         if prefix == "":
-            self._top_names = {
-                id(signal): local[id(signal)]
+            self._name_map = {
+                signal.name: local[id(signal)]
                 for signal in module.all_signals()
             }
         for assign in module.assigns:
@@ -195,12 +257,10 @@ class Simulator:
     # -- environment access --------------------------------------------------
 
     def _flat_name(self, name: str) -> str:
-        for signal in self._top.all_signals():
-            if signal.name == name:
-                return self._top_names[id(signal)]
-        if name in self._env:
-            return name
-        raise KeyError(f"no signal named {name!r} in top module")
+        flat = self._name_map.get(name)
+        if flat is None:
+            raise KeyError(f"no signal named {name!r} in top module")
+        return flat
 
     def poke(self, name: str, value: int) -> None:
         """Drive a top-level input (propagates at the next settle/step)."""

@@ -153,6 +153,48 @@ class TopologyProfile:
             raise ValueError("sources need at least one token")
 
 
+#: Named topology-shape bundles for ``repro verify --profile``.
+#:
+#: * ``small``  — the historical default: 2–5 processes, shallow
+#:   channels; fast enough for per-push CI smoke batches;
+#: * ``soc``    — SoC-scale networks: more processes and ports, deeper
+#:   relay-segmented channels, more feedback loops;
+#: * ``stress`` — the widest shapes we generate: big cyclic networks,
+#:   aggressive source jitter and sink backpressure, deep ports.
+PROFILE_PRESETS: dict[str, TopologyProfile] = {
+    "small": TopologyProfile(),
+    "soc": TopologyProfile(
+        min_processes=4,
+        max_processes=8,
+        max_ports=3,
+        max_points=6,
+        max_run=8,
+        max_latency=4,
+        p_internal=0.75,
+        p_feedback=0.45,
+        max_feedback=3,
+        p_uniform=0.3,
+        port_depth=3,
+    ),
+    "stress": TopologyProfile(
+        min_processes=6,
+        max_processes=12,
+        max_ports=4,
+        max_points=8,
+        max_run=10,
+        max_latency=5,
+        p_internal=0.8,
+        p_feedback=0.6,
+        max_feedback=4,
+        p_uniform=0.2,
+        p_source_jitter=0.8,
+        p_sink_backpressure=0.7,
+        source_tokens=320,
+        port_depth=4,
+    ),
+}
+
+
 @dataclass(frozen=True)
 class ProcessNode:
     """One patient process of a generated topology."""

@@ -87,7 +87,9 @@ def _credit_tokens(seed: int, channel_index: int, count: int) -> list[int]:
     return [(base + k) & _MASK for k in range(count)]
 
 
-def _make_shell(style: str, node, port_depth: int) -> Shell:
+def _make_shell(
+    style: str, node, port_depth: int, engine: str | None = None
+) -> Shell:
     pearl = MixPearl(node.name, node.schedule)
     if style == "fsm":
         return FSMWrapper(pearl, port_depth)
@@ -105,12 +107,13 @@ def _make_shell(style: str, node, port_depth: int) -> Shell:
             program, name=f"sp_{node.name}", schedule=node.schedule
         )
         return RTLShell(pearl, module, program=program,
-                        port_depth=port_depth)
+                        port_depth=port_depth, engine=engine)
     if style == "rtl-fsm":
         module = generate_fsm_wrapper(
             node.schedule, name=f"fsm_{node.name}"
         )
-        return RTLShell(pearl, module, port_depth=port_depth)
+        return RTLShell(pearl, module, port_depth=port_depth,
+                        engine=engine)
     raise ValueError(
         f"unknown verify style {style!r}; choose from "
         f"{sorted(BEHAVIOURAL_STYLES + RTL_STYLES)}"
@@ -118,17 +121,22 @@ def _make_shell(style: str, node, port_depth: int) -> Shell:
 
 
 def build_system(
-    topology: SystemTopology, style: str, trace: bool = False
+    topology: SystemTopology,
+    style: str,
+    trace: bool = False,
+    engine: str | None = None,
 ) -> tuple[System, dict[str, Shell], dict[str, Sink]]:
     """Instantiate ``topology`` with wrappers of ``style``.
 
     Returns (system, shells by process name, sinks by sink name).
     With ``trace=True`` every shell records its per-cycle enable trace.
+    ``engine`` selects the RTL simulation backend for the RTL-in-the-
+    loop styles (behavioural styles ignore it).
     """
     system = System(f"{topology.name}:{style}")
     shells: dict[str, Shell] = {}
     for node in topology.processes:
-        shell = _make_shell(style, node, topology.port_depth)
+        shell = _make_shell(style, node, topology.port_depth, engine)
         if trace:
             shell.trace_enable = []
         system.add_patient(shell)
@@ -194,6 +202,9 @@ class VerifyCase:
     topology: SystemTopology
     styles: tuple[str, ...] = DEFAULT_STYLES
     deadlock_window: int | None = 64
+    # RTL simulation backend for rtl-* styles; None follows the
+    # simulator default (including the REPRO_RTL_ENGINE override).
+    engine: str | None = None
 
 
 @dataclass(frozen=True)
@@ -239,7 +250,7 @@ class _StyleRun:
 def _run_style(case: VerifyCase, style: str) -> _StyleRun:
     try:
         system, shells, sinks = build_system(
-            case.topology, style, trace=True
+            case.topology, style, trace=True, engine=case.engine
         )
         result = Simulation(system).run(
             case.cycles, deadlock_window=case.deadlock_window

@@ -13,7 +13,9 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from ..rtl.simulator import resolve_engine
 from ..sched.generate import (
+    PROFILE_PRESETS,
     TopologyProfile,
     random_topology,
     topology_to_dict,
@@ -24,16 +26,24 @@ from .shrink import shrink_case
 
 @dataclass(frozen=True)
 class BatchConfig:
-    """Parameters of one ``repro verify`` batch."""
+    """Parameters of one ``repro verify`` batch.
+
+    ``profile`` may be a :class:`TopologyProfile` or one of the
+    :data:`~repro.sched.generate.PROFILE_PRESETS` names
+    (``small``/``soc``/``stress``).  ``engine=None`` resolves once at
+    construction through the simulator default (so the
+    ``REPRO_RTL_ENGINE`` environment override applies to verify runs).
+    """
 
     cases: int = 50
     seed: int = 0
     jobs: int = 1
     cycles: int = 300
     styles: tuple[str, ...] = DEFAULT_STYLES
-    profile: TopologyProfile = field(default_factory=TopologyProfile)
+    profile: TopologyProfile | str = "small"
     deadlock_window: int | None = 64
     shrink: bool = True
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.cases < 1:
@@ -42,20 +52,44 @@ class BatchConfig:
             raise ValueError("need at least one job")
         if self.cycles < 1:
             raise ValueError("need at least one cycle")
+        # Pin the resolved engine in the (frozen) config so the batch
+        # is deterministic even if workers see a different environment.
+        object.__setattr__(
+            self, "engine", resolve_engine(self.engine)
+        )
+        if isinstance(self.profile, str) and (
+            self.profile not in PROFILE_PRESETS
+        ):
+            raise ValueError(
+                f"unknown profile {self.profile!r}; choose from "
+                f"{sorted(PROFILE_PRESETS)}"
+            )
+
+    @property
+    def profile_name(self) -> str:
+        return self.profile if isinstance(self.profile, str) else "custom"
+
+    @property
+    def topology_profile(self) -> TopologyProfile:
+        if isinstance(self.profile, str):
+            return PROFILE_PRESETS[self.profile]
+        return self.profile
 
 
 def make_cases(config: BatchConfig) -> list[VerifyCase]:
     """The deterministic case list of a batch."""
     rng = random.Random(config.seed)
     seeds = [rng.getrandbits(31) for _ in range(config.cases)]
+    profile = config.topology_profile
     return [
         VerifyCase(
             index=index,
             seed=case_seed,
             cycles=config.cycles,
-            topology=random_topology(case_seed, config.profile),
+            topology=random_topology(case_seed, profile),
             styles=config.styles,
             deadlock_window=config.deadlock_window,
+            engine=config.engine,
         )
         for index, case_seed in enumerate(seeds)
     ]
@@ -100,7 +134,9 @@ class BatchReport:
         rate = total / self.duration_s if self.duration_s > 0 else 0.0
         lines = [
             f"verify: {total} cases, {self.checks} cross-checks, "
-            f"{failed} divergent, seed {self.config.seed}",
+            f"{failed} divergent, seed {self.config.seed}, "
+            f"profile {self.config.profile_name}, "
+            f"engine {self.config.engine}",
             f"  {tokens} sink tokens observed; {self.duration_s:.1f}s "
             f"({rate:.1f} cases/s, jobs={self.config.jobs})",
         ]

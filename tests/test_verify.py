@@ -280,6 +280,33 @@ class TestBatchRunner:
             BatchConfig(cases=0)
         with pytest.raises(ValueError):
             BatchConfig(jobs=0)
+        with pytest.raises(ValueError):
+            BatchConfig(engine="verilator")
+        with pytest.raises(ValueError):
+            BatchConfig(profile="galactic")
+
+    def test_profile_presets_shape_the_cases(self, monkeypatch):
+        from repro.sched.generate import PROFILE_PRESETS
+
+        monkeypatch.delenv("REPRO_RTL_ENGINE", raising=False)
+        assert set(PROFILE_PRESETS) == {"small", "soc", "stress"}
+        small = make_cases(BatchConfig(cases=6, profile="small"))
+        stress = make_cases(BatchConfig(cases=6, profile="stress"))
+        assert max(
+            len(c.topology.processes) for c in stress
+        ) > max(len(c.topology.processes) for c in small)
+        assert all(c.engine == "compiled" for c in small)
+
+    def test_named_profile_matches_explicit_profile(self):
+        from repro.sched.generate import PROFILE_PRESETS
+
+        named = make_cases(BatchConfig(cases=4, profile="soc"))
+        explicit = make_cases(
+            BatchConfig(cases=4, profile=PROFILE_PRESETS["soc"])
+        )
+        assert [c.topology for c in named] == [
+            c.topology for c in explicit
+        ]
 
 
 class TestVerifyCli:
