@@ -264,3 +264,45 @@ def test_batch_verify_throughput(benchmark):
         "and analytic throughput bounds.",
     ]
     write_result("batch_verify_throughput.txt", "\n".join(lines))
+
+
+def test_regular_traffic_verify_throughput(benchmark):
+    """Regular-traffic batches run two extra styles (behavioural and
+    RTL shift-register) plus the static-activation planning pass; this
+    tracks their cases/second so the oracle's widest mode stays cheap
+    enough for CI smoke batches."""
+    config = BatchConfig(
+        cases=8,
+        seed=0,
+        jobs=1,
+        cycles=200,
+        traffic="regular",
+    )
+
+    def batch():
+        return BatchRunner(config).run()
+
+    report = benchmark.pedantic(batch, rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    rate = len(report.outcomes) / report.duration_s
+
+    benchmark.extra_info.update(
+        cases=len(report.outcomes),
+        checks=report.checks,
+        cases_per_s=round(rate, 1),
+        styles=len(config.styles),
+    )
+    lines = [
+        "Regular-traffic batch verification throughput "
+        f"({config.cases} topologies, {config.cycles} cycles, "
+        f"{len(config.styles)} styles incl. shiftreg + rtl-shiftreg)",
+        "",
+        f"cases/s:      {rate:.1f}",
+        f"cross-checks: {report.checks}",
+        f"sink tokens:  {sum(o.sink_tokens for o in report.outcomes)}",
+        "",
+        "Each case plans every process's static activation from the "
+        "FSM reference run, then holds both shift-register styles to "
+        "the same stream/trace/throughput cross-checks.",
+    ]
+    write_result("batch_verify_regular.txt", "\n".join(lines))

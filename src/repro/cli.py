@@ -11,7 +11,11 @@ Subcommands:
 * ``compare`` — synthesize every wrapper style for one schedule and
   print the comparison;
 * ``verify`` — batch differential verification of random LIS
-  topologies across wrapper styles (see :mod:`repro.verify`).
+  topologies across wrapper styles (see :mod:`repro.verify` and
+  ``docs/verify.md``): ``--traffic regular`` switches to jitter-free
+  periodic traffic and adds the shift-register wrapper styles;
+  ``--coverage`` / ``--coverage-json`` report topology-shape
+  histograms.
 """
 
 from __future__ import annotations
@@ -149,6 +153,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cycles=args.cycles,
             profile=args.profile,
+            traffic=args.traffic,
             deadlock_window=args.deadlock_window,
             shrink=not args.no_shrink,
             engine=args.engine,
@@ -158,6 +163,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return 2
     report = BatchRunner(config).run()
     print(report.summary())
+    if report.coverage is not None:
+        if args.coverage:
+            print(report.coverage.render())
+        if args.coverage_json is not None:
+            path = pathlib.Path(args.coverage_json)
+            if path.parent != pathlib.Path(""):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(report.coverage.to_json())
+            print(f"wrote coverage JSON to {path}")
     if args.out is not None:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -234,10 +248,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--cycles", type=int, default=300,
         help="simulated cycles per case and style",
     )
+    from .sched.generate import PROFILE_PRESETS, TRAFFIC_MODES
+
     verify.add_argument(
         "--profile", default="small",
-        choices=("small", "soc", "stress"),
+        choices=tuple(sorted(PROFILE_PRESETS)),
         help="topology-shape preset (size/feedback/jitter bundle)",
+    )
+    verify.add_argument(
+        "--traffic", default=None,
+        choices=tuple(sorted(TRAFFIC_MODES)),
+        help=(
+            "traffic regime override: 'regular' draws jitter-free "
+            "periodic topologies and adds the shift-register wrapper "
+            "styles; default: the profile's own regime"
+        ),
+    )
+    verify.add_argument(
+        "--coverage", action="store_true",
+        help="print topology-shape coverage histograms after the batch",
+    )
+    verify.add_argument(
+        "--coverage-json", default=None, metavar="FILE",
+        help="write the coverage histograms as JSON (CI trend tracking)",
     )
     verify.add_argument(
         "--engine", default=None,

@@ -187,6 +187,13 @@ class ShiftRegisterWrapper(Shell):
 
     ``pattern=None`` uses the all-ones pattern (full-speed activation,
     valid when every producer/consumer also runs at full speed).
+
+    ``prefix`` is an optional *one-shot* activation sequence played
+    before the looping pattern starts — the start-up transient of a
+    globally planned static schedule (pipeline fill delays, staggered
+    offsets).  A never-firing cyclic ``pattern`` is allowed when a
+    ``prefix`` is given: that is the planned-replay degenerate case of
+    a process whose reference run drained and stopped.
     """
 
     style = "shiftreg"
@@ -196,13 +203,15 @@ class ShiftRegisterWrapper(Shell):
         pearl: Pearl,
         port_depth: int = DEFAULT_PORT_DEPTH,
         pattern: Sequence[bool] | None = None,
+        prefix: Sequence[bool] = (),
     ) -> None:
         super().__init__(pearl, port_depth)
         period = pearl.schedule.period_cycles
+        self.prefix = [bool(b) for b in prefix]
         self.pattern = (
             list(pattern) if pattern is not None else [True] * period
         )
-        if not any(self.pattern):
+        if not self.prefix and not any(self.pattern):
             raise ShellError("activation pattern never fires")
         if sum(self.pattern) % period != 0:
             raise ShellError(
@@ -210,10 +219,22 @@ class ShiftRegisterWrapper(Shell):
                 f"loop, not a multiple of the schedule period {period}"
             )
         self._pattern_pos = 0
+        self._prefix_pos = 0
+        self._pattern_fires = any(self.pattern)
 
-    def _wrapper_step(self, cycle: int) -> None:
+    def _next_fire(self) -> bool:
+        if self._prefix_pos < len(self.prefix):
+            fire = self.prefix[self._prefix_pos]
+            self._prefix_pos += 1
+            return fire
+        if not self._pattern_fires:
+            return False  # prefix exhausted, cyclic part never fires
         fire = self.pattern[self._pattern_pos]
         self._pattern_pos = (self._pattern_pos + 1) % len(self.pattern)
+        return fire
+
+    def _wrapper_step(self, cycle: int) -> None:
+        fire = self._next_fire()
         if not fire:
             self.stall_cycles += 1
             if self.trace_enable is not None:
@@ -253,6 +274,7 @@ class ShiftRegisterWrapper(Shell):
     def reset(self) -> None:
         super().reset()
         self._pattern_pos = 0
+        self._prefix_pos = 0
 
 
 WRAPPER_STYLES = {

@@ -13,6 +13,13 @@ sources and backpressuring sinks.  The description
 :func:`topology_to_dict` — so the batch verifier
 (:mod:`repro.verify`) can ship cases across worker processes and
 shrink failing ones to minimal reproducers.
+
+Topologies come in two *traffic regimes*
+(:attr:`TopologyProfile.traffic`): ``"random"`` draws jittery sources,
+backpressuring sinks and mixed multi-point schedules, while
+``"regular"`` keeps every stream perfectly periodic (uniform
+schedules, no jitter, no backpressure) — the environment hypothesis of
+the shift-register wrapper, which is verified only in that regime.
 """
 
 from __future__ import annotations
@@ -119,9 +126,42 @@ def random_schedule(
 # -- random system topologies --------------------------------------------------
 
 
+#: Valid values of :attr:`TopologyProfile.traffic` /
+#: :attr:`SystemTopology.traffic`.
+TRAFFIC_MODES = ("random", "regular")
+
+
 @dataclass(frozen=True)
 class TopologyProfile:
-    """Shape parameters of a random latency-insensitive system."""
+    """Shape parameters of a random latency-insensitive system.
+
+    Size and wiring:
+
+    * ``min_processes`` / ``max_processes`` — process-count range;
+    * ``max_ports`` — maximum inputs and maximum outputs per process;
+    * ``max_points`` — sync points per non-uniform process schedule;
+    * ``max_run`` — free-run cycles granted per sync point;
+    * ``max_latency`` — channel forward latency (relay segmentation);
+    * ``p_internal`` — probability an input is fed by an upstream
+      process rather than an external source;
+    * ``p_feedback`` / ``max_feedback`` — whether the topology gets
+      credit-marked feedback channels, and how many at most;
+    * ``port_depth`` — shell FIFO port depth.
+
+    Traffic regime:
+
+    * ``traffic`` — ``"random"`` (jittery sources, backpressuring
+      sinks, mixed schedules) or ``"regular"`` (every process uniform,
+      no source jitter, no sink backpressure — the environment
+      hypothesis of the shift-register wrapper);
+    * ``p_uniform`` — probability of an all-uniform topology in
+      ``"random"`` mode (``"regular"`` mode is always uniform);
+    * ``p_source_jitter`` / ``p_sink_backpressure`` — irregularity
+      probabilities, ignored in ``"regular"`` mode;
+    * ``source_tokens`` — tokens offered per source (regular-mode
+      presets raise this so sources never run dry inside the default
+      verification horizon, keeping the traffic truly periodic).
+    """
 
     min_processes: int = 2
     max_processes: int = 5
@@ -137,6 +177,7 @@ class TopologyProfile:
     p_sink_backpressure: float = 0.5  # sink gets a stall pattern
     source_tokens: int = 256  # tokens offered per source
     port_depth: int = 2  # shell FIFO port depth
+    traffic: str = "random"  # "random" | "regular" (see class docstring)
 
     def __post_init__(self) -> None:
         if self.min_processes < 1:
@@ -151,18 +192,38 @@ class TopologyProfile:
             raise ValueError("port depth must be >= 1")
         if self.source_tokens < 1:
             raise ValueError("sources need at least one token")
+        if self.traffic not in TRAFFIC_MODES:
+            raise ValueError(
+                f"unknown traffic mode {self.traffic!r}; choose from "
+                f"{sorted(TRAFFIC_MODES)}"
+            )
 
 
 #: Named topology-shape bundles for ``repro verify --profile``.
 #:
-#: * ``small``  — the historical default: 2–5 processes, shallow
+#: * ``small``   — the historical default: 2–5 processes, shallow
 #:   channels; fast enough for per-push CI smoke batches;
-#: * ``soc``    — SoC-scale networks: more processes and ports, deeper
+#: * ``soc``     — SoC-scale networks: more processes and ports, deeper
 #:   relay-segmented channels, more feedback loops;
-#: * ``stress`` — the widest shapes we generate: big cyclic networks,
-#:   aggressive source jitter and sink backpressure, deep ports.
+#: * ``stress``  — the widest shapes we generate: big cyclic networks,
+#:   aggressive source jitter and sink backpressure, deep ports;
+#: * ``regular`` — jitter-free periodic traffic over uniform schedules,
+#:   the regime in which the shift-register wrapper styles join the
+#:   differential oracle (``repro verify --traffic regular``).
 PROFILE_PRESETS: dict[str, TopologyProfile] = {
     "small": TopologyProfile(),
+    "regular": TopologyProfile(
+        traffic="regular",
+        min_processes=2,
+        max_processes=6,
+        max_ports=3,
+        max_run=4,
+        max_latency=3,
+        p_internal=0.7,
+        p_feedback=0.4,
+        p_uniform=1.0,
+        source_tokens=512,
+    ),
     "soc": TopologyProfile(
         min_processes=4,
         max_processes=8,
@@ -256,12 +317,20 @@ class SystemTopology:
     sources: tuple[TopologySource, ...] = ()
     sinks: tuple[TopologySink, ...] = ()
     port_depth: int = 2
+    traffic: str = "random"  # generation regime ("random" | "regular")
 
     @property
     def uniform(self) -> bool:
         """True when every process has a single all-ports sync point —
         the regime where the marked-graph throughput model is exact."""
         return all(process.uniform for process in self.processes)
+
+    @property
+    def regular(self) -> bool:
+        """True for regular-traffic topologies: uniform schedules, no
+        source jitter, no sink backpressure — the environment in which
+        the shift-register wrapper styles are verified."""
+        return self.traffic == "regular"
 
     @property
     def has_feedback(self) -> bool:
@@ -278,6 +347,7 @@ class SystemTopology:
             f"{len(self.processes)}p/{len(self.channels)}c/"
             f"{len(self.sources)}src/{len(self.sinks)}snk"
             f"{'/fb' if self.has_feedback else ''}"
+            f"{'/reg' if self.regular else ''}"
         )
 
 
@@ -339,6 +409,11 @@ def random_topology(
 ) -> SystemTopology:
     """Generate one seeded random LIS topology.
 
+    ``seed`` fully determines the result for a given ``profile`` (the
+    default profile is ``TopologyProfile()``): the same pair always
+    yields the same :class:`SystemTopology`, bit-for-bit, which is what
+    lets :mod:`repro.verify` replay and shrink cases across processes.
+
     Construction order makes every topology well-formed by design:
 
     1. processes with port-covering schedules (all-uniform with
@@ -349,11 +424,18 @@ def random_topology(
     3. forward DAG wiring of the remaining inputs, falling back to
        jittery sources; leftover outputs drain into sinks with optional
        backpressure patterns.
+
+    With ``profile.traffic == "regular"`` every process is uniform and
+    sources/sinks carry no jitter or backpressure patterns: the system
+    settles into a periodic steady state, which is the environment
+    hypothesis under which the shift-register wrapper styles can join
+    the differential oracle.
     """
     profile = profile or TopologyProfile()
+    regular = profile.traffic == "regular"
     rng = random.Random(seed)
     n = rng.randint(profile.min_processes, profile.max_processes)
-    all_uniform = rng.random() < profile.p_uniform
+    all_uniform = regular or rng.random() < profile.p_uniform
     processes = []
     for i in range(n):
         schedule = (
@@ -431,7 +513,7 @@ def random_topology(
             else:
                 index = len(sources)
                 gaps = None
-                if rng.random() < profile.p_source_jitter:
+                if not regular and rng.random() < profile.p_source_jitter:
                     gaps = tuple(
                         rng.random() < 0.45 + 0.5 * rng.random()
                         for _ in range(rng.randint(7, 31))
@@ -459,7 +541,7 @@ def random_topology(
                 continue
             index = len(sinks)
             stalls = None
-            if rng.random() < profile.p_sink_backpressure:
+            if not regular and rng.random() < profile.p_sink_backpressure:
                 stalls = tuple(
                     rng.random() < 0.5 + 0.45 * rng.random()
                     for _ in range(rng.randint(5, 23))
@@ -485,6 +567,7 @@ def random_topology(
         sources=tuple(sources),
         sinks=tuple(sinks),
         port_depth=profile.port_depth,
+        traffic=profile.traffic,
     )
 
 
@@ -497,6 +580,7 @@ def topology_to_dict(topology: SystemTopology) -> dict:
         "name": topology.name,
         "seed": topology.seed,
         "port_depth": topology.port_depth,
+        "traffic": topology.traffic,
         "processes": [
             {
                 "name": node.name,
@@ -555,6 +639,7 @@ def topology_from_dict(data: dict) -> SystemTopology:
         name=str(data["name"]),
         seed=int(data["seed"]),
         port_depth=int(data.get("port_depth", 2)),
+        traffic=str(data.get("traffic", "random")),
         processes=tuple(
             ProcessNode(
                 name=str(p["name"]),

@@ -19,46 +19,75 @@ identical stimuli, and cross-checks:
   :mod:`repro.lis.throughput` (both implementations cross-checked)
   must upper-bound every measured process rate in the uniform regime.
 
+The shift-register wrapper (Casu & Macchiarulo) joins the oracle in
+the **regular-traffic regime** (``repro verify --traffic regular``):
+there, topologies are uniform-schedule and jitter-free, and
+:mod:`repro.verify.regular` plans each process's static activation —
+start-up prefix plus periodic ring — from the FSM reference run, so
+both the behavioural ``shiftreg`` shell and the ``rtl-shiftreg``
+RTL-in-the-loop shell replay the reference schedule exactly and are
+held to the same stream/trace/throughput checks.  Random-traffic
+batches still exclude it: jitter violates its environment hypothesis
+by design.
+
 Failing cases are shrunk to minimal reproducers
 (:func:`repro.verify.shrink_case`) and reported with their topology as
 JSON.  The :class:`BatchRunner` fans cases across
 ``concurrent.futures`` workers with deterministic per-case seeds, so
-``repro verify --cases N --seed S`` is reproducible at any job count.
-
-The shift-register wrapper is deliberately absent: it requires a
-perfectly regular environment (the hypothesis the paper's §2 flags),
-which random jittery topologies violate by design.
+``repro verify --cases N --seed S`` is reproducible at any job count,
+and every batch carries a topology-shape coverage report
+(:mod:`repro.verify.coverage`) rendered by ``repro verify --coverage``
+or exported as JSON for CI trend tracking.
 """
 
 from .cases import (
+    ALL_STYLES,
     BEHAVIOURAL_STYLES,
     DEFAULT_STYLES,
+    REGULAR_STYLES,
     RTL_STYLES,
+    SHIFTREG_STYLES,
     CaseOutcome,
     Divergence,
     MixPearl,
     VerifyCase,
     build_system,
     run_case,
+    styles_for_traffic,
     topology_marked_graph,
+)
+from .coverage import CoverageReport, topology_features
+from .regular import (
+    StaticActivation,
+    plan_static_activation,
+    plan_topology_activations,
 )
 from .runner import BatchConfig, BatchReport, BatchRunner, make_cases
 from .shrink import shrink_case
 
 __all__ = [
+    "ALL_STYLES",
     "BEHAVIOURAL_STYLES",
     "BatchConfig",
     "BatchReport",
     "BatchRunner",
     "CaseOutcome",
+    "CoverageReport",
     "DEFAULT_STYLES",
     "Divergence",
     "MixPearl",
+    "REGULAR_STYLES",
     "RTL_STYLES",
+    "SHIFTREG_STYLES",
+    "StaticActivation",
     "VerifyCase",
     "build_system",
     "make_cases",
+    "plan_static_activation",
+    "plan_topology_activations",
     "run_case",
     "shrink_case",
+    "styles_for_traffic",
+    "topology_features",
     "topology_marked_graph",
 ]

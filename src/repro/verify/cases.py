@@ -9,6 +9,12 @@ token-mixing pearl whose outputs hash everything it has consumed so
 far; any token that is lost, duplicated, reordered or fabricated
 anywhere in the system changes the sink streams, which is what makes
 prefix comparison across wrapper styles a strong oracle.
+
+Regular-traffic cases additionally exercise the shift-register styles
+(``shiftreg`` / ``rtl-shiftreg``): their static activation is planned
+from the FSM reference run (:mod:`repro.verify.regular`) and must
+replay it cycle-for-cycle, so they join both the stream checks and the
+cycle-exact trace checks.
 """
 
 from __future__ import annotations
@@ -19,8 +25,17 @@ from typing import Any, Mapping
 
 from ..core.compiler import CompilerOptions, compile_schedule
 from ..core.equivalence import RTLShell
-from ..core.rtlgen import generate_fsm_wrapper, generate_sp_wrapper
-from ..core.wrappers import CombinationalWrapper, FSMWrapper, SPWrapper
+from ..core.rtlgen import (
+    generate_fsm_wrapper,
+    generate_shiftreg_wrapper,
+    generate_sp_wrapper,
+)
+from ..core.wrappers import (
+    CombinationalWrapper,
+    FSMWrapper,
+    ShiftRegisterWrapper,
+    SPWrapper,
+)
 from ..lis.pearl import Pearl
 from ..lis.shell import Shell
 from ..lis.simulator import Simulation
@@ -28,14 +43,41 @@ from ..lis.stream import Sink
 from ..lis.system import System
 from ..lis.throughput import MarkedGraph
 from ..sched.generate import SystemTopology
+from .regular import StaticActivation, plan_topology_activations
 
 BEHAVIOURAL_STYLES = ("fsm", "sp", "combinational")
 RTL_STYLES = ("rtl-sp", "rtl-fsm")
 DEFAULT_STYLES = BEHAVIOURAL_STYLES + RTL_STYLES
 
-#: (behavioural style, RTL style) pairs that implement the *same*
-#: firing policy and must therefore match cycle-for-cycle.
-CYCLE_EXACT_PAIRS = (("sp", "rtl-sp"), ("fsm", "rtl-fsm"))
+#: Shift-register wrapper styles: behavioural and RTL-in-the-loop.
+#: Their static activation is planned from the FSM reference run
+#: (:mod:`repro.verify.regular`), so they only join the oracle for
+#: regular-traffic cases where that plan is the paper's periodic ring.
+SHIFTREG_STYLES = ("shiftreg", "rtl-shiftreg")
+
+#: Style set for regular-traffic cases: every random-traffic style
+#: plus both shift-register styles.
+REGULAR_STYLES = DEFAULT_STYLES + SHIFTREG_STYLES
+
+#: Every style the oracle knows; regular traffic exercises them all.
+ALL_STYLES = REGULAR_STYLES
+
+#: (reference style, checked style) pairs that implement the *same*
+#: firing policy and must therefore match cycle-for-cycle.  The
+#: shift-register styles replay the FSM reference schedule, so their
+#: enable traces must equal the FSM's wherever both run.
+CYCLE_EXACT_PAIRS = (
+    ("sp", "rtl-sp"),
+    ("fsm", "rtl-fsm"),
+    ("fsm", "shiftreg"),
+    ("shiftreg", "rtl-shiftreg"),
+)
+
+
+def styles_for_traffic(traffic: str) -> tuple[str, ...]:
+    """The default style set for a traffic regime: regular traffic
+    additionally exercises both shift-register styles."""
+    return REGULAR_STYLES if traffic == "regular" else DEFAULT_STYLES
 
 _MIX = 0x9E3779B9
 _MASK = 0xFFFFFFFF
@@ -88,7 +130,11 @@ def _credit_tokens(seed: int, channel_index: int, count: int) -> list[int]:
 
 
 def _make_shell(
-    style: str, node, port_depth: int, engine: str | None = None
+    style: str,
+    node,
+    port_depth: int,
+    engine: str | None = None,
+    activation: StaticActivation | None = None,
 ) -> Shell:
     pearl = MixPearl(node.name, node.schedule)
     if style == "fsm":
@@ -97,6 +143,28 @@ def _make_shell(
         return SPWrapper(pearl, port_depth)
     if style == "combinational":
         return CombinationalWrapper(pearl, port_depth)
+    if style in SHIFTREG_STYLES:
+        if activation is None:
+            raise ValueError(
+                f"style {style!r} needs a planned static activation; "
+                "compute one with "
+                "repro.verify.regular.plan_topology_activations"
+            )
+        if style == "shiftreg":
+            return ShiftRegisterWrapper(
+                pearl,
+                port_depth,
+                pattern=list(activation.pattern),
+                prefix=activation.prefix,
+            )
+        module = generate_shiftreg_wrapper(
+            node.schedule,
+            activation=activation.pattern,
+            name=f"sr_{node.name}",
+            prefix=activation.prefix,
+        )
+        return RTLShell(pearl, module, port_depth=port_depth,
+                        engine=engine)
     if style == "rtl-sp":
         # fuse=False keeps op.point_index aligned with the pearl's own
         # schedule, exactly as the behavioural SPWrapper compiles it.
@@ -116,7 +184,7 @@ def _make_shell(
                         engine=engine)
     raise ValueError(
         f"unknown verify style {style!r}; choose from "
-        f"{sorted(BEHAVIOURAL_STYLES + RTL_STYLES)}"
+        f"{sorted(ALL_STYLES)}"
     )
 
 
@@ -125,18 +193,31 @@ def build_system(
     style: str,
     trace: bool = False,
     engine: str | None = None,
+    activations: Mapping[str, StaticActivation] | None = None,
 ) -> tuple[System, dict[str, Shell], dict[str, Sink]]:
     """Instantiate ``topology`` with wrappers of ``style``.
 
     Returns (system, shells by process name, sinks by sink name).
     With ``trace=True`` every shell records its per-cycle enable trace.
     ``engine`` selects the RTL simulation backend for the RTL-in-the-
-    loop styles (behavioural styles ignore it).
+    loop styles (behavioural styles ignore it).  The shift-register
+    styles (``shiftreg`` / ``rtl-shiftreg``) additionally need
+    ``activations`` — per-process static activation plans from
+    :func:`repro.verify.regular.plan_topology_activations`.
     """
     system = System(f"{topology.name}:{style}")
     shells: dict[str, Shell] = {}
     for node in topology.processes:
-        shell = _make_shell(style, node, topology.port_depth, engine)
+        shell = _make_shell(
+            style,
+            node,
+            topology.port_depth,
+            engine,
+            activation=(
+                None if activations is None
+                else activations.get(node.name)
+            ),
+        )
         if trace:
             shell.trace_enable = []
         system.add_patient(shell)
@@ -247,10 +328,15 @@ class _StyleRun:
     error: str | None = None
 
 
-def _run_style(case: VerifyCase, style: str) -> _StyleRun:
+def _run_style(
+    case: VerifyCase,
+    style: str,
+    activations: Mapping[str, StaticActivation] | None = None,
+) -> _StyleRun:
     try:
         system, shells, sinks = build_system(
-            case.topology, style, trace=True, engine=case.engine
+            case.topology, style, trace=True, engine=case.engine,
+            activations=activations,
         )
         result = Simulation(system).run(
             case.cycles, deadlock_window=case.deadlock_window
@@ -305,10 +391,10 @@ def _check_cycle_exact_pairs(
     runs: dict[str, _StyleRun],
     outcome: CaseOutcome,
 ) -> None:
-    for behavioural, rtl in CYCLE_EXACT_PAIRS:
-        if behavioural not in runs or rtl not in runs:
+    for reference, checked in CYCLE_EXACT_PAIRS:
+        if reference not in runs or checked not in runs:
             continue
-        a, b = runs[behavioural], runs[rtl]
+        a, b = runs[reference], runs[checked]
         if a.error is not None or b.error is not None:
             continue
         outcome.checks += 1
@@ -316,10 +402,10 @@ def _check_cycle_exact_pairs(
             outcome.divergences.append(
                 Divergence(
                     "trace",
-                    rtl,
+                    checked,
                     "*",
-                    f"{behavioural} ran {a.executed} cycles, "
-                    f"{rtl} ran {b.executed}",
+                    f"{reference} ran {a.executed} cycles, "
+                    f"{checked} ran {b.executed}",
                 )
             )
             continue
@@ -337,10 +423,10 @@ def _check_cycle_exact_pairs(
                 outcome.divergences.append(
                     Divergence(
                         "trace",
-                        rtl,
+                        checked,
                         process,
                         f"enable traces diverge at cycle {first} "
-                        f"(vs behavioural {behavioural})",
+                        f"(vs reference {reference})",
                     )
                 )
 
@@ -402,16 +488,64 @@ def _check_analytic(
                 )
 
 
+def _case_activations(
+    case: VerifyCase, runs: dict[str, _StyleRun]
+) -> dict[str, StaticActivation]:
+    """Static activation plans for a case's shift-register styles,
+    reusing the FSM reference run when it already happened."""
+    fsm = runs.get("fsm")
+    if fsm is not None and fsm.error is None:
+        return plan_topology_activations(
+            case.topology,
+            case.cycles,
+            case.deadlock_window,
+            reference_traces=fsm.traces,
+        )
+    return plan_topology_activations(
+        case.topology, case.cycles, case.deadlock_window
+    )
+
+
 def run_case(case: VerifyCase) -> CaseOutcome:
-    """Execute every style of one case and cross-check the results."""
+    """Execute every style of one case and cross-check the results.
+
+    Styles run in the order given; the shift-register styles derive
+    their static activation plan from the FSM reference run (rerunning
+    it if ``fsm`` is absent or ordered after them), so a case that
+    includes them simulates the topology once more than its style
+    count suggests only in that fallback.
+    """
     outcome = CaseOutcome(
         index=case.index,
         seed=case.seed,
         topology_stats=case.topology.stats(),
     )
     runs: dict[str, _StyleRun] = {}
+    activations: dict[str, StaticActivation] | None = None
+    planning_error: str | None = None
     for style in case.styles:
-        run = runs[style] = _run_style(case, style)
+        if style in SHIFTREG_STYLES and activations is None:
+            if planning_error is None:
+                try:
+                    activations = _case_activations(case, runs)
+                except Exception as exc:
+                    planning_error = (
+                        "static activation planning failed: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+            if planning_error is not None:
+                # Planning is per-case, not per-style: don't retry it
+                # for the second shift-register style.
+                runs[style] = _StyleRun(
+                    streams={}, traces={}, periods={}, executed=0,
+                    error=planning_error,
+                )
+                outcome.cycles_executed[style] = 0
+                outcome.divergences.append(
+                    Divergence("exception", style, "*", planning_error)
+                )
+                continue
+        run = runs[style] = _run_style(case, style, activations)
         outcome.cycles_executed[style] = run.executed
         if run.error is not None:
             outcome.divergences.append(

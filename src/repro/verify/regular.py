@@ -1,0 +1,140 @@
+"""Static-activation planning for regular-traffic verification.
+
+The shift-register wrapper (Casu & Macchiarulo) fires blindly on a
+precomputed pattern, so it can only be verified in an environment
+whose traffic is perfectly regular.  This module derives that pattern
+the way the DAC'04 flow does — *offline, from the global schedule* —
+but instead of solving the schedule analytically (which
+:mod:`repro.sched.static_schedule` does for feed-forward systems), it
+measures it: run the topology once under the behavioural FSM wrapper,
+record every process's per-cycle enable trace, and decompose each
+trace into
+
+* a one-shot **prefix** (the start-up transient: pipeline fill,
+  staggered offsets, FIFO warm-up), and
+* a cyclic **pattern** (the periodic steady state) whose firing count
+  is a multiple of the process's schedule period.
+
+Replaying ``prefix + pattern`` through a :class:`~repro.core.wrappers.
+ShiftRegisterWrapper` (or its generated RTL) reproduces the reference
+run *exactly* over the measured horizon: the wrapper performs the same
+pops and pushes on the same cycles, so no static-schedule violation
+can occur and the differential oracle's stream/trace checks apply at
+full strength.  When no compact periodic decomposition exists within
+the horizon (for example the sources drained and the system wound
+down), :func:`plan_static_activation` falls back to replaying the
+whole trace as a prefix — still exact, just without the paper's
+circular-ring steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..lis.simulator import Simulation
+from ..sched.generate import SystemTopology
+
+
+@dataclass(frozen=True)
+class StaticActivation:
+    """One process's planned activation: one-shot prefix, cyclic
+    steady-state pattern."""
+
+    prefix: tuple[bool, ...]
+    pattern: tuple[bool, ...]
+
+    @property
+    def periodic(self) -> bool:
+        """True when the steady-state ring actually fires (False for
+        the whole-trace replay fallback)."""
+        return any(self.pattern)
+
+    @property
+    def delay(self) -> int:
+        return len(self.prefix)
+
+    def activation(self, cycles: int) -> list[bool]:
+        """The planned enable sequence over ``cycles`` cycles."""
+        bits = list(self.prefix[:cycles])
+        pattern = self.pattern if any(self.pattern) else (False,)
+        while len(bits) < cycles:
+            bits.append(pattern[(len(bits) - len(self.prefix))
+                                % len(pattern)])
+        return bits
+
+
+def plan_static_activation(
+    trace: Sequence[bool],
+    period_cycles: int,
+    min_reps: int = 2,
+) -> StaticActivation:
+    """Decompose a measured enable trace into prefix + cyclic pattern.
+
+    Scans cycle lengths ``q`` from short to long and, for each, the
+    shortest prefix ``d`` such that ``trace[t] == trace[t + q]`` for
+    every ``t >= d``; accepts the first candidate whose cycle fires a
+    multiple of ``period_cycles`` (keeping the ring aligned with the
+    process schedule across wraps) and is observed at least
+    ``min_reps`` times inside the trace.  By construction the returned
+    plan's :meth:`~StaticActivation.activation` reproduces ``trace``
+    bit-for-bit over its whole length; if no periodic candidate
+    qualifies the whole trace becomes the prefix (exact replay, no
+    steady-state ring).
+    """
+    bits = [bool(b) for b in trace]
+    total = len(bits)
+    if not any(bits):
+        # Degenerate: the process never fired within the horizon.
+        return StaticActivation(
+            prefix=tuple(bits) or (False,), pattern=(False,)
+        )
+    for q in range(1, total // max(min_reps, 1) + 1):
+        mismatch = -1
+        for t in range(total - q - 1, -1, -1):
+            if bits[t] != bits[t + q]:
+                mismatch = t
+                break
+        d = mismatch + 1
+        if d + min_reps * q > total:
+            continue
+        cycle = bits[d:d + q]
+        if sum(cycle) % period_cycles != 0:
+            continue
+        return StaticActivation(
+            prefix=tuple(bits[:d]), pattern=tuple(cycle)
+        )
+    return StaticActivation(prefix=tuple(bits), pattern=(False,))
+
+
+def plan_topology_activations(
+    topology: SystemTopology,
+    cycles: int,
+    deadlock_window: int | None = None,
+    reference_traces: Mapping[str, Sequence[bool]] | None = None,
+) -> dict[str, StaticActivation]:
+    """Plan every process's static activation for one topology.
+
+    ``reference_traces`` (per-process enable traces of a behavioural
+    FSM run over the same ``cycles`` / ``deadlock_window``) lets a
+    caller that already ran the reference style reuse it; otherwise
+    the reference simulation runs here.
+    """
+    if reference_traces is None:
+        from .cases import build_system
+
+        system, shells, _sinks = build_system(
+            topology, "fsm", trace=True
+        )
+        Simulation(system).run(cycles, deadlock_window=deadlock_window)
+        reference_traces = {
+            name: list(shell.trace_enable or [])
+            for name, shell in shells.items()
+        }
+    return {
+        node.name: plan_static_activation(
+            reference_traces.get(node.name, ()),
+            node.schedule.period_cycles,
+        )
+        for node in topology.processes
+    }

@@ -2,8 +2,8 @@
 
 Per-case seeds are drawn once from the master seed, so the case list —
 and therefore the whole report — is a pure function of
-``(seed, cases, profile)``: changing ``--jobs`` only changes wall
-clock, never results.
+``(seed, cases, profile, traffic)``: changing ``--jobs`` only changes
+wall clock, never results.
 """
 
 from __future__ import annotations
@@ -11,16 +11,23 @@ from __future__ import annotations
 import random
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..rtl.simulator import resolve_engine
 from ..sched.generate import (
     PROFILE_PRESETS,
+    TRAFFIC_MODES,
     TopologyProfile,
     random_topology,
     topology_to_dict,
 )
-from .cases import DEFAULT_STYLES, CaseOutcome, VerifyCase, run_case
+from .cases import (
+    CaseOutcome,
+    VerifyCase,
+    run_case,
+    styles_for_traffic,
+)
+from .coverage import CoverageReport
 from .shrink import shrink_case
 
 
@@ -28,19 +35,36 @@ from .shrink import shrink_case
 class BatchConfig:
     """Parameters of one ``repro verify`` batch.
 
-    ``profile`` may be a :class:`TopologyProfile` or one of the
-    :data:`~repro.sched.generate.PROFILE_PRESETS` names
-    (``small``/``soc``/``stress``).  ``engine=None`` resolves once at
-    construction through the simulator default (so the
-    ``REPRO_RTL_ENGINE`` environment override applies to verify runs).
+    * ``cases`` / ``seed`` — batch size and master seed; per-case seeds
+      are drawn once from the master seed so the case list is
+      deterministic;
+    * ``jobs`` — worker processes (results are job-count independent);
+    * ``cycles`` — simulated cycles per case and style;
+    * ``styles`` — wrapper styles to cross-check; ``None`` (the
+      default) resolves by traffic regime: the five random-traffic
+      styles, plus both shift-register styles for regular traffic;
+    * ``profile`` — a :class:`TopologyProfile` or one of the
+      :data:`~repro.sched.generate.PROFILE_PRESETS` names
+      (``small``/``soc``/``stress``/``regular``);
+    * ``traffic`` — ``"random"`` / ``"regular"`` override of the
+      profile's traffic regime; ``None`` keeps the profile's own;
+    * ``deadlock_window`` — stop a case after this many globally idle
+      cycles (``None`` disables the early exit);
+    * ``shrink`` — minimize failing cases into replayable topology-JSON
+      reproducers;
+    * ``engine`` — RTL simulation backend for the RTL-in-the-loop
+      styles; ``None`` resolves once at construction through the
+      simulator default (so the ``REPRO_RTL_ENGINE`` environment
+      override applies to verify runs).
     """
 
     cases: int = 50
     seed: int = 0
     jobs: int = 1
     cycles: int = 300
-    styles: tuple[str, ...] = DEFAULT_STYLES
+    styles: tuple[str, ...] | None = None
     profile: TopologyProfile | str = "small"
+    traffic: str | None = None
     deadlock_window: int | None = 64
     shrink: bool = True
     engine: str | None = None
@@ -64,6 +88,17 @@ class BatchConfig:
                 f"unknown profile {self.profile!r}; choose from "
                 f"{sorted(PROFILE_PRESETS)}"
             )
+        if self.traffic is not None and self.traffic not in TRAFFIC_MODES:
+            raise ValueError(
+                f"unknown traffic mode {self.traffic!r}; choose from "
+                f"{sorted(TRAFFIC_MODES)}"
+            )
+        if self.styles is None:
+            # Resolve the style set once so cases, workers and the
+            # report all see the same tuple.
+            object.__setattr__(
+                self, "styles", styles_for_traffic(self.traffic_name)
+            )
 
     @property
     def profile_name(self) -> str:
@@ -71,9 +106,23 @@ class BatchConfig:
 
     @property
     def topology_profile(self) -> TopologyProfile:
-        if isinstance(self.profile, str):
-            return PROFILE_PRESETS[self.profile]
-        return self.profile
+        """The effective profile: the preset (or explicit profile) with
+        the ``traffic`` override applied."""
+        profile = (
+            PROFILE_PRESETS[self.profile]
+            if isinstance(self.profile, str)
+            else self.profile
+        )
+        if self.traffic is not None and profile.traffic != self.traffic:
+            profile = replace(profile, traffic=self.traffic)
+        return profile
+
+    @property
+    def traffic_name(self) -> str:
+        """The effective traffic regime of the batch."""
+        if self.traffic is not None:
+            return self.traffic
+        return self.topology_profile.traffic
 
 
 def make_cases(config: BatchConfig) -> list[VerifyCase]:
@@ -97,12 +146,24 @@ def make_cases(config: BatchConfig) -> list[VerifyCase]:
 
 @dataclass
 class BatchReport:
-    """Aggregated outcome of one batch."""
+    """Aggregated outcome of one batch.
+
+    * ``config`` — the :class:`BatchConfig` the batch ran with;
+    * ``outcomes`` — one :class:`~repro.verify.cases.CaseOutcome` per
+      case, in case order;
+    * ``duration_s`` — wall-clock seconds for the whole batch;
+    * ``shrunk`` — for each failing case, the minimal reproducer's
+      topology JSON (replayable with ``repro verify --repro``);
+    * ``coverage`` — topology-shape histograms over the batch's case
+      list (:class:`~repro.verify.coverage.CoverageReport`), rendered
+      by ``repro verify --coverage``.
+    """
 
     config: BatchConfig
     outcomes: list[CaseOutcome]
     duration_s: float
     shrunk: list[tuple[CaseOutcome, dict]] = field(default_factory=list)
+    coverage: CoverageReport | None = None
 
     @property
     def vacuous(self) -> bool:
@@ -136,6 +197,7 @@ class BatchReport:
             f"verify: {total} cases, {self.checks} cross-checks, "
             f"{failed} divergent, seed {self.config.seed}, "
             f"profile {self.config.profile_name}, "
+            f"traffic {self.config.traffic_name}, "
             f"engine {self.config.engine}",
             f"  {tokens} sink tokens observed; {self.duration_s:.1f}s "
             f"({rate:.1f} cases/s, jobs={self.config.jobs})",
@@ -185,7 +247,10 @@ class BatchRunner:
                 )
         duration = time.perf_counter() - started
         report = BatchReport(
-            config=config, outcomes=outcomes, duration_s=duration
+            config=config,
+            outcomes=outcomes,
+            duration_s=duration,
+            coverage=CoverageReport.from_cases(cases),
         )
         if config.shrink:
             case_by_index = {case.index: case for case in cases}

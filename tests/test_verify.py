@@ -100,6 +100,11 @@ class TestBuildSystem:
     def test_unknown_style_rejected(self):
         topology = random_topology(0, SMALL)
         with pytest.raises(ValueError, match="unknown verify style"):
+            build_system(topology, "warp-drive")
+
+    def test_shiftreg_without_plan_rejected(self):
+        topology = random_topology(0, SMALL)
+        with pytest.raises(ValueError, match="static activation"):
             build_system(topology, "shiftreg")
 
     def test_marked_graph_mirrors_channels(self):
@@ -289,7 +294,9 @@ class TestBatchRunner:
         from repro.sched.generate import PROFILE_PRESETS
 
         monkeypatch.delenv("REPRO_RTL_ENGINE", raising=False)
-        assert set(PROFILE_PRESETS) == {"small", "soc", "stress"}
+        assert set(PROFILE_PRESETS) == {
+            "small", "soc", "stress", "regular"
+        }
         small = make_cases(BatchConfig(cases=6, profile="small"))
         stress = make_cases(BatchConfig(cases=6, profile="stress"))
         assert max(

@@ -1,0 +1,366 @@
+"""Regular-traffic verification mode: generation, static-activation
+planning, shift-register oracle parity, and coverage reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.rtlgen import generate_shiftreg_wrapper
+from repro.core.schedule import IOSchedule, SyncPoint
+from repro.core.wrappers import ShiftRegisterWrapper
+from repro.lis.pearl import FunctionPearl
+from repro.lis.shell import ShellError
+from repro.rtl.simulator import Simulator
+from repro.sched.generate import (
+    PROFILE_PRESETS,
+    TopologyProfile,
+    random_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.verify import (
+    BatchConfig,
+    BatchRunner,
+    CoverageReport,
+    DEFAULT_STYLES,
+    REGULAR_STYLES,
+    SHIFTREG_STYLES,
+    VerifyCase,
+    make_cases,
+    plan_static_activation,
+    plan_topology_activations,
+    run_case,
+    styles_for_traffic,
+    topology_features,
+)
+
+REG = TopologyProfile(
+    traffic="regular",
+    min_processes=2,
+    max_processes=4,
+    max_ports=2,
+    max_run=4,
+    source_tokens=512,
+)
+
+
+def _regular_case(seed: int, styles=REGULAR_STYLES, cycles: int = 200):
+    return VerifyCase(
+        index=0,
+        seed=seed,
+        cycles=cycles,
+        topology=random_topology(seed, REG),
+        styles=tuple(styles),
+    )
+
+
+class TestRegularGeneration:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_regular_topologies_are_jitter_free(self, seed):
+        topology = random_topology(seed, REG)
+        assert topology.traffic == "regular"
+        assert topology.regular
+        assert topology.uniform
+        assert all(src.gaps is None for src in topology.sources)
+        assert all(snk.stalls is None for snk in topology.sinks)
+        assert "/reg" in topology.stats()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_same_seed_same_topology_json(self, seed):
+        first = topology_to_dict(random_topology(seed, REG))
+        second = topology_to_dict(random_topology(seed, REG))
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_traffic_round_trips_through_json(self):
+        topology = random_topology(1, REG)
+        data = topology_to_dict(topology)
+        assert data["traffic"] == "regular"
+        assert topology_from_dict(data) == topology
+        # Legacy reproducers without the field default to random.
+        del data["traffic"]
+        assert topology_from_dict(data).traffic == "random"
+
+    def test_random_profile_unaffected(self):
+        topology = random_topology(0, TopologyProfile())
+        assert topology.traffic == "random"
+        assert not topology.regular
+
+    def test_bad_traffic_mode_rejected(self):
+        with pytest.raises(ValueError, match="traffic"):
+            TopologyProfile(traffic="bursty")
+
+    def test_regular_preset_registered(self):
+        preset = PROFILE_PRESETS["regular"]
+        assert preset.traffic == "regular"
+        assert preset.source_tokens >= 512
+
+
+class TestStaticActivationPlan:
+    def test_periodic_trace_decomposes(self):
+        trace = [False] * 3 + [True, True, False] * 20
+        plan = plan_static_activation(trace, period_cycles=2)
+        assert plan.periodic
+        assert plan.activation(len(trace)) == trace
+        assert sum(plan.pattern) % 2 == 0
+
+    def test_plan_replays_trace_exactly(self):
+        # Whatever decomposition is chosen, replay must be exact.
+        trace = ([False, True] * 5) + ([True, True, False] * 12)
+        plan = plan_static_activation(trace, period_cycles=3)
+        assert plan.activation(len(trace)) == trace
+
+    def test_never_firing_trace_gets_silent_plan(self):
+        plan = plan_static_activation([False] * 10, period_cycles=4)
+        assert not plan.periodic
+        assert plan.activation(10) == [False] * 10
+
+    def test_aperiodic_trace_falls_back_to_silent_plan(self):
+        # Fires only at square cycle indices: no periodic firing tail,
+        # so the plan carries the transient as prefix and never fires
+        # its ring — replay stays exact either way.
+        trace = [i in (0, 1, 4, 9, 16) for i in range(20)]
+        plan = plan_static_activation(trace, period_cycles=1)
+        assert not plan.periodic
+        assert plan.activation(len(trace)) == trace
+
+    def test_horizon_without_two_repetitions_is_prefix_only(self):
+        # A lone trailing stall breaks every cyclic candidate (any
+        # period that matches it would need a second repetition beyond
+        # the horizon), so the whole trace becomes the prefix.
+        trace = [True] * 19 + [False]
+        plan = plan_static_activation(trace, period_cycles=1)
+        assert plan.prefix == tuple(trace)
+        assert not plan.periodic
+        assert plan.activation(len(trace)) == trace
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_topology_plans_replay_fsm_traces(self, seed):
+        from repro.lis.simulator import Simulation
+        from repro.verify import build_system
+
+        topology = random_topology(seed, REG)
+        cycles = 200
+        system, shells, _ = build_system(topology, "fsm", trace=True)
+        Simulation(system).run(cycles, deadlock_window=64)
+        plans = plan_topology_activations(topology, cycles, 64)
+        for name, shell in shells.items():
+            trace = list(shell.trace_enable)
+            assert plans[name].activation(len(trace)) == trace
+
+
+class TestShiftRegPrefix:
+    def _schedule(self):
+        return IOSchedule(["x"], ["y"], [SyncPoint({"x"}, {"y"})])
+
+    def _pearl(self, schedule):
+        return FunctionPearl(
+            "p", schedule, lambda idx, popped: {"y": popped["x"]}
+        )
+
+    def test_prefix_plays_once_before_pattern(self):
+        schedule = self._schedule()
+        shell = ShiftRegisterWrapper(
+            self._pearl(schedule),
+            pattern=[True],
+            prefix=[False, False, True],
+        )
+        fires = [shell._next_fire() for _ in range(6)]
+        assert fires == [False, False, True, True, True, True]
+
+    def test_never_firing_pattern_allowed_with_prefix(self):
+        schedule = self._schedule()
+        shell = ShiftRegisterWrapper(
+            self._pearl(schedule),
+            pattern=[False],
+            prefix=[True, False],
+        )
+        fires = [shell._next_fire() for _ in range(4)]
+        assert fires == [True, False, False, False]
+
+    def test_never_firing_without_prefix_still_rejected(self):
+        schedule = self._schedule()
+        with pytest.raises(ShellError):
+            ShiftRegisterWrapper(self._pearl(schedule), pattern=[False])
+
+    def test_rtl_prefix_then_ring(self):
+        schedule = IOSchedule(
+            ["a"], ["y"], [SyncPoint({"a"}, {"y"}, run=1)]
+        )
+        prefix = [False, False, True, False]
+        pattern = [True, True, False]
+        module = generate_shiftreg_wrapper(
+            schedule, activation=pattern, prefix=prefix
+        )
+        sim = Simulator(module)
+        sim.poke("rst", 1)
+        sim.step()
+        sim.poke("rst", 0)
+        expected = list(prefix) + [
+            pattern[i % len(pattern)] for i in range(9)
+        ]
+        seen = []
+        pops = []
+        for _ in range(len(expected)):
+            sim.settle()
+            seen.append(bool(sim.peek("ip_enable")))
+            pops.append(bool(sim.peek("a_pop")))
+            sim.step()
+        assert seen == expected
+        # The prefix fires one active cycle (the sync slot); the ring
+        # continues the unrolled walk: run slot first, then sync...
+        active_slots = [i for i, e in enumerate(seen) if e]
+        sync_slots = [i for i, p in enumerate(pops) if p]
+        # sync/run alternate over active cycles, starting at sync.
+        assert sync_slots == active_slots[::2]
+
+
+class TestShiftregOracleParity:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_twenty_seeded_regular_topologies_agree(self, seed):
+        outcome = run_case(
+            _regular_case(
+                seed, styles=("fsm", "sp", "shiftreg", "rtl-shiftreg")
+            )
+        )
+        assert outcome.ok, outcome.divergences
+        assert outcome.checks > 0
+
+    @pytest.mark.parametrize("seed", (0, 7))
+    def test_full_regular_style_set_agrees(self, seed):
+        outcome = run_case(_regular_case(seed, cycles=300))
+        assert outcome.ok, outcome.divergences
+        for style in REGULAR_STYLES:
+            assert outcome.cycles_executed[style] > 0
+
+    def test_shiftreg_trace_matches_fsm_cycle_for_cycle(self):
+        case = _regular_case(5, styles=("fsm", "shiftreg"))
+        from repro.verify.cases import _run_style, _case_activations
+
+        fsm = _run_style(case, "fsm")
+        plans = _case_activations(case, {"fsm": fsm})
+        shiftreg = _run_style(case, "shiftreg", plans)
+        assert shiftreg.error is None
+        assert shiftreg.traces == fsm.traces
+        assert shiftreg.streams == fsm.streams
+
+
+class TestTrafficConfig:
+    def test_styles_resolve_by_traffic(self):
+        assert styles_for_traffic("random") == DEFAULT_STYLES
+        assert styles_for_traffic("regular") == REGULAR_STYLES
+        for style in SHIFTREG_STYLES:
+            assert style in REGULAR_STYLES
+
+    def test_traffic_override_flips_preset(self):
+        config = BatchConfig(cases=2, profile="small", traffic="regular")
+        assert config.traffic_name == "regular"
+        assert config.topology_profile.traffic == "regular"
+        assert config.styles == REGULAR_STYLES
+        cases = make_cases(config)
+        assert all(c.topology.regular for c in cases)
+
+    def test_regular_preset_implies_regular_traffic(self):
+        config = BatchConfig(cases=2, profile="regular")
+        assert config.traffic_name == "regular"
+        assert config.styles == REGULAR_STYLES
+
+    def test_explicit_styles_win(self):
+        config = BatchConfig(
+            cases=2, traffic="regular", styles=("fsm", "sp")
+        )
+        assert config.styles == ("fsm", "sp")
+
+    def test_bad_traffic_rejected(self):
+        with pytest.raises(ValueError, match="traffic"):
+            BatchConfig(cases=1, traffic="bursty")
+
+    def test_regular_batch_is_clean(self):
+        config = BatchConfig(
+            cases=4, seed=1, jobs=1, cycles=200, profile="small",
+            traffic="regular",
+        )
+        report = BatchRunner(config).run()
+        assert report.ok, report.summary()
+        assert "traffic regular" in report.summary()
+        assert report.coverage is not None
+        assert report.coverage.cases == 4
+
+
+class TestCoverage:
+    def test_features_of_known_topology(self):
+        topology = random_topology(3, REG)
+        features = topology_features(topology)
+        assert features["processes"] == len(topology.processes)
+        assert features["traffic"] == "regular"
+        assert features["uniform"] is True
+        marked = [c for c in topology.channels if c.tokens > 0]
+        assert features["feedback_channels"] == len(marked)
+
+    def test_report_accumulates_and_serializes(self):
+        config = BatchConfig(cases=6, seed=0, profile="small")
+        report = CoverageReport.from_cases(make_cases(config))
+        assert report.cases == 6
+        data = report.to_dict()
+        assert data["cases"] == 6
+        assert sum(data["histograms"]["processes"].values()) == 6
+        assert data["histograms"]["styles"]["fsm"] == 6
+        # Deterministic: same config -> identical JSON.
+        again = CoverageReport.from_cases(make_cases(config))
+        assert report.to_json() == again.to_json()
+
+    def test_render_mentions_every_metric(self):
+        config = BatchConfig(cases=3, seed=2, profile="small")
+        rendered = CoverageReport.from_cases(
+            make_cases(config)
+        ).render()
+        for metric in ("processes", "feedback_depth", "max_fanout",
+                       "styles", "traffic"):
+            assert metric in rendered
+
+
+class TestRegularCli:
+    def test_traffic_regular_batch(self, capsys):
+        assert main(
+            ["verify", "--cases", "3", "--seed", "0",
+             "--cycles", "150", "--traffic", "regular"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "traffic regular" in out
+        assert "0 divergent" in out
+
+    def test_coverage_flags(self, tmp_path, capsys):
+        path = tmp_path / "cov.json"
+        assert main(
+            ["verify", "--cases", "3", "--seed", "0",
+             "--cycles", "150", "--traffic", "regular",
+             "--coverage", "--coverage-json", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "coverage: topology shapes over 3 case(s)" in out
+        data = json.loads(path.read_text())
+        assert data["cases"] == 3
+        assert data["histograms"]["traffic"] == {"regular": 3}
+        assert data["histograms"]["styles"]["rtl-shiftreg"] == 3
+
+    def test_profile_regular_preset(self, capsys):
+        assert main(
+            ["verify", "--cases", "2", "--seed", "1",
+             "--cycles", "150", "--profile", "regular"]
+        ) == 0
+        assert "profile regular" in capsys.readouterr().out
+
+    def test_regular_reproducer_replays(self, tmp_path, capsys):
+        topology = random_topology(4, REG)
+        data = topology_to_dict(topology)
+        data["styles"] = list(REGULAR_STYLES)
+        path = tmp_path / "regular.json"
+        path.write_text(json.dumps(data))
+        assert main(
+            ["verify", "--repro", str(path), "--cycles", "150"]
+        ) == 0
+        assert "no divergence" in capsys.readouterr().out
