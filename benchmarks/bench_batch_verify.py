@@ -306,3 +306,50 @@ def test_regular_traffic_verify_throughput(benchmark):
         "the same stream/trace/throughput cross-checks.",
     ]
     write_result("batch_verify_regular.txt", "\n".join(lines))
+
+
+def test_perturbed_verify_throughput(benchmark):
+    """Latency-perturbed batches simulate each case K extra times (one
+    run per derived variant, plus per-variant marked-graph analysis);
+    this tracks the metamorphic oracle's cases/second so the CI smoke
+    budget for `--perturb` stays predictable."""
+    perturb = 3
+    config = BatchConfig(
+        cases=8,
+        seed=0,
+        jobs=1,
+        cycles=200,
+        styles=BEHAVIOURAL_STYLES,
+        perturb=perturb,
+        perturb_floorplan=True,
+    )
+
+    def batch():
+        return BatchRunner(config).run()
+
+    report = benchmark.pedantic(batch, rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    rate = len(report.outcomes) / report.duration_s
+
+    benchmark.extra_info.update(
+        cases=len(report.outcomes),
+        checks=report.checks,
+        cases_per_s=round(rate, 1),
+        perturb=perturb,
+    )
+    lines = [
+        "Latency-perturbation verification throughput "
+        f"({config.cases} topologies, {config.cycles} cycles, "
+        f"{perturb} variants/case incl. floorplan-driven)",
+        "",
+        f"cases/s:      {rate:.1f}",
+        f"cross-checks: {report.checks}",
+        f"sink tokens:  {sum(o.sink_tokens for o in report.outcomes)}",
+        "",
+        "Each case derives latency-perturbed topology variants "
+        "(re-segmented channels, extra feed-forward pipelining, "
+        "floorplan-planned relay counts), simulates each under the "
+        "reference style and checks stream invariance, per-variant "
+        "marked-graph bounds and relay occupancy.",
+    ]
+    write_result("batch_verify_perturb.txt", "\n".join(lines))

@@ -14,8 +14,14 @@ Subcommands:
   topologies across wrapper styles (see :mod:`repro.verify` and
   ``docs/verify.md``): ``--traffic regular`` switches to jitter-free
   periodic traffic and adds the shift-register wrapper styles;
+  ``--perturb K`` adds the metamorphic latency-perturbation oracle
+  (K re-segmented variants per case, stream invariance enforced;
+  ``--perturb-floorplan`` adds floorplan-driven variants);
   ``--coverage`` / ``--coverage-json`` report topology-shape
-  histograms.
+  histograms;
+* ``coverage-diff`` — compare two ``--coverage-json`` artifacts and
+  exit nonzero when the new batch's histogram support shrank
+  (CI trend tracking).
 """
 
 from __future__ import annotations
@@ -105,7 +111,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     # Imported lazily: the verify machinery drags in the RTL simulator
     # and multiprocessing, which the synthesis subcommands never need.
-    from .sched.generate import topology_from_dict
+    from .sched.generate import topology_from_dict, variant_from_dict
     from .verify import (
         DEFAULT_STYLES,
         BatchConfig,
@@ -133,6 +139,19 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 "deadlock_window", args.deadlock_window
             ),
             engine=args.engine,
+            perturb=int(data.get("perturb", args.perturb)),
+            perturb_floorplan=bool(
+                data.get("perturb_floorplan", args.perturb_floorplan)
+            ),
+            # Pinned variants replay verbatim; without them --perturb
+            # re-derives from the topology and seed.
+            variants=(
+                tuple(
+                    variant_from_dict(v) for v in data["variants"]
+                )
+                if "variants" in data
+                else None
+            ),
         )
         outcome = run_case(case)
         if outcome.ok:
@@ -157,6 +176,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             deadlock_window=args.deadlock_window,
             shrink=not args.no_shrink,
             engine=args.engine,
+            perturb=args.perturb,
+            perturb_floorplan=args.perturb_floorplan,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -180,6 +201,26 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             path.write_text(json.dumps(topology, indent=2) + "\n")
             print(f"wrote {path}")
     return 0 if report.ok else 1
+
+
+def _cmd_coverage_diff(args: argparse.Namespace) -> int:
+    from .verify.coverage import diff_coverage
+
+    documents = []
+    for label, name in (("old", args.old), ("new", args.new)):
+        try:
+            documents.append(
+                json.loads(pathlib.Path(name).read_text())
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"error: cannot load {label} coverage {name}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    diff = diff_coverage(documents[0], documents[1])
+    print(diff.render())
+    return 0 if diff.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -265,6 +306,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     verify.add_argument(
+        "--perturb", type=int, default=0, metavar="K",
+        help=(
+            "metamorphic latency perturbation: derive K latency-"
+            "perturbed variants per case (re-segmented channels, "
+            "extra feed-forward pipelining) and require identical "
+            "sink streams, per-variant throughput bounds, and relay "
+            "occupancy invariants"
+        ),
+    )
+    verify.add_argument(
+        "--perturb-floorplan", action="store_true",
+        help=(
+            "add floorplan-driven variants to the perturbation kinds "
+            "(seeded placements; repro.lis.floorplan.plan_channels at "
+            "a drawn target clock dictates relay counts)"
+        ),
+    )
+    verify.add_argument(
         "--coverage", action="store_true",
         help="print topology-shape coverage histograms after the batch",
     )
@@ -297,6 +356,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay one saved topology JSON instead of a batch",
     )
     verify.set_defaults(fn=_cmd_verify)
+
+    coverage_diff = sub.add_parser(
+        "coverage-diff",
+        help=(
+            "compare two verify --coverage-json artifacts; exit 1 "
+            "when histogram support shrank"
+        ),
+    )
+    coverage_diff.add_argument("old", help="baseline coverage JSON")
+    coverage_diff.add_argument("new", help="candidate coverage JSON")
+    coverage_diff.set_defaults(fn=_cmd_coverage_diff)
     return parser
 
 

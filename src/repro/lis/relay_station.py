@@ -35,9 +35,12 @@ class RelayStation(Block):
         self._buffer: deque[Any] = deque()
         self._pop_head = False
         self._arrived: Any = VOID
-        # Telemetry for benches: cycles spent full / tokens moved.
+        # Telemetry for benches and the verification oracle: cycles
+        # spent full, tokens moved, and the deepest occupancy ever
+        # reached (the capacity invariant says it never exceeds 2).
         self.tokens_forwarded = 0
         self.full_cycles = 0
+        self.max_occupancy = 0
 
     # -- two-phase protocol --------------------------------------------------
 
@@ -60,6 +63,8 @@ class RelayStation(Block):
             next_occupancy += 1
         if next_occupancy >= RELAY_CAPACITY:
             self.full_cycles += 1
+        if next_occupancy > self.max_occupancy:
+            self.max_occupancy = next_occupancy
 
     def commit(self) -> None:
         if self._pop_head:
@@ -76,6 +81,7 @@ class RelayStation(Block):
         self._arrived = VOID
         self.tokens_forwarded = 0
         self.full_cycles = 0
+        self.max_occupancy = 0
 
     # -- inspection ------------------------------------------------------------
 

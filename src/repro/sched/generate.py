@@ -25,7 +25,7 @@ the shift-register wrapper, which is verified only in that regime.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..core.io import schedule_from_dict, schedule_to_dict
 from ..core.schedule import IOSchedule, SyncPoint
@@ -571,6 +571,223 @@ def random_topology(
     )
 
 
+# -- latency-perturbed variants (metamorphic verification) --------------------
+
+
+#: Perturbation axes :func:`derive_variants` can draw from.
+#:
+#: * ``resegment`` — re-draw every connection's relay segmentation
+#:   around its current depth (latency +/- within bounds);
+#: * ``pipeline``  — add extra pipeline stages to feed-forward edges
+#:   only (channels without a reset marking, sources, sinks), leaving
+#:   every credit-marked feedback channel untouched;
+#: * ``floorplan`` — place the blocks on a seeded millimetre grid and
+#:   let :func:`repro.lis.floorplan.plan_channels` at a drawn target
+#:   clock dictate each channel's relay count.
+PERTURB_KINDS = ("resegment", "pipeline", "floorplan")
+
+
+@dataclass(frozen=True)
+class TopologyVariant:
+    """One latency-perturbed sibling of a base topology.
+
+    The variant's :class:`SystemTopology` differs from the base *only*
+    in connection latencies (relay segmentation): processes, schedules,
+    wiring, reset markings, jitter and backpressure patterns are all
+    preserved, so by the latency-insensitivity claim its sink streams
+    must be token-for-token identical to the base's on the common
+    prefix.
+    """
+
+    kind: str  # one of PERTURB_KINDS
+    index: int  # position in the drawn variant list
+    topology: SystemTopology
+    clock_period_ns: float | None = None  # floorplan variants only
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}{self.index}"
+
+
+def _clamp_latency(latency: int, bound: int) -> int:
+    return max(1, min(bound, latency))
+
+
+def _resegment_variant(
+    topology: SystemTopology, rng: random.Random, bound: int
+) -> SystemTopology:
+    """Re-draw every connection's relay depth around its current value."""
+    channels = tuple(
+        replace(
+            ch,
+            latency=_clamp_latency(
+                ch.latency + rng.randint(-2, 2), bound
+            ),
+        )
+        for ch in topology.channels
+    )
+    sources = tuple(
+        replace(
+            src,
+            latency=_clamp_latency(
+                src.latency + rng.randint(-2, 2), bound
+            ),
+        )
+        for src in topology.sources
+    )
+    sinks = tuple(
+        replace(
+            snk,
+            latency=_clamp_latency(
+                snk.latency + rng.randint(-2, 2), bound
+            ),
+        )
+        for snk in topology.sinks
+    )
+    return replace(
+        topology, channels=channels, sources=sources, sinks=sinks
+    )
+
+
+def _pipeline_variant(
+    topology: SystemTopology, rng: random.Random, bound: int
+) -> SystemTopology:
+    """Extra pipelining on feed-forward edges only: credit-marked
+    feedback channels keep their latency (and their marking), so every
+    loop's structural liveness argument is untouched."""
+    channels = tuple(
+        ch
+        if ch.tokens > 0
+        else replace(
+            ch,
+            latency=_clamp_latency(
+                ch.latency + rng.randint(1, 3), bound
+            ),
+        )
+        for ch in topology.channels
+    )
+    sources = tuple(
+        replace(
+            src,
+            latency=_clamp_latency(
+                src.latency + rng.randint(0, 2), bound
+            ),
+        )
+        for src in topology.sources
+    )
+    sinks = tuple(
+        replace(
+            snk,
+            latency=_clamp_latency(
+                snk.latency + rng.randint(0, 2), bound
+            ),
+        )
+        for snk in topology.sinks
+    )
+    return replace(
+        topology, channels=channels, sources=sources, sinks=sinks
+    )
+
+
+def _floorplan_variant(
+    topology: SystemTopology, rng: random.Random, bound: int
+) -> tuple[SystemTopology, float]:
+    """Latencies dictated by a seeded placement at a drawn target clock.
+
+    Every block (process, source, sink) lands on a millimetre grid
+    whose die side grows with the block count; each connection's relay
+    count then comes from :func:`repro.lis.floorplan.plan_channel` at
+    the drawn clock period — the paper's physical feedback loop, where
+    a faster clock shortens the per-cycle reachable distance and
+    demands deeper channel segmentation.
+    """
+    from ..lis.floorplan import Floorplan, plan_channel
+
+    blocks = (
+        [node.name for node in topology.processes]
+        + [src.name for src in topology.sources]
+        + [snk.name for snk in topology.sinks]
+    )
+    side = 4.0 * max(1.0, len(blocks)) ** 0.5
+    floorplan = Floorplan()
+    for name in blocks:
+        floorplan.place(
+            name, rng.uniform(0.0, side), rng.uniform(0.0, side)
+        )
+    period_ns = rng.choice((1.0, 1.5, 2.0, 3.0))
+
+    def planned(producer: str, consumer: str) -> int:
+        plan = plan_channel(floorplan, producer, consumer, period_ns)
+        return _clamp_latency(plan.latency, bound)
+
+    channels = tuple(
+        replace(ch, latency=planned(ch.producer, ch.consumer))
+        for ch in topology.channels
+    )
+    sources = tuple(
+        replace(src, latency=planned(src.name, src.consumer))
+        for src in topology.sources
+    )
+    sinks = tuple(
+        replace(snk, latency=planned(snk.producer, snk.name))
+        for snk in topology.sinks
+    )
+    return (
+        replace(
+            topology, channels=channels, sources=sources, sinks=sinks
+        ),
+        period_ns,
+    )
+
+
+def derive_variants(
+    topology: SystemTopology,
+    k: int,
+    seed: int = 0,
+    floorplan: bool = False,
+    max_latency: int = 8,
+) -> tuple[TopologyVariant, ...]:
+    """Draw ``k`` latency-perturbed variants of ``topology``.
+
+    Deterministic for a given ``(topology, k, seed, floorplan,
+    max_latency)``: perturbation kinds round-robin over ``resegment``
+    and ``pipeline`` (plus ``floorplan`` when requested), and each
+    variant gets its own sub-seeded generator, so variant ``i`` of a
+    ``k``-variant draw equals variant ``i`` of any larger draw.
+
+    Only connection latencies change — never schedules, wiring, reset
+    markings (feedback credits), jitter or backpressure patterns — so
+    the variants are exactly the "interconnect latency variations" the
+    LIS methodology promises cannot break functionality, and
+    :mod:`repro.verify.perturb` may demand identical sink streams.
+    """
+    if k < 0:
+        raise ValueError("variant count must be >= 0")
+    if max_latency < 1:
+        raise ValueError("max_latency must be >= 1")
+    kinds = PERTURB_KINDS if floorplan else PERTURB_KINDS[:2]
+    variants: list[TopologyVariant] = []
+    for index in range(k):
+        kind = kinds[index % len(kinds)]
+        rng = random.Random((seed + 1) * 1_000_003 + index * 7919)
+        period_ns: float | None = None
+        if kind == "resegment":
+            perturbed = _resegment_variant(topology, rng, max_latency)
+        elif kind == "pipeline":
+            perturbed = _pipeline_variant(topology, rng, max_latency)
+        else:
+            perturbed, period_ns = _floorplan_variant(
+                topology, rng, max_latency
+            )
+        perturbed = replace(
+            perturbed, name=f"{topology.name}~{kind}{index}"
+        )
+        variants.append(
+            TopologyVariant(kind, index, perturbed, period_ns)
+        )
+    return tuple(variants)
+
+
 # -- JSON round-trip (shrunk-reproducer exchange format) ----------------------
 
 
@@ -631,6 +848,27 @@ def topology_to_dict(topology: SystemTopology) -> dict:
             for snk in topology.sinks
         ],
     }
+
+
+def variant_to_dict(variant: TopologyVariant) -> dict:
+    """JSON-ready representation of one latency-perturbed variant."""
+    return {
+        "kind": variant.kind,
+        "index": variant.index,
+        "clock_period_ns": variant.clock_period_ns,
+        "topology": topology_to_dict(variant.topology),
+    }
+
+
+def variant_from_dict(data: dict) -> TopologyVariant:
+    """Inverse of :func:`variant_to_dict`."""
+    period = data.get("clock_period_ns")
+    return TopologyVariant(
+        kind=str(data["kind"]),
+        index=int(data["index"]),
+        topology=topology_from_dict(data["topology"]),
+        clock_period_ns=None if period is None else float(period),
+    )
 
 
 def topology_from_dict(data: dict) -> SystemTopology:

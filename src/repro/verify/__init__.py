@@ -30,14 +30,28 @@ held to the same stream/trace/throughput checks.  Random-traffic
 batches still exclude it: jitter violates its environment hypothesis
 by design.
 
+The **metamorphic latency-perturbation oracle**
+(:mod:`repro.verify.perturb`, ``repro verify --perturb K``) finally
+tests the methodology's own headline claim: for every case it derives
+K latency-perturbed variants of the topology
+(:func:`repro.sched.generate.derive_variants` — re-segmented channels,
+extra feed-forward pipelining, optional floorplan-driven replanning
+via :func:`repro.lis.floorplan.plan_channels`) and demands that sink
+streams stay token-identical to the base on the common prefix, that
+each variant respects *its own* marked-graph throughput bound, and
+that no relay station ever exceeds its capacity-2 occupancy
+invariant.
+
 Failing cases are shrunk to minimal reproducers
 (:func:`repro.verify.shrink_case`) and reported with their topology as
-JSON.  The :class:`BatchRunner` fans cases across
+JSON; failing perturbations shrink further, to the minimal divergent
+base-plus-variant pair.  The :class:`BatchRunner` fans cases across
 ``concurrent.futures`` workers with deterministic per-case seeds, so
 ``repro verify --cases N --seed S`` is reproducible at any job count,
 and every batch carries a topology-shape coverage report
 (:mod:`repro.verify.coverage`) rendered by ``repro verify --coverage``
-or exported as JSON for CI trend tracking.
+or exported as JSON for CI trend tracking (``repro coverage-diff``
+compares two such artifacts and fails on shrinking support).
 """
 
 from .cases import (
@@ -50,13 +64,26 @@ from .cases import (
     CaseOutcome,
     Divergence,
     MixPearl,
+    StyleRun,
     VerifyCase,
     build_system,
     run_case,
+    simulate_topology,
     styles_for_traffic,
     topology_marked_graph,
+    uniform_loop_bounds,
 )
-from .coverage import CoverageReport, topology_features
+from .coverage import (
+    CoverageDiff,
+    CoverageReport,
+    diff_coverage,
+    topology_features,
+)
+from .perturb import (
+    case_variants,
+    check_perturbations,
+    run_variant,
+)
 from .regular import (
     StaticActivation,
     plan_static_activation,
@@ -72,6 +99,7 @@ __all__ = [
     "BatchReport",
     "BatchRunner",
     "CaseOutcome",
+    "CoverageDiff",
     "CoverageReport",
     "DEFAULT_STYLES",
     "Divergence",
@@ -80,14 +108,21 @@ __all__ = [
     "RTL_STYLES",
     "SHIFTREG_STYLES",
     "StaticActivation",
+    "StyleRun",
     "VerifyCase",
     "build_system",
+    "case_variants",
+    "check_perturbations",
+    "diff_coverage",
     "make_cases",
     "plan_static_activation",
     "plan_topology_activations",
     "run_case",
+    "run_variant",
     "shrink_case",
+    "simulate_topology",
     "styles_for_traffic",
     "topology_features",
     "topology_marked_graph",
+    "uniform_loop_bounds",
 ]

@@ -37,12 +37,13 @@ from ..core.wrappers import (
     SPWrapper,
 )
 from ..lis.pearl import Pearl
+from ..lis.relay_station import RELAY_CAPACITY
 from ..lis.shell import Shell
 from ..lis.simulator import Simulation
 from ..lis.stream import Sink
 from ..lis.system import System
 from ..lis.throughput import MarkedGraph
-from ..sched.generate import SystemTopology
+from ..sched.generate import SystemTopology, TopologyVariant
 from .regular import StaticActivation, plan_topology_activations
 
 BEHAVIOURAL_STYLES = ("fsm", "sp", "combinational")
@@ -286,13 +287,30 @@ class VerifyCase:
     # RTL simulation backend for rtl-* styles; None follows the
     # simulator default (including the REPRO_RTL_ENGINE override).
     engine: str | None = None
+    # Metamorphic latency perturbation (repro.verify.perturb): derive
+    # this many latency-perturbed variants of the topology (seeded by
+    # the case seed) and demand identical sink streams.
+    perturb: int = 0
+    perturb_floorplan: bool = False
+    # Explicit variant set; overrides derivation when not None (the
+    # shrinker pins derived variants here to minimize the failing set,
+    # and reproducer JSON carries them verbatim).
+    variants: tuple[TopologyVariant, ...] | None = None
 
 
 @dataclass(frozen=True)
 class Divergence:
-    """One cross-check failure inside a case."""
+    """One cross-check failure inside a case.
 
-    check: str  # "exception" | "streams" | "trace" | "analytic"
+    ``check`` is one of ``exception``, ``streams``, ``trace``,
+    ``analytic``, ``relay``, or — from the metamorphic latency-
+    perturbation oracle (:mod:`repro.verify.perturb`) —
+    ``perturb-streams``, ``perturb-throughput``, ``perturb-relay``;
+    for perturbation checks ``style`` carries the variant label
+    (``resegment0``, ``pipeline1``, ``floorplan2``, …).
+    """
+
+    check: str
     style: str  # offending style ("" for style-independent checks)
     subject: str  # sink / process / graph element concerned
     detail: str
@@ -320,47 +338,123 @@ class CaseOutcome:
 
 
 @dataclass
-class _StyleRun:
+class StyleRun:
+    """What one simulation of a topology produced — the oracle's raw
+    material (also the shape of a perturbation variant's run)."""
+
     streams: dict[str, list[Any]]
     traces: dict[str, list[bool]]
     periods: dict[str, int]
     executed: int
     error: str | None = None
+    # Deepest relay-station occupancy seen anywhere: (station, depth),
+    # or None when the system has no relay stations.
+    relay_peak: tuple[str, int] | None = None
+    deadlocked: bool = False
+
+
+def relay_peak_occupancy(system: System) -> tuple[str, int] | None:
+    """The deepest relay-station occupancy a run of ``system`` ever
+    reached, as (station name, occupancy); None without stations."""
+    peak: tuple[str, int] | None = None
+    for station in system.relay_stations:
+        if peak is None or station.max_occupancy > peak[1]:
+            peak = (station.name, station.max_occupancy)
+    return peak
+
+
+def simulate_topology(
+    topology: SystemTopology,
+    style: str,
+    cycles: int,
+    deadlock_window: int | None = 64,
+    engine: str | None = None,
+    trace: bool = False,
+    activations: Mapping[str, StaticActivation] | None = None,
+) -> StyleRun:
+    """Simulate ``topology`` under one style and harvest everything
+    the oracle checks; a crash becomes an ``error`` record, never an
+    exception."""
+    try:
+        system, shells, sinks = build_system(
+            topology, style, trace=trace, engine=engine,
+            activations=activations,
+        )
+        result = Simulation(system).run(
+            cycles, deadlock_window=deadlock_window
+        )
+    except Exception as exc:  # any failure is a finding, not a crash
+        return StyleRun(
+            streams={}, traces={}, periods={}, executed=0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return StyleRun(
+        streams={
+            name: list(sink.received) for name, sink in sinks.items()
+        },
+        traces=(
+            {
+                name: list(shell.trace_enable or [])
+                for name, shell in shells.items()
+            }
+            if trace
+            else {}
+        ),
+        periods=dict(result.shell_periods),
+        executed=result.cycles,
+        relay_peak=relay_peak_occupancy(system),
+        deadlocked=result.deadlocked,
+    )
 
 
 def _run_style(
     case: VerifyCase,
     style: str,
     activations: Mapping[str, StaticActivation] | None = None,
-) -> _StyleRun:
-    try:
-        system, shells, sinks = build_system(
-            case.topology, style, trace=True, engine=case.engine,
-            activations=activations,
-        )
-        result = Simulation(system).run(
-            case.cycles, deadlock_window=case.deadlock_window
-        )
-    except Exception as exc:  # any failure is a finding, not a crash
-        return _StyleRun(
-            streams={}, traces={}, periods={}, executed=0,
-            error=f"{type(exc).__name__}: {exc}",
-        )
-    return _StyleRun(
-        streams={
-            name: list(sink.received) for name, sink in sinks.items()
-        },
-        traces={
-            name: list(shell.trace_enable or [])
-            for name, shell in shells.items()
-        },
-        periods=dict(result.shell_periods),
-        executed=result.cycles,
+) -> StyleRun:
+    return simulate_topology(
+        case.topology,
+        style,
+        case.cycles,
+        case.deadlock_window,
+        engine=case.engine,
+        trace=True,
+        activations=activations,
     )
 
 
+def compare_stream_prefixes(
+    check: str,
+    ref_label: str,
+    label: str,
+    ref_streams: Mapping[str, list[Any]],
+    streams: Mapping[str, list[Any]],
+    outcome: CaseOutcome,
+) -> None:
+    """One cross-run stream comparison: every reference sink's stream
+    must match on the common prefix (``label`` fills the divergence's
+    style slot)."""
+    for sink_name, ref_stream in ref_streams.items():
+        other = streams.get(sink_name, [])
+        outcome.checks += 1
+        common = min(len(ref_stream), len(other))
+        for pos in range(common):
+            if ref_stream[pos] != other[pos]:
+                outcome.divergences.append(
+                    Divergence(
+                        check,
+                        label,
+                        sink_name,
+                        f"token {pos}: {ref_label}="
+                        f"{ref_stream[pos]!r} vs {label}="
+                        f"{other[pos]!r}",
+                    )
+                )
+                break
+
+
 def _check_stream_prefixes(
-    runs: dict[str, _StyleRun],
+    runs: dict[str, StyleRun],
     reference: str,
     outcome: CaseOutcome,
 ) -> None:
@@ -368,27 +462,14 @@ def _check_stream_prefixes(
     for style, run in runs.items():
         if style == reference or run.error is not None:
             continue
-        for sink_name, ref_stream in ref.streams.items():
-            other = run.streams.get(sink_name, [])
-            outcome.checks += 1
-            common = min(len(ref_stream), len(other))
-            for pos in range(common):
-                if ref_stream[pos] != other[pos]:
-                    outcome.divergences.append(
-                        Divergence(
-                            "streams",
-                            style,
-                            sink_name,
-                            f"token {pos}: {reference}="
-                            f"{ref_stream[pos]!r} vs {style}="
-                            f"{other[pos]!r}",
-                        )
-                    )
-                    break
+        compare_stream_prefixes(
+            "streams", reference, style, ref.streams, run.streams,
+            outcome,
+        )
 
 
 def _check_cycle_exact_pairs(
-    runs: dict[str, _StyleRun],
+    runs: dict[str, StyleRun],
     outcome: CaseOutcome,
 ) -> None:
     for reference, checked in CYCLE_EXACT_PAIRS:
@@ -431,9 +512,91 @@ def _check_cycle_exact_pairs(
                 )
 
 
+def uniform_loop_bounds(
+    topology: SystemTopology,
+    graph: MarkedGraph | None = None,
+) -> dict[str, Fraction]:
+    """Per-process period-rate upper bounds from the topology's own
+    marked-graph cycles (empty for feed-forward topologies).
+
+    Sound only in the uniform regime, where every process pops and
+    pushes each port exactly once per period, so the marked-graph
+    cycle ratio upper-bounds its period rate.  Pass ``graph`` when the
+    topology's marked graph is already built.
+    """
+    if graph is None:
+        graph = topology_marked_graph(topology)
+    metrics = graph.cycle_metrics()
+    bounds: dict[str, Fraction] = {}
+    for nodes, tokens, latency in metrics:
+        ratio = (
+            Fraction(0) if tokens == 0 else Fraction(tokens, latency)
+        )
+        for name in nodes:
+            previous = bounds.get(name)
+            if previous is None or ratio < previous:
+                bounds[name] = ratio
+    return bounds
+
+
+def throughput_slack(topology: SystemTopology) -> int:
+    """Additive slack on the loop bounds, covering tokens already
+    staged in FIFOs at the measurement boundary."""
+    return topology.port_depth * len(topology.processes) + 2
+
+
+def check_loop_bounds(
+    check: str,
+    label: str,
+    bounds: Mapping[str, Fraction],
+    slack: int,
+    run: StyleRun,
+    outcome: CaseOutcome,
+) -> None:
+    """One run's measured period counts against precomputed uniform
+    loop bounds (``label`` fills the divergence's style slot)."""
+    for process, bound in bounds.items():
+        outcome.checks += 1
+        periods = run.periods.get(process, 0)
+        if periods > bound * run.executed + slack:
+            outcome.divergences.append(
+                Divergence(
+                    check,
+                    label,
+                    process,
+                    f"{periods} periods in {run.executed} cycles "
+                    f"exceeds loop bound {bound} (+{slack} slack)",
+                )
+            )
+
+
+def check_relay_peak(
+    check: str,
+    label: str,
+    run: StyleRun,
+    outcome: CaseOutcome,
+) -> None:
+    """The relay-station capacity invariant (occupancy <= 2) against
+    one run's telemetry."""
+    if run.relay_peak is None:
+        return
+    outcome.checks += 1
+    station, depth = run.relay_peak
+    if depth > RELAY_CAPACITY:
+        outcome.divergences.append(
+            Divergence(
+                check,
+                label,
+                station,
+                f"occupancy reached {depth} "
+                f"(capacity {RELAY_CAPACITY})",
+            )
+        )
+
+
 def _check_analytic(
     case: VerifyCase,
-    runs: dict[str, _StyleRun],
+    runs: dict[str, StyleRun],
     outcome: CaseOutcome,
 ) -> None:
     graph = topology_marked_graph(case.topology)
@@ -453,43 +616,32 @@ def _check_analytic(
 
     if not case.topology.uniform:
         return
-    # In the uniform regime every process pops and pushes each port
-    # exactly once per period, so the marked-graph cycle ratio is a
-    # sound upper bound on its period rate.  The additive slack covers
-    # tokens already staged in FIFOs at the measurement boundary.
-    metrics = graph.cycle_metrics()
-    if not metrics:
+    bounds = uniform_loop_bounds(case.topology, graph)
+    if not bounds:
         return
-    bounds: dict[str, Fraction] = {}
-    for nodes, tokens, latency in metrics:
-        ratio = (
-            Fraction(0) if tokens == 0 else Fraction(tokens, latency)
-        )
-        for name in nodes:
-            previous = bounds.get(name)
-            if previous is None or ratio < previous:
-                bounds[name] = ratio
-    slack = case.topology.port_depth * len(case.topology.processes) + 2
+    slack = throughput_slack(case.topology)
     for style, run in runs.items():
         if run.error is not None:
             continue
-        for process, bound in bounds.items():
-            outcome.checks += 1
-            periods = run.periods.get(process, 0)
-            if periods > bound * run.executed + slack:
-                outcome.divergences.append(
-                    Divergence(
-                        "analytic",
-                        style,
-                        process,
-                        f"{periods} periods in {run.executed} cycles "
-                        f"exceeds loop bound {bound} (+{slack} slack)",
-                    )
-                )
+        check_loop_bounds(
+            "analytic", style, bounds, slack, run, outcome
+        )
+
+
+def _check_relay_occupancy(
+    runs: dict[str, StyleRun],
+    outcome: CaseOutcome,
+) -> None:
+    """The relay-station capacity invariant, harvested from every
+    style run's telemetry."""
+    for style, run in runs.items():
+        if run.error is not None:
+            continue
+        check_relay_peak("relay", style, run, outcome)
 
 
 def _case_activations(
-    case: VerifyCase, runs: dict[str, _StyleRun]
+    case: VerifyCase, runs: dict[str, StyleRun]
 ) -> dict[str, StaticActivation]:
     """Static activation plans for a case's shift-register styles,
     reusing the FSM reference run when it already happened."""
@@ -520,7 +672,7 @@ def run_case(case: VerifyCase) -> CaseOutcome:
         seed=case.seed,
         topology_stats=case.topology.stats(),
     )
-    runs: dict[str, _StyleRun] = {}
+    runs: dict[str, StyleRun] = {}
     activations: dict[str, StaticActivation] | None = None
     planning_error: str | None = None
     for style in case.styles:
@@ -536,7 +688,7 @@ def run_case(case: VerifyCase) -> CaseOutcome:
             if planning_error is not None:
                 # Planning is per-case, not per-style: don't retry it
                 # for the second shift-register style.
-                runs[style] = _StyleRun(
+                runs[style] = StyleRun(
                     streams={}, traces={}, periods={}, executed=0,
                     error=planning_error,
                 )
@@ -560,5 +712,11 @@ def run_case(case: VerifyCase) -> CaseOutcome:
         )
         _check_stream_prefixes(runs, reference, outcome)
         _check_cycle_exact_pairs(runs, outcome)
+    _check_relay_occupancy(runs, outcome)
     _check_analytic(case, runs, outcome)
+    if case.perturb or case.variants:
+        # Imported lazily: perturb builds on this module's machinery.
+        from .perturb import check_perturbations
+
+        check_perturbations(case, runs, outcome)
     return outcome

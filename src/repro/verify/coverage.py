@@ -13,7 +13,17 @@ across pushes to see coverage drift).
 Everything here is computed from the :class:`~repro.sched.generate.
 SystemTopology` descriptions alone, before any simulation happens, so
 the report is deterministic for a given ``(seed, cases, profile,
-traffic)`` tuple.
+traffic, perturb)`` tuple.  Batches with latency perturbation
+(:mod:`repro.verify.perturb`) additionally report the perturbation
+axes: variants per case, perturbation kinds, and the latency spread
+the variants actually explored.
+
+:func:`diff_coverage` compares two coverage documents — typically two
+CI artifacts from consecutive pushes — and flags *shrinking histogram
+support*: any metric bucket the old batch visited that the new batch
+no longer does.  ``repro coverage-diff old.json new.json`` exits
+nonzero on such a regression, which is what lets CI fail when a
+generator change silently narrows the explored topology space.
 """
 
 from __future__ import annotations
@@ -22,11 +32,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..sched.generate import SystemTopology
+from ..sched.generate import SystemTopology, TopologyVariant
 
 #: Metric order used by :meth:`CoverageReport.render` and
 #: :meth:`CoverageReport.to_dict` (histograms keep this ordering so
-#: the JSON is diff-friendly).
+#: the JSON is diff-friendly).  The ``perturb_*`` metrics only appear
+#: in batches that request latency perturbation.
 METRICS = (
     "processes",
     "channels",
@@ -39,6 +50,9 @@ METRICS = (
     "uniform",
     "traffic",
     "styles",
+    "perturb_variants",
+    "perturb_kinds",
+    "perturb_max_latency",
 )
 
 _BAR_WIDTH = 24
@@ -108,23 +122,42 @@ class CoverageReport:
         histogram[label] = histogram.get(label, 0) + by
 
     def add(
-        self, topology: SystemTopology, styles: Sequence[str] = ()
+        self,
+        topology: SystemTopology,
+        styles: Sequence[str] = (),
+        variants: Sequence[TopologyVariant] = (),
     ) -> None:
-        """Account one case: its topology's shape features plus the
-        wrapper styles it exercises."""
+        """Account one case: its topology's shape features, the
+        wrapper styles it exercises, and — when the case carries
+        latency perturbation — the variant axes (count, kinds, and the
+        deepest channel latency each variant reaches)."""
         self.cases += 1
         for metric, value in topology_features(topology).items():
             self._bump(metric, value)
         for style in styles:
             self._bump("styles", style)
+        if variants:
+            self._bump("perturb_variants", len(variants))
+            for variant in variants:
+                self._bump("perturb_kinds", variant.kind)
+                self._bump(
+                    "perturb_max_latency",
+                    topology_features(variant.topology)["max_latency"],
+                )
 
     @classmethod
     def from_cases(cls, cases: Iterable) -> "CoverageReport":
         """Build a report from :class:`~repro.verify.cases.VerifyCase`
-        objects (anything with ``.topology`` and ``.styles``)."""
+        objects (anything with ``.topology``, ``.styles``, and the
+        perturbation fields read by
+        :func:`repro.verify.perturb.case_variants`)."""
+        from .perturb import case_variants
+
         report = cls()
         for case in cases:
-            report.add(case.topology, case.styles)
+            report.add(
+                case.topology, case.styles, case_variants(case)
+            )
         return report
 
     def to_dict(self) -> dict:
@@ -160,3 +193,82 @@ class CoverageReport:
                 ) if count else ""
                 lines.append(f"    {label:>8}  {count:>5}  {bar}")
         return "\n".join(lines)
+
+
+# -- coverage trend comparison (CI artifact diffing) ---------------------------
+
+
+@dataclass
+class CoverageDiff:
+    """Outcome of comparing two coverage documents.
+
+    ``regressions`` lists every metric bucket (or whole metric) the
+    old document covered and the new one lost — shrinking histogram
+    support, the thing CI must fail on.  ``additions`` lists new
+    buckets/metrics, which are informational.
+    """
+
+    old_cases: int
+    new_cases: int
+    regressions: list[str] = field(default_factory=list)
+    additions: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"coverage-diff: {self.old_cases} -> {self.new_cases} "
+            f"case(s), {len(self.regressions)} regression(s), "
+            f"{len(self.additions)} addition(s)"
+        ]
+        for item in self.regressions:
+            lines.append(f"  LOST {item}")
+        for item in self.additions:
+            lines.append(f"  new  {item}")
+        if self.ok:
+            lines.append("  histogram support did not shrink")
+        return "\n".join(lines)
+
+
+def diff_coverage(old: dict, new: dict) -> CoverageDiff:
+    """Compare two coverage documents (:meth:`CoverageReport.to_dict`
+    shape, typically loaded from ``--coverage-json`` artifacts).
+
+    Support is the set of nonzero-count buckets per metric.  Every
+    bucket in the old document missing from the new one is a
+    regression; so is a whole metric disappearing.  Bucket *counts*
+    may change freely — only the visited shape space matters.
+    """
+    diff = CoverageDiff(
+        old_cases=int(old.get("cases", 0)),
+        new_cases=int(new.get("cases", 0)),
+    )
+    old_histograms = old.get("histograms", {})
+    new_histograms = new.get("histograms", {})
+    for metric in METRICS:
+        old_support = {
+            label
+            for label, count in old_histograms.get(metric, {}).items()
+            if count
+        }
+        new_support = {
+            label
+            for label, count in new_histograms.get(metric, {}).items()
+            if count
+        }
+        if old_support and metric not in new_histograms:
+            diff.regressions.append(f"metric {metric} (entirely)")
+            continue
+        for label in sorted(old_support - new_support, key=_sort_key):
+            count = old_histograms[metric][label]
+            diff.regressions.append(
+                f"{metric}[{label}] (was {count} case(s))"
+            )
+        for label in sorted(new_support - old_support, key=_sort_key):
+            diff.additions.append(
+                f"{metric}[{label}] "
+                f"({new_histograms[metric][label]} case(s))"
+            )
+    return diff

@@ -1,0 +1,229 @@
+"""Metamorphic latency-perturbation verification.
+
+The claim that defines latency-insensitive design — and the one the
+source paper's wrappers exist to uphold — is that *system-level
+interconnect latency variations cannot break functionality*.  The
+differential oracle of :mod:`repro.verify.cases` never tested it: it
+cross-checks wrapper styles over one fixed topology, so a wrapper bug
+that only bites under a different channel segmentation would slip
+through.
+
+This module closes that hole metamorphically.  For a case with
+``perturb = K``, :func:`repro.sched.generate.derive_variants` draws K
+latency-perturbed siblings of the base topology — re-segmented
+channels, extra pipelining on feed-forward edges, and (on request)
+floorplan-driven variants where
+:func:`repro.lis.floorplan.plan_channels` at a drawn target clock
+dictates each channel's relay count.  Every variant is simulated under
+the case's reference style and held to three checks:
+
+* **stream invariance** — each sink's token stream must equal the
+  base run's on the common prefix: latencies may change *when* tokens
+  arrive, never *which* tokens or in what order (Kahn-network
+  determinism is exactly what the wrappers are supposed to preserve);
+* **per-variant throughput** — each variant's measured period rates
+  must respect the marked-graph cycle bounds of *its own* re-segmented
+  graph (:func:`repro.verify.cases.uniform_loop_bounds`), not the
+  base's: deeper loops must actually slow down accordingly;
+* **relay occupancy** — no relay station anywhere in the variant may
+  ever hold more than :data:`~repro.lis.relay_station.RELAY_CAPACITY`
+  tokens (harvested from the stations' telemetry).
+
+Failures surface as :class:`~repro.verify.cases.Divergence` records
+with check kinds ``perturb-streams`` / ``perturb-throughput`` /
+``perturb-relay`` and the variant label (``resegment0``,
+``pipeline1``, ``floorplan2``, …) in the style slot; the shrinker
+(:func:`repro.verify.shrink.shrink_case`) then reduces a failing
+perturbation to the minimal base-plus-variant pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sched.generate import SystemTopology, TopologyVariant, derive_variants
+from .cases import (
+    SHIFTREG_STYLES,
+    CaseOutcome,
+    Divergence,
+    StyleRun,
+    VerifyCase,
+    check_loop_bounds,
+    check_relay_peak,
+    compare_stream_prefixes,
+    simulate_topology,
+    throughput_slack,
+    uniform_loop_bounds,
+)
+
+
+def case_variants(case: VerifyCase) -> tuple[TopologyVariant, ...]:
+    """The effective variant set of a case: the pinned ``variants``
+    when present (shrunk cases, replayed reproducers), else ``perturb``
+    freshly derived variants seeded by the case seed."""
+    if case.variants is not None:
+        return case.variants
+    if case.perturb <= 0:
+        return ()
+    return derive_variants(
+        case.topology,
+        case.perturb,
+        seed=case.seed,
+        floorplan=case.perturb_floorplan,
+    )
+
+
+def reference_style(styles: tuple[str, ...]) -> str:
+    """The style variants run under: ``fsm`` when the case exercises
+    it, else the first non-shift-register style (shift-register styles
+    need a per-topology activation plan, which a perturbed sibling
+    invalidates)."""
+    if "fsm" in styles:
+        return "fsm"
+    for style in styles:
+        if style not in SHIFTREG_STYLES:
+            return style
+    return "fsm"
+
+
+def run_variant(
+    topology: SystemTopology,
+    style: str,
+    cycles: int,
+    deadlock_window: int | None = 64,
+    engine: str | None = None,
+) -> StyleRun:
+    """Simulate one variant topology under ``style`` and harvest the
+    oracle's inputs (sink streams, period counts, relay telemetry)."""
+    return simulate_topology(
+        topology, style, cycles, deadlock_window, engine=engine
+    )
+
+
+def _check_variant_progress(
+    label: str,
+    base_tokens: int,
+    run: StyleRun,
+    outcome: CaseOutcome,
+) -> bool:
+    """Refuse a vacuous variant comparison: a variant that moved no
+    tokens at all while the base did (e.g. it deadlocked under the
+    deeper segmentation) would otherwise pass every prefix check over
+    empty data — exactly the failure class this oracle exists to
+    catch.  Returns True when the variant made progress."""
+    moved = sum(len(stream) for stream in run.streams.values())
+    if base_tokens == 0 or moved > 0:
+        return True
+    outcome.checks += 1
+    outcome.divergences.append(
+        Divergence(
+            "perturb-streams",
+            label,
+            "*",
+            f"variant moved no tokens in {run.executed} cycles "
+            f"(base moved {base_tokens}"
+            f"{', variant deadlocked' if run.deadlocked else ''}) — "
+            "stream invariance was not exercised",
+        )
+    )
+    return False
+
+
+def _check_variant_throughput(
+    label: str,
+    topology: SystemTopology,
+    run: StyleRun,
+    outcome: CaseOutcome,
+) -> None:
+    if not topology.uniform:
+        return
+    bounds = uniform_loop_bounds(topology)
+    if not bounds:
+        return
+    check_loop_bounds(
+        "perturb-throughput",
+        label,
+        bounds,
+        throughput_slack(topology),
+        run,
+        outcome,
+    )
+
+
+def check_perturbations(
+    case: VerifyCase,
+    runs: dict[str, Any],
+    outcome: CaseOutcome,
+) -> None:
+    """Run every latency-perturbed variant of ``case`` and append any
+    metamorphic divergences to ``outcome``.
+
+    ``runs`` is :func:`repro.verify.cases.run_case`'s per-style run
+    map; the variant streams are compared against the reference
+    style's base run (re-simulated only when the case never exercised
+    that style).  A reference style that already crashed in the style
+    loop skips the perturbation checks entirely — the case is failing
+    anyway, and re-running the deterministic crash would only duplicate
+    the divergence.
+    """
+    variants = case_variants(case)
+    if not variants:
+        return
+    style = reference_style(case.styles)
+    base = runs.get(style)
+    if base is not None:
+        if base.error is not None:
+            return
+        base_streams = base.streams
+    else:
+        # The style loop never ran the reference style: measure a base.
+        base_run = run_variant(
+            case.topology,
+            style,
+            case.cycles,
+            case.deadlock_window,
+            case.engine,
+        )
+        if base_run.error is not None:
+            outcome.divergences.append(
+                Divergence(
+                    "exception",
+                    style,
+                    "*",
+                    f"perturbation base run failed: {base_run.error}",
+                )
+            )
+            return
+        base_streams = base_run.streams
+    base_tokens = sum(
+        len(stream) for stream in base_streams.values()
+    )
+    for variant in variants:
+        run = run_variant(
+            variant.topology,
+            style,
+            case.cycles,
+            case.deadlock_window,
+            case.engine,
+        )
+        if run.error is not None:
+            outcome.divergences.append(
+                Divergence("exception", variant.label, "*", run.error)
+            )
+            continue
+        if not _check_variant_progress(
+            variant.label, base_tokens, run, outcome
+        ):
+            continue
+        compare_stream_prefixes(
+            "perturb-streams",
+            "base",
+            variant.label,
+            base_streams,
+            run.streams,
+            outcome,
+        )
+        _check_variant_throughput(
+            variant.label, variant.topology, run, outcome
+        )
+        check_relay_peak("perturb-relay", variant.label, run, outcome)

@@ -20,6 +20,7 @@ from ..sched.generate import (
     TopologyProfile,
     random_topology,
     topology_to_dict,
+    variant_to_dict,
 )
 from .cases import (
     CaseOutcome,
@@ -55,7 +56,13 @@ class BatchConfig:
     * ``engine`` — RTL simulation backend for the RTL-in-the-loop
       styles; ``None`` resolves once at construction through the
       simulator default (so the ``REPRO_RTL_ENGINE`` environment
-      override applies to verify runs).
+      override applies to verify runs);
+    * ``perturb`` / ``perturb_floorplan`` — metamorphic latency
+      perturbation (:mod:`repro.verify.perturb`): derive this many
+      latency-perturbed variants per case and demand stream
+      invariance, per-variant throughput bounds and relay-occupancy
+      invariants; ``perturb_floorplan`` adds floorplan-driven variants
+      to the perturbation kinds.
     """
 
     cases: int = 50
@@ -68,6 +75,8 @@ class BatchConfig:
     deadlock_window: int | None = 64
     shrink: bool = True
     engine: str | None = None
+    perturb: int = 0
+    perturb_floorplan: bool = False
 
     def __post_init__(self) -> None:
         if self.cases < 1:
@@ -76,6 +85,8 @@ class BatchConfig:
             raise ValueError("need at least one job")
         if self.cycles < 1:
             raise ValueError("need at least one cycle")
+        if self.perturb < 0:
+            raise ValueError("perturb variant count must be >= 0")
         # Pin the resolved engine in the (frozen) config so the batch
         # is deterministic even if workers see a different environment.
         object.__setattr__(
@@ -139,6 +150,8 @@ def make_cases(config: BatchConfig) -> list[VerifyCase]:
             styles=config.styles,
             deadlock_window=config.deadlock_window,
             engine=config.engine,
+            perturb=config.perturb,
+            perturb_floorplan=config.perturb_floorplan,
         )
         for index, case_seed in enumerate(seeds)
     ]
@@ -193,12 +206,19 @@ class BatchReport:
         failed = len(self.failures)
         tokens = sum(o.sink_tokens for o in self.outcomes)
         rate = total / self.duration_s if self.duration_s > 0 else 0.0
+        perturb = ""
+        if self.config.perturb:
+            perturb = (
+                f", perturb {self.config.perturb}"
+                f"{'+floorplan' if self.config.perturb_floorplan else ''}"
+            )
         lines = [
             f"verify: {total} cases, {self.checks} cross-checks, "
             f"{failed} divergent, seed {self.config.seed}, "
             f"profile {self.config.profile_name}, "
             f"traffic {self.config.traffic_name}, "
-            f"engine {self.config.engine}",
+            f"engine {self.config.engine}"
+            f"{perturb}",
             f"  {tokens} sink tokens observed; {self.duration_s:.1f}s "
             f"({rate:.1f} cases/s, jobs={self.config.jobs})",
         ]
@@ -210,9 +230,16 @@ class BatchReport:
             for divergence in outcome.divergences:
                 lines.append(f"    {divergence}")
         for outcome, topology in self.shrunk:
+            variants = topology.get("variants")
+            with_variants = (
+                ""
+                if variants is None
+                else f" + {len(variants)} latency variant(s)"
+            )
             lines.append(
                 f"  minimal reproducer for case {outcome.index}: "
-                f"{len(topology['processes'])} process(es) — replay "
+                f"{len(topology['processes'])} process(es)"
+                f"{with_variants} — replay "
                 "with `repro verify --repro <file.json>`"
             )
         if self.vacuous:
@@ -262,5 +289,21 @@ class BatchRunner:
                 reproducer["cycles"] = minimal.cycles
                 reproducer["deadlock_window"] = minimal.deadlock_window
                 reproducer["styles"] = list(minimal.styles)
+                if minimal.variants is not None:
+                    # Perturbed cases shrink to a pinned variant set
+                    # (ideally one: the minimal divergent pair).
+                    reproducer["perturb"] = len(minimal.variants)
+                    reproducer["perturb_floorplan"] = (
+                        minimal.perturb_floorplan
+                    )
+                    reproducer["variants"] = [
+                        variant_to_dict(variant)
+                        for variant in minimal.variants
+                    ]
+                elif minimal.perturb:
+                    reproducer["perturb"] = minimal.perturb
+                    reproducer["perturb_floorplan"] = (
+                        minimal.perturb_floorplan
+                    )
                 report.shrunk.append((outcome, reproducer))
         return report

@@ -8,6 +8,15 @@ regular streams instead of jittery ones, unit channel latencies,
 truncated schedules.  The result is a minimal reproducer whose
 topology JSON (:func:`repro.sched.generate.topology_to_dict`) can be
 replayed with ``repro verify --repro``.
+
+Cases with latency perturbation (:mod:`repro.verify.perturb`) get a
+second pass: the derived variants are pinned as an explicit set and
+greedily dropped while the case keeps failing, so a perturbation
+failure shrinks to the minimal divergent base-plus-variant pair (and
+to an empty variant set when the failure never needed perturbation at
+all).  Cases that arrive with pinned variants — replayed reproducers —
+skip the topology-mutating reductions, which would orphan the variant
+wiring, and only reduce cycles and the variant set.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from ..sched.generate import (
 )
 from ..core.schedule import IOSchedule
 from .cases import VerifyCase, run_case
+from .perturb import case_variants
 
 
 def _drop_process(
@@ -95,10 +105,28 @@ def _truncate_schedule(
     return replace(topology, processes=tuple(processes))
 
 
+def _drop_one_variant(case: VerifyCase) -> Iterator[VerifyCase]:
+    """Drop each pinned perturbation variant in turn."""
+    variants = case.variants or ()
+    for index in range(len(variants)):
+        kept = variants[:index] + variants[index + 1:]
+        yield replace(case, variants=kept, perturb=len(kept))
+
+
 def _variants(case: VerifyCase) -> Iterator[VerifyCase]:
     """Candidate reductions, most aggressive first."""
     if case.cycles > 50:
         yield replace(case, cycles=case.cycles // 2)
+    if case.variants is not None:
+        # Pinned variants reference the base topology's exact wiring;
+        # mutating the topology under them would break that, so only
+        # the variant set itself shrinks further.
+        yield from _drop_one_variant(case)
+        return
+    if case.perturb > 1:
+        # Fewer derived variants (the set re-derives deterministically
+        # from the case seed at each attempt).
+        yield replace(case, perturb=case.perturb - 1)
     topology = case.topology
     if len(topology.processes) > 1:
         for node in topology.processes:
@@ -154,6 +182,32 @@ def _variants(case: VerifyCase) -> Iterator[VerifyCase]:
             )
 
 
+def _pin_variants(
+    case: VerifyCase, max_attempts: int
+) -> VerifyCase:
+    """Materialize a failing perturbed case's derived variants as an
+    explicit set and greedily drop them while the failure persists —
+    the result names the minimal divergent variant pair (or proves the
+    failure needs no perturbation at all, ending with an empty set)."""
+    variants = case_variants(case)
+    pinned = replace(
+        case, variants=variants, perturb=len(variants)
+    )
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _drop_one_variant(pinned):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            if not run_case(candidate).ok:
+                pinned = candidate
+                progress = True
+                break
+    return pinned
+
+
 def shrink_case(case: VerifyCase, max_attempts: int = 120) -> VerifyCase:
     """Minimize a failing case; returns the smallest variant that still
     diverges (``case`` itself if no reduction reproduces the failure)."""
@@ -170,4 +224,8 @@ def shrink_case(case: VerifyCase, max_attempts: int = 120) -> VerifyCase:
                 current = variant
                 progress = True
                 break
+    if current.variants is None and current.perturb > 0:
+        current = _pin_variants(
+            current, max_attempts=max(8, max_attempts - attempts)
+        )
     return current

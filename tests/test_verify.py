@@ -26,7 +26,7 @@ from repro.verify import (
     topology_marked_graph,
 )
 from repro.verify.cases import (
-    _StyleRun,
+    StyleRun,
     _check_cycle_exact_pairs,
     _check_stream_prefixes,
 )
@@ -147,7 +147,7 @@ class TestOracleSensitivity:
 
     @staticmethod
     def _style_run(streams, traces=None, executed=10):
-        return _StyleRun(
+        return StyleRun(
             streams=streams,
             traces=traces or {},
             periods={},
