@@ -22,11 +22,35 @@ import time
 
 from repro.core.processor import SPAction, SPState, SyncProcessor
 from repro.core.schedule import IOSchedule, SyncPoint
-from repro.core.wrappers import SPWrapper
+from repro.core.wrappers import (
+    CombinationalWrapper,
+    FSMWrapper,
+    SPWrapper,
+)
 from repro.lis.pearl import FunctionPearl
 from repro.lis.simulator import Simulation
 from repro.lis.system import System
-from repro.verify import BEHAVIOURAL_STYLES, BatchConfig, BatchRunner
+from repro.verify import (
+    BEHAVIOURAL_STYLES,
+    BatchConfig,
+    BatchRunner,
+    CaseOutcome,
+    Divergence,
+    MixPearl,
+    StyleRun,
+    make_cases,
+    run_case,
+    topology_marked_graph,
+)
+from repro.verify.cases import _credit_tokens, relay_peak_occupancy
+from repro.verify.oracles import (
+    check_cycle_exact,
+    check_loop_bounds,
+    check_relay_peak,
+    check_stream_prefixes,
+    throughput_slack,
+    uniform_loop_bounds,
+)
 
 from _bench_common import write_result
 
@@ -306,6 +330,242 @@ def test_regular_traffic_verify_throughput(benchmark):
         "the same stream/trace/throughput cross-checks.",
     ]
     write_result("batch_verify_regular.txt", "\n".join(lines))
+
+
+def test_dynamic_perturbed_verify_throughput(benchmark):
+    """Dynamic perturbation adds stall-plan derivation, injector
+    blocks on the hot simulation loop, and (in all-styles mode) one
+    run per style per variant; this tracks its cases/second so the
+    `--perturb-dynamic --perturb-styles all` CI smoke stays
+    predictable."""
+    perturb = 2
+    config = BatchConfig(
+        cases=8,
+        seed=0,
+        jobs=1,
+        cycles=200,
+        styles=BEHAVIOURAL_STYLES,
+        perturb=perturb,
+        perturb_dynamic=True,
+        perturb_styles="all",
+    )
+
+    def batch():
+        return BatchRunner(config).run()
+
+    report = benchmark.pedantic(batch, rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    rate = len(report.outcomes) / report.duration_s
+
+    benchmark.extra_info.update(
+        cases=len(report.outcomes),
+        checks=report.checks,
+        cases_per_s=round(rate, 1),
+        perturb=perturb,
+    )
+    lines = [
+        "Dynamic latency-perturbation verification throughput "
+        f"({config.cases} topologies, {config.cycles} cycles, "
+        f"{perturb} variants/case incl. mid-run stall plans, "
+        "all-styles mode)",
+        "",
+        f"cases/s:      {rate:.1f}",
+        f"cross-checks: {report.checks}",
+        f"sink tokens:  {sum(o.sink_tokens for o in report.outcomes)}",
+        "",
+        "Each case leads its variant rotation with a dynamic variant "
+        "(seeded mid-run link/relay stalls over the unchanged "
+        "topology) and runs every variant under every behavioural "
+        "style, with per-variant stream, throughput, relay and "
+        "cycle-exact checks.",
+    ]
+    write_result("batch_verify_dynamic.txt", "\n".join(lines))
+
+
+# -- pre-refactor run_case replica ---------------------------------------------
+
+
+def _monolith_make_shell(style, node, port_depth):
+    """The pre-registry style dispatch: a hardcoded if-chain."""
+    pearl = MixPearl(node.name, node.schedule)
+    if style == "fsm":
+        return FSMWrapper(pearl, port_depth)
+    if style == "sp":
+        return SPWrapper(pearl, port_depth)
+    if style == "combinational":
+        return CombinationalWrapper(pearl, port_depth)
+    raise ValueError(f"unknown verify style {style!r}")
+
+
+def _monolith_build(topology, style):
+    system = System(f"{topology.name}:{style}")
+    shells = {}
+    for node in topology.processes:
+        shell = _monolith_make_shell(style, node, topology.port_depth)
+        shell.trace_enable = []
+        system.add_patient(shell)
+        shells[node.name] = shell
+    for index, channel in enumerate(topology.channels):
+        system.connect(
+            shells[channel.producer], channel.out_port,
+            shells[channel.consumer], channel.in_port,
+            latency=channel.latency,
+            initial_tokens=_credit_tokens(
+                topology.seed, index, channel.tokens
+            ),
+        )
+    for source in topology.sources:
+        system.connect_source(
+            source.name,
+            range(source.base, source.base + source.n_tokens),
+            shells[source.consumer], source.in_port,
+            latency=source.latency, gaps=source.gaps,
+        )
+    sinks = {}
+    for sink in topology.sinks:
+        sinks[sink.name] = system.connect_sink(
+            shells[sink.producer], sink.out_port, sink.name,
+            latency=sink.latency, stalls=sink.stalls,
+        )
+    return system, shells, sinks
+
+
+def _monolith_run_case(case):
+    """A faithful replica of the pre-refactor monolithic run_case:
+    if-chain style dispatch plus direct inline check calls (no
+    registry lookups, no oracle-object pipeline) — the baseline the
+    refactored run_case must stay within 0.9x of."""
+    from fractions import Fraction
+
+    outcome = CaseOutcome(
+        index=case.index, seed=case.seed,
+        topology_stats=case.topology.stats(),
+    )
+    runs = {}
+    for style in case.styles:
+        try:
+            system, shells, sinks = _monolith_build(
+                case.topology, style
+            )
+            result = Simulation(system).run(
+                case.cycles, deadlock_window=case.deadlock_window
+            )
+            run = StyleRun(
+                streams={
+                    name: list(sink.received)
+                    for name, sink in sinks.items()
+                },
+                traces={
+                    name: list(shell.trace_enable or [])
+                    for name, shell in shells.items()
+                },
+                periods=dict(result.shell_periods),
+                executed=result.cycles,
+                relay_peak=relay_peak_occupancy(system),
+                deadlocked=result.deadlocked,
+            )
+        except Exception as exc:
+            run = StyleRun(
+                streams={}, traces={}, periods={}, executed=0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        runs[style] = run
+        outcome.cycles_executed[style] = run.executed
+        if run.error is not None:
+            outcome.divergences.append(
+                Divergence("exception", style, "*", run.error)
+            )
+    reference = next(
+        (s for s in case.styles if runs[s].error is None), None
+    )
+    if reference is not None:
+        outcome.sink_tokens = sum(
+            len(stream) for stream in runs[reference].streams.values()
+        )
+        check_stream_prefixes(runs, reference, outcome)
+        check_cycle_exact(runs, outcome)
+    for style, run in runs.items():
+        if run.error is None:
+            check_relay_peak("relay", style, run, outcome)
+    graph = topology_marked_graph(case.topology)
+    outcome.checks += 1
+    assert abs(
+        graph.throughput_enumerated() - graph.throughput_parametric()
+    ) <= Fraction(1, 10**6)
+    if case.topology.uniform:
+        bounds = uniform_loop_bounds(case.topology, graph)
+        if bounds:
+            slack = throughput_slack(case.topology)
+            for style, run in runs.items():
+                if run.error is None:
+                    check_loop_bounds(
+                        "analytic", style, bounds, slack, run, outcome
+                    )
+    return outcome
+
+
+def test_refactored_run_case_not_slower_than_monolith(benchmark):
+    """The registry/oracle-pipeline run_case must deliver at least
+    0.9x the plain-batch throughput of the pre-refactor monolith
+    replica on identical cases (best of 3 rounds)."""
+    required_ratio = 0.9
+    rounds = 3
+    config = BatchConfig(
+        cases=10, seed=0, jobs=1, cycles=200,
+        styles=BEHAVIOURAL_STYLES,
+    )
+    cases = make_cases(config)
+
+    def time_pair():
+        started = time.perf_counter()
+        monolith = [_monolith_run_case(case) for case in cases]
+        monolith_s = time.perf_counter() - started
+        started = time.perf_counter()
+        refactored = [run_case(case) for case in cases]
+        refactored_s = time.perf_counter() - started
+        # Both must verify the same work and find nothing.
+        assert all(o.ok for o in monolith)
+        assert all(o.ok for o in refactored)
+        assert [o.sink_tokens for o in monolith] == [
+            o.sink_tokens for o in refactored
+        ]
+        return monolith_s, refactored_s
+
+    rows = benchmark.pedantic(
+        lambda: [time_pair() for _ in range(rounds)],
+        rounds=1,
+        iterations=1,
+    )
+    best_monolith = min(m for m, _r in rows)
+    best_refactored = min(r for _m, r in rows)
+    ratio = best_monolith / best_refactored
+    assert ratio >= required_ratio, (
+        f"registry/pipeline run_case at {ratio:.2f}x of the "
+        f"monolith replica (required >= {required_ratio}x)"
+    )
+
+    benchmark.extra_info.update(
+        cases=len(cases),
+        monolith_ms=round(best_monolith * 1e3, 1),
+        refactored_ms=round(best_refactored * 1e3, 1),
+        ratio=round(ratio, 2),
+    )
+    lines = [
+        "Registry/oracle-pipeline run_case vs pre-refactor monolith "
+        f"replica ({len(cases)} behavioural cases, "
+        f"{config.cycles} cycles, best of {rounds})",
+        "",
+        f"{'variant':>12} | {'ms/batch':>9} {'cases/s':>9}",
+        "-" * 36,
+        f"{'monolith':>12} | {best_monolith * 1e3:>9.1f} "
+        f"{len(cases) / best_monolith:>9.1f}",
+        f"{'refactored':>12} | {best_refactored * 1e3:>9.1f} "
+        f"{len(cases) / best_refactored:>9.1f}",
+        "",
+        f"throughput ratio: {ratio:.2f}x "
+        f"(required >= {required_ratio}x)",
+    ]
+    write_result("batch_verify_refactor_guard.txt", "\n".join(lines))
 
 
 def test_perturbed_verify_throughput(benchmark):

@@ -16,7 +16,10 @@ Subcommands:
   periodic traffic and adds the shift-register wrapper styles;
   ``--perturb K`` adds the metamorphic latency-perturbation oracle
   (K re-segmented variants per case, stream invariance enforced;
-  ``--perturb-floorplan`` adds floorplan-driven variants);
+  ``--perturb-floorplan`` adds floorplan-driven variants,
+  ``--perturb-dynamic`` adds mid-run stall-plan variants, and
+  ``--perturb-styles all`` runs every variant under every wrapper
+  style); ``--list-styles`` prints the style registry;
   ``--coverage`` / ``--coverage-json`` report topology-shape
   histograms;
 * ``coverage-diff`` — compare two ``--coverage-json`` artifacts and
@@ -114,11 +117,17 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from .sched.generate import topology_from_dict, variant_from_dict
     from .verify import (
         DEFAULT_STYLES,
+        PERTURB_STYLE_MODES,
         BatchConfig,
         BatchRunner,
         VerifyCase,
+        format_style_registry,
         run_case,
     )
+
+    if args.list_styles:
+        print(format_style_registry())
+        return 0
 
     if args.repro is not None:
         try:
@@ -143,6 +152,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             perturb_floorplan=bool(
                 data.get("perturb_floorplan", args.perturb_floorplan)
             ),
+            perturb_styles=str(
+                data.get("perturb_styles", args.perturb_styles)
+            ),
+            perturb_dynamic=bool(
+                data.get("perturb_dynamic", args.perturb_dynamic)
+            ),
             # Pinned variants replay verbatim; without them --perturb
             # re-derives from the topology and seed.
             variants=(
@@ -153,6 +168,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 else None
             ),
         )
+        if case.perturb_styles not in PERTURB_STYLE_MODES:
+            print(
+                f"error: reproducer {args.repro}: unknown "
+                f"perturb-styles mode {case.perturb_styles!r}; choose "
+                f"from {PERTURB_STYLE_MODES}",
+                file=sys.stderr,
+            )
+            return 2
         outcome = run_case(case)
         if outcome.ok:
             print(
@@ -178,6 +201,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             engine=args.engine,
             perturb=args.perturb,
             perturb_floorplan=args.perturb_floorplan,
+            perturb_styles=args.perturb_styles,
+            perturb_dynamic=args.perturb_dynamic,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -321,6 +346,30 @@ def build_parser() -> argparse.ArgumentParser:
             "add floorplan-driven variants to the perturbation kinds "
             "(seeded placements; repro.lis.floorplan.plan_channels at "
             "a drawn target clock dictates relay counts)"
+        ),
+    )
+    verify.add_argument(
+        "--perturb-dynamic", action="store_true",
+        help=(
+            "add dynamic-latency variants to the perturbation kinds: "
+            "seeded mid-run relay/link stall plans (repro.lis.stall) "
+            "injected while the system is running"
+        ),
+    )
+    verify.add_argument(
+        "--perturb-styles", default="reference",
+        choices=("reference", "all"),
+        help=(
+            "run perturbation variants under the reference style only "
+            "(default) or under every style of the case, RTL-in-the-"
+            "loop styles included, with per-variant cycle-exact checks"
+        ),
+    )
+    verify.add_argument(
+        "--list-styles", action="store_true",
+        help=(
+            "print the wrapper-style registry (name, kind, traffic "
+            "eligibility, cycle-exact reference) and exit"
         ),
     )
     verify.add_argument(

@@ -22,6 +22,14 @@ from .relay_station import RELAY_CAPACITY, RelayStation, segment_channel
 from .shell import Shell, ShellError
 from .signals import VOID, Block, DataWire, Link, StopWire, is_void
 from .simulator import Simulation, SimulationResult
+from .stall import (
+    LinkStall,
+    StallInjector,
+    apply_stall_plan,
+    derive_stall_plan,
+    stall_from_dict,
+    stall_to_dict,
+)
 from .stream import Sink, Source, bernoulli_gaps, burst_gaps
 from .system import Channel, System, SystemError_
 from .throughput import EdgeSpec, MarkedGraph, system_marked_graph
@@ -43,6 +51,7 @@ __all__ = [
     "FunctionPearl",
     "InputPort",
     "Link",
+    "LinkStall",
     "MarkedGraph",
     "OutputPort",
     "PassthroughPearl",
@@ -56,13 +65,18 @@ __all__ = [
     "SimulationResult",
     "Sink",
     "Source",
+    "StallInjector",
     "StopWire",
     "System",
     "SystemError_",
     "VOID",
+    "apply_stall_plan",
     "bernoulli_gaps",
     "burst_gaps",
+    "derive_stall_plan",
     "is_void",
     "segment_channel",
+    "stall_from_dict",
+    "stall_to_dict",
     "system_marked_graph",
 ]

@@ -583,26 +583,36 @@ def random_topology(
 #:   every credit-marked feedback channel untouched;
 #: * ``floorplan`` — place the blocks on a seeded millimetre grid and
 #:   let :func:`repro.lis.floorplan.plan_channels` at a drawn target
-#:   clock dictate each channel's relay count.
-PERTURB_KINDS = ("resegment", "pipeline", "floorplan")
+#:   clock dictate each channel's relay count;
+#: * ``dynamic``   — keep every latency as-is but carry a seeded
+#:   mid-run stall plan (:mod:`repro.lis.stall`): relay-station/link
+#:   stalls injected while the system is running.
+PERTURB_KINDS = ("resegment", "pipeline", "floorplan", "dynamic")
 
 
 @dataclass(frozen=True)
 class TopologyVariant:
     """One latency-perturbed sibling of a base topology.
 
-    The variant's :class:`SystemTopology` differs from the base *only*
-    in connection latencies (relay segmentation): processes, schedules,
-    wiring, reset markings, jitter and backpressure patterns are all
-    preserved, so by the latency-insensitivity claim its sink streams
-    must be token-for-token identical to the base's on the common
-    prefix.
+    For the static kinds the variant's :class:`SystemTopology` differs
+    from the base *only* in connection latencies (relay segmentation):
+    processes, schedules, wiring, reset markings, jitter and
+    backpressure patterns are all preserved.  A ``dynamic`` variant
+    keeps even the latencies and instead carries ``stalls`` — a seeded
+    mid-run stall plan (:mod:`repro.lis.stall`) applied while the
+    variant simulates.  Either way the perturbation is exactly the
+    "interconnect latency variation" the LIS methodology promises
+    cannot break functionality, so its sink streams must be
+    token-for-token identical to the base's on the common prefix.
     """
 
     kind: str  # one of PERTURB_KINDS
     index: int  # position in the drawn variant list
     topology: SystemTopology
     clock_period_ns: float | None = None  # floorplan variants only
+    # Mid-run stall plan (dynamic variants only): tuple of
+    # repro.lis.stall.LinkStall records.
+    stalls: tuple = ()
 
     @property
     def label(self) -> str:
@@ -740,41 +750,96 @@ def _floorplan_variant(
     )
 
 
+def topology_link_names(topology: SystemTopology) -> tuple[str, ...]:
+    """Every link name a built system for ``topology`` will have —
+    channel heads plus the per-relay segment links.
+
+    Mirrors the naming scheme of :meth:`repro.lis.system.System`
+    (``connect``/``connect_source``/``connect_sink`` head names,
+    ``.seg{k}`` from :func:`repro.lis.relay_station.segment_channel`),
+    which is what lets stall plans address links of a system that does
+    not exist yet.
+    """
+    names: list[str] = []
+
+    def add(base: str, latency: int) -> None:
+        names.append(base)
+        names.extend(f"{base}.seg{k}" for k in range(1, latency))
+
+    for ch in topology.channels:
+        add(
+            f"{ch.producer}.{ch.out_port}->{ch.consumer}.{ch.in_port}",
+            ch.latency,
+        )
+    for src in topology.sources:
+        add(f"{src.name}->{src.consumer}.{src.in_port}", src.latency)
+    for snk in topology.sinks:
+        add(f"{snk.producer}.{snk.out_port}->{snk.name}", snk.latency)
+    return tuple(names)
+
+
+def _dynamic_variant(
+    topology: SystemTopology, rng: random.Random, horizon: int
+) -> tuple:
+    """A seeded mid-run stall plan over the unchanged topology."""
+    from ..lis.stall import derive_stall_plan
+
+    return derive_stall_plan(
+        topology_link_names(topology), rng, horizon
+    )
+
+
 def derive_variants(
     topology: SystemTopology,
     k: int,
     seed: int = 0,
     floorplan: bool = False,
     max_latency: int = 8,
+    dynamic: bool = False,
+    horizon: int = 300,
 ) -> tuple[TopologyVariant, ...]:
     """Draw ``k`` latency-perturbed variants of ``topology``.
 
     Deterministic for a given ``(topology, k, seed, floorplan,
-    max_latency)``: perturbation kinds round-robin over ``resegment``
-    and ``pipeline`` (plus ``floorplan`` when requested), and each
-    variant gets its own sub-seeded generator, so variant ``i`` of a
-    ``k``-variant draw equals variant ``i`` of any larger draw.
+    dynamic, horizon, max_latency)``: perturbation kinds round-robin
+    over ``resegment`` and ``pipeline`` (plus ``floorplan`` when
+    requested; with ``dynamic`` the round-robin *starts* with a
+    ``dynamic`` stall-plan variant so even a 1-variant draw perturbs
+    dynamic latency), and each variant gets its own sub-seeded
+    generator, so variant ``i`` of a ``k``-variant draw equals
+    variant ``i`` of any larger draw with the same flags.
 
     Only connection latencies change — never schedules, wiring, reset
-    markings (feedback credits), jitter or backpressure patterns — so
-    the variants are exactly the "interconnect latency variations" the
-    LIS methodology promises cannot break functionality, and
+    markings (feedback credits), jitter or backpressure patterns; a
+    ``dynamic`` variant changes nothing structural at all and instead
+    carries mid-run link stalls drawn inside the first three quarters
+    of ``horizon`` simulated cycles.  Either way the variants are
+    exactly the "interconnect latency variations" the LIS methodology
+    promises cannot break functionality, and
     :mod:`repro.verify.perturb` may demand identical sink streams.
     """
     if k < 0:
         raise ValueError("variant count must be >= 0")
     if max_latency < 1:
         raise ValueError("max_latency must be >= 1")
-    kinds = PERTURB_KINDS if floorplan else PERTURB_KINDS[:2]
+    kinds = (
+        (("dynamic",) if dynamic else ())
+        + ("resegment", "pipeline")
+        + (("floorplan",) if floorplan else ())
+    )
     variants: list[TopologyVariant] = []
     for index in range(k):
         kind = kinds[index % len(kinds)]
         rng = random.Random((seed + 1) * 1_000_003 + index * 7919)
         period_ns: float | None = None
+        stalls: tuple = ()
         if kind == "resegment":
             perturbed = _resegment_variant(topology, rng, max_latency)
         elif kind == "pipeline":
             perturbed = _pipeline_variant(topology, rng, max_latency)
+        elif kind == "dynamic":
+            perturbed = topology
+            stalls = _dynamic_variant(topology, rng, horizon)
         else:
             perturbed, period_ns = _floorplan_variant(
                 topology, rng, max_latency
@@ -783,7 +848,7 @@ def derive_variants(
             perturbed, name=f"{topology.name}~{kind}{index}"
         )
         variants.append(
-            TopologyVariant(kind, index, perturbed, period_ns)
+            TopologyVariant(kind, index, perturbed, period_ns, stalls)
         )
     return tuple(variants)
 
@@ -851,23 +916,42 @@ def topology_to_dict(topology: SystemTopology) -> dict:
 
 
 def variant_to_dict(variant: TopologyVariant) -> dict:
-    """JSON-ready representation of one latency-perturbed variant."""
-    return {
+    """JSON-ready representation of one latency-perturbed variant.
+
+    Dynamic variants additionally carry a ``stalls`` list (their
+    mid-run stall plan); static variants omit the key.
+    """
+    data = {
         "kind": variant.kind,
         "index": variant.index,
         "clock_period_ns": variant.clock_period_ns,
         "topology": topology_to_dict(variant.topology),
     }
+    if variant.stalls:
+        from ..lis.stall import stall_to_dict
+
+        data["stalls"] = [
+            stall_to_dict(stall) for stall in variant.stalls
+        ]
+    return data
 
 
 def variant_from_dict(data: dict) -> TopologyVariant:
     """Inverse of :func:`variant_to_dict`."""
     period = data.get("clock_period_ns")
+    stalls: tuple = ()
+    if data.get("stalls"):
+        from ..lis.stall import stall_from_dict
+
+        stalls = tuple(
+            stall_from_dict(stall) for stall in data["stalls"]
+        )
     return TopologyVariant(
         kind=str(data["kind"]),
         index=int(data["index"]),
         topology=topology_from_dict(data["topology"]),
         clock_period_ns=None if period is None else float(period),
+        stalls=stalls,
     )
 
 

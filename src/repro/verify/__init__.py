@@ -30,17 +30,35 @@ held to the same stream/trace/throughput checks.  Random-traffic
 batches still exclude it: jitter violates its environment hypothesis
 by design.
 
+The package is organized around two seams:
+
+* the **style registry** (:mod:`repro.verify.styles`) — one
+  :class:`StyleSpec` per wrapper style carrying its shell builder,
+  traffic eligibility, cycle-exact reference and engine needs; every
+  style set, cycle-exact pair, and ``repro verify --list-styles`` row
+  derives from it;
+* the **oracle pipeline** (:mod:`repro.verify.oracles`) — independent
+  :class:`Oracle` objects (exception, stream-prefix, cycle-exact,
+  relay-occupancy, analytic-bounds, perturbation) that consume
+  :class:`StyleRun` maps and emit :class:`Divergence` records;
+  :func:`run_case` is a registry fold (``run_styles``) followed by a
+  pipeline fold (``run_pipeline``).
+
 The **metamorphic latency-perturbation oracle**
 (:mod:`repro.verify.perturb`, ``repro verify --perturb K``) finally
 tests the methodology's own headline claim: for every case it derives
 K latency-perturbed variants of the topology
 (:func:`repro.sched.generate.derive_variants` — re-segmented channels,
 extra feed-forward pipelining, optional floorplan-driven replanning
-via :func:`repro.lis.floorplan.plan_channels`) and demands that sink
+via :func:`repro.lis.floorplan.plan_channels`, and with
+``--perturb-dynamic`` *dynamic* variants that inject seeded mid-run
+relay/link stalls via :mod:`repro.lis.stall`) and demands that sink
 streams stay token-identical to the base on the common prefix, that
 each variant respects *its own* marked-graph throughput bound, and
 that no relay station ever exceeds its capacity-2 occupancy
-invariant.
+invariant.  With ``--perturb-styles all`` every variant runs under
+every style the case exercises — RTL-in-the-loop styles included —
+with per-variant cycle-exact checks on top.
 
 Failing cases are shrunk to minimal reproducers
 (:func:`repro.verify.shrink_case`) and reported with their topology as
@@ -54,13 +72,24 @@ or exported as JSON for CI trend tracking (``repro coverage-diff``
 compares two such artifacts and fails on shrinking support).
 """
 
-from .cases import (
+from .styles import (
     ALL_STYLES,
     BEHAVIOURAL_STYLES,
+    CYCLE_EXACT_PAIRS,
     DEFAULT_STYLES,
     REGULAR_STYLES,
     RTL_STYLES,
     SHIFTREG_STYLES,
+    StyleSpec,
+    cycle_exact_pairs,
+    format_style_registry,
+    get_style,
+    register_style,
+    registered_styles,
+    style_specs,
+    styles_for_traffic,
+)
+from .cases import (
     CaseOutcome,
     Divergence,
     MixPearl,
@@ -68,9 +97,20 @@ from .cases import (
     VerifyCase,
     build_system,
     run_case,
+    run_styles,
     simulate_topology,
-    styles_for_traffic,
     topology_marked_graph,
+)
+from .oracles import (
+    AnalyticBoundsOracle,
+    CycleExactOracle,
+    ExceptionOracle,
+    Oracle,
+    RelayOccupancyOracle,
+    StreamPrefixOracle,
+    default_pipeline,
+    run_pipeline,
+    throughput_slack,
     uniform_loop_bounds,
 )
 from .coverage import (
@@ -80,8 +120,11 @@ from .coverage import (
     topology_features,
 )
 from .perturb import (
+    PERTURB_STYLE_MODES,
+    PerturbationOracle,
     case_variants,
     check_perturbations,
+    perturb_style_set,
     run_variant,
 )
 from .regular import (
@@ -94,34 +137,55 @@ from .shrink import shrink_case
 
 __all__ = [
     "ALL_STYLES",
+    "AnalyticBoundsOracle",
     "BEHAVIOURAL_STYLES",
     "BatchConfig",
     "BatchReport",
     "BatchRunner",
+    "CYCLE_EXACT_PAIRS",
     "CaseOutcome",
     "CoverageDiff",
     "CoverageReport",
+    "CycleExactOracle",
     "DEFAULT_STYLES",
     "Divergence",
+    "ExceptionOracle",
     "MixPearl",
+    "Oracle",
+    "PERTURB_STYLE_MODES",
+    "PerturbationOracle",
     "REGULAR_STYLES",
     "RTL_STYLES",
+    "RelayOccupancyOracle",
     "SHIFTREG_STYLES",
     "StaticActivation",
+    "StreamPrefixOracle",
     "StyleRun",
+    "StyleSpec",
     "VerifyCase",
     "build_system",
     "case_variants",
     "check_perturbations",
+    "cycle_exact_pairs",
+    "default_pipeline",
     "diff_coverage",
+    "format_style_registry",
+    "get_style",
     "make_cases",
+    "perturb_style_set",
     "plan_static_activation",
     "plan_topology_activations",
+    "register_style",
+    "registered_styles",
     "run_case",
+    "run_pipeline",
+    "run_styles",
     "run_variant",
     "shrink_case",
     "simulate_topology",
+    "style_specs",
     "styles_for_traffic",
+    "throughput_slack",
     "topology_features",
     "topology_marked_graph",
     "uniform_loop_bounds",

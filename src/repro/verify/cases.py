@@ -4,6 +4,14 @@ A *case* is pure data — a :class:`~repro.sched.generate.SystemTopology`
 plus run parameters — and :func:`run_case` is a pure function of it, so
 cases can be shipped to worker processes and replayed bit-identically.
 
+This module owns the case data types and the simulation machinery:
+wrapper styles come from the registry (:mod:`repro.verify.styles`, one
+:class:`~repro.verify.styles.StyleSpec` per style) and the checks from
+the oracle pipeline (:mod:`repro.verify.oracles`), so :func:`run_case`
+is just ``run_styles`` (a registry fold over the case's style list)
+followed by ``run_pipeline`` (an oracle fold over the resulting runs).
+Adding a wrapper style or an invariant never touches this file.
+
 Every process is paired with a :class:`MixPearl`, a deterministic
 token-mixing pearl whose outputs hash everything it has consumed so
 far; any token that is lost, duplicated, reordered or fabricated
@@ -20,65 +28,50 @@ cycle-exact trace checks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from fractions import Fraction
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
-from ..core.compiler import CompilerOptions, compile_schedule
-from ..core.equivalence import RTLShell
-from ..core.rtlgen import (
-    generate_fsm_wrapper,
-    generate_shiftreg_wrapper,
-    generate_sp_wrapper,
-)
-from ..core.wrappers import (
-    CombinationalWrapper,
-    FSMWrapper,
-    ShiftRegisterWrapper,
-    SPWrapper,
-)
 from ..lis.pearl import Pearl
-from ..lis.relay_station import RELAY_CAPACITY
 from ..lis.shell import Shell
 from ..lis.simulator import Simulation
+from ..lis.stall import LinkStall, apply_stall_plan
 from ..lis.stream import Sink
 from ..lis.system import System
 from ..lis.throughput import MarkedGraph
 from ..sched.generate import SystemTopology, TopologyVariant
 from .regular import StaticActivation, plan_topology_activations
-
-BEHAVIOURAL_STYLES = ("fsm", "sp", "combinational")
-RTL_STYLES = ("rtl-sp", "rtl-fsm")
-DEFAULT_STYLES = BEHAVIOURAL_STYLES + RTL_STYLES
-
-#: Shift-register wrapper styles: behavioural and RTL-in-the-loop.
-#: Their static activation is planned from the FSM reference run
-#: (:mod:`repro.verify.regular`), so they only join the oracle for
-#: regular-traffic cases where that plan is the paper's periodic ring.
-SHIFTREG_STYLES = ("shiftreg", "rtl-shiftreg")
-
-#: Style set for regular-traffic cases: every random-traffic style
-#: plus both shift-register styles.
-REGULAR_STYLES = DEFAULT_STYLES + SHIFTREG_STYLES
-
-#: Every style the oracle knows; regular traffic exercises them all.
-ALL_STYLES = REGULAR_STYLES
-
-#: (reference style, checked style) pairs that implement the *same*
-#: firing policy and must therefore match cycle-for-cycle.  The
-#: shift-register styles replay the FSM reference schedule, so their
-#: enable traces must equal the FSM's wherever both run.
-CYCLE_EXACT_PAIRS = (
-    ("sp", "rtl-sp"),
-    ("fsm", "rtl-fsm"),
-    ("fsm", "shiftreg"),
-    ("shiftreg", "rtl-shiftreg"),
+from .styles import (
+    ALL_STYLES,
+    BEHAVIOURAL_STYLES,
+    CYCLE_EXACT_PAIRS,
+    DEFAULT_STYLES,
+    REGULAR_STYLES,
+    RTL_STYLES,
+    SHIFTREG_STYLES,
+    get_style,
+    styles_for_traffic,
 )
 
-
-def styles_for_traffic(traffic: str) -> tuple[str, ...]:
-    """The default style set for a traffic regime: regular traffic
-    additionally exercises both shift-register styles."""
-    return REGULAR_STYLES if traffic == "regular" else DEFAULT_STYLES
+__all__ = [
+    "ALL_STYLES",
+    "BEHAVIOURAL_STYLES",
+    "CYCLE_EXACT_PAIRS",
+    "CaseOutcome",
+    "DEFAULT_STYLES",
+    "Divergence",
+    "MixPearl",
+    "REGULAR_STYLES",
+    "RTL_STYLES",
+    "SHIFTREG_STYLES",
+    "StyleRun",
+    "VerifyCase",
+    "build_system",
+    "relay_peak_occupancy",
+    "run_case",
+    "run_styles",
+    "simulate_topology",
+    "styles_for_traffic",
+    "topology_marked_graph",
+]
 
 _MIX = 0x9E3779B9
 _MASK = 0xFFFFFFFF
@@ -130,65 +123,6 @@ def _credit_tokens(seed: int, channel_index: int, count: int) -> list[int]:
     return [(base + k) & _MASK for k in range(count)]
 
 
-def _make_shell(
-    style: str,
-    node,
-    port_depth: int,
-    engine: str | None = None,
-    activation: StaticActivation | None = None,
-) -> Shell:
-    pearl = MixPearl(node.name, node.schedule)
-    if style == "fsm":
-        return FSMWrapper(pearl, port_depth)
-    if style == "sp":
-        return SPWrapper(pearl, port_depth)
-    if style == "combinational":
-        return CombinationalWrapper(pearl, port_depth)
-    if style in SHIFTREG_STYLES:
-        if activation is None:
-            raise ValueError(
-                f"style {style!r} needs a planned static activation; "
-                "compute one with "
-                "repro.verify.regular.plan_topology_activations"
-            )
-        if style == "shiftreg":
-            return ShiftRegisterWrapper(
-                pearl,
-                port_depth,
-                pattern=list(activation.pattern),
-                prefix=activation.prefix,
-            )
-        module = generate_shiftreg_wrapper(
-            node.schedule,
-            activation=activation.pattern,
-            name=f"sr_{node.name}",
-            prefix=activation.prefix,
-        )
-        return RTLShell(pearl, module, port_depth=port_depth,
-                        engine=engine)
-    if style == "rtl-sp":
-        # fuse=False keeps op.point_index aligned with the pearl's own
-        # schedule, exactly as the behavioural SPWrapper compiles it.
-        program = compile_schedule(
-            node.schedule, CompilerOptions(fuse=False)
-        )
-        module = generate_sp_wrapper(
-            program, name=f"sp_{node.name}", schedule=node.schedule
-        )
-        return RTLShell(pearl, module, program=program,
-                        port_depth=port_depth, engine=engine)
-    if style == "rtl-fsm":
-        module = generate_fsm_wrapper(
-            node.schedule, name=f"fsm_{node.name}"
-        )
-        return RTLShell(pearl, module, port_depth=port_depth,
-                        engine=engine)
-    raise ValueError(
-        f"unknown verify style {style!r}; choose from "
-        f"{sorted(ALL_STYLES)}"
-    )
-
-
 def build_system(
     topology: SystemTopology,
     style: str,
@@ -199,21 +133,24 @@ def build_system(
     """Instantiate ``topology`` with wrappers of ``style``.
 
     Returns (system, shells by process name, sinks by sink name).
-    With ``trace=True`` every shell records its per-cycle enable trace.
-    ``engine`` selects the RTL simulation backend for the RTL-in-the-
-    loop styles (behavioural styles ignore it).  The shift-register
-    styles (``shiftreg`` / ``rtl-shiftreg``) additionally need
-    ``activations`` — per-process static activation plans from
-    :func:`repro.verify.regular.plan_topology_activations`.
+    ``style`` resolves through the registry
+    (:func:`repro.verify.styles.get_style`); unknown names raise
+    :class:`ValueError`.  With ``trace=True`` every shell records its
+    per-cycle enable trace.  ``engine`` selects the RTL simulation
+    backend for the RTL-in-the-loop styles (behavioural styles ignore
+    it).  The shift-register styles (``shiftreg`` / ``rtl-shiftreg``)
+    additionally need ``activations`` — per-process static activation
+    plans from :func:`repro.verify.regular.plan_topology_activations`.
     """
+    spec = get_style(style)
     system = System(f"{topology.name}:{style}")
     shells: dict[str, Shell] = {}
     for node in topology.processes:
-        shell = _make_shell(
-            style,
+        shell = spec.build(
+            MixPearl(node.name, node.schedule),
             node,
             topology.port_depth,
-            engine,
+            engine=engine,
             activation=(
                 None if activations is None
                 else activations.get(node.name)
@@ -292,6 +229,13 @@ class VerifyCase:
     # the case seed) and demand identical sink streams.
     perturb: int = 0
     perturb_floorplan: bool = False
+    # Run perturbation variants under the reference style only
+    # ("reference") or under every style of the case ("all",
+    # including the RTL-in-the-loop styles).
+    perturb_styles: str = "reference"
+    # Add dynamic-latency variants: mid-run link/relay stall plans
+    # (repro.lis.stall) over the unchanged topology.
+    perturb_dynamic: bool = False
     # Explicit variant set; overrides derivation when not None (the
     # shrinker pins derived variants here to minimize the failing set,
     # and reproducer JSON carries them verbatim).
@@ -305,9 +249,11 @@ class Divergence:
     ``check`` is one of ``exception``, ``streams``, ``trace``,
     ``analytic``, ``relay``, or — from the metamorphic latency-
     perturbation oracle (:mod:`repro.verify.perturb`) —
-    ``perturb-streams``, ``perturb-throughput``, ``perturb-relay``;
-    for perturbation checks ``style`` carries the variant label
-    (``resegment0``, ``pipeline1``, ``floorplan2``, …).
+    ``perturb-streams``, ``perturb-throughput``, ``perturb-relay``,
+    ``perturb-trace``; for perturbation checks ``style`` carries the
+    variant label (``resegment0``, ``pipeline1``, ``dynamic2``, …),
+    suffixed with ``/style`` when variants run under every style
+    (``--perturb-styles all``).
     """
 
     check: str
@@ -371,15 +317,19 @@ def simulate_topology(
     engine: str | None = None,
     trace: bool = False,
     activations: Mapping[str, StaticActivation] | None = None,
+    stalls: Sequence[LinkStall] = (),
 ) -> StyleRun:
     """Simulate ``topology`` under one style and harvest everything
     the oracle checks; a crash becomes an ``error`` record, never an
-    exception."""
+    exception.  ``stalls`` is an optional mid-run stall plan
+    (:mod:`repro.lis.stall`) applied once the system is wired."""
     try:
         system, shells, sinks = build_system(
             topology, style, trace=trace, engine=engine,
             activations=activations,
         )
+        if stalls:
+            apply_stall_plan(system, stalls)
         result = Simulation(system).run(
             cycles, deadlock_window=deadlock_window
         )
@@ -407,259 +357,98 @@ def simulate_topology(
     )
 
 
-def _run_style(
-    case: VerifyCase,
-    style: str,
-    activations: Mapping[str, StaticActivation] | None = None,
-) -> StyleRun:
-    return simulate_topology(
-        case.topology,
-        style,
-        case.cycles,
-        case.deadlock_window,
-        engine=case.engine,
-        trace=True,
-        activations=activations,
-    )
-
-
-def compare_stream_prefixes(
-    check: str,
-    ref_label: str,
-    label: str,
-    ref_streams: Mapping[str, list[Any]],
-    streams: Mapping[str, list[Any]],
-    outcome: CaseOutcome,
-) -> None:
-    """One cross-run stream comparison: every reference sink's stream
-    must match on the common prefix (``label`` fills the divergence's
-    style slot)."""
-    for sink_name, ref_stream in ref_streams.items():
-        other = streams.get(sink_name, [])
-        outcome.checks += 1
-        common = min(len(ref_stream), len(other))
-        for pos in range(common):
-            if ref_stream[pos] != other[pos]:
-                outcome.divergences.append(
-                    Divergence(
-                        check,
-                        label,
-                        sink_name,
-                        f"token {pos}: {ref_label}="
-                        f"{ref_stream[pos]!r} vs {label}="
-                        f"{other[pos]!r}",
-                    )
-                )
-                break
-
-
-def _check_stream_prefixes(
-    runs: dict[str, StyleRun],
-    reference: str,
-    outcome: CaseOutcome,
-) -> None:
-    ref = runs[reference]
-    for style, run in runs.items():
-        if style == reference or run.error is not None:
-            continue
-        compare_stream_prefixes(
-            "streams", reference, style, ref.streams, run.streams,
-            outcome,
-        )
-
-
-def _check_cycle_exact_pairs(
-    runs: dict[str, StyleRun],
-    outcome: CaseOutcome,
-) -> None:
-    for reference, checked in CYCLE_EXACT_PAIRS:
-        if reference not in runs or checked not in runs:
-            continue
-        a, b = runs[reference], runs[checked]
-        if a.error is not None or b.error is not None:
-            continue
-        outcome.checks += 1
-        if a.executed != b.executed:
-            outcome.divergences.append(
-                Divergence(
-                    "trace",
-                    checked,
-                    "*",
-                    f"{reference} ran {a.executed} cycles, "
-                    f"{checked} ran {b.executed}",
-                )
-            )
-            continue
-        for process, trace_a in a.traces.items():
-            trace_b = b.traces.get(process, [])
-            if trace_a != trace_b:
-                first = next(
-                    (
-                        i
-                        for i, (x, y) in enumerate(zip(trace_a, trace_b))
-                        if x != y
-                    ),
-                    min(len(trace_a), len(trace_b)),
-                )
-                outcome.divergences.append(
-                    Divergence(
-                        "trace",
-                        checked,
-                        process,
-                        f"enable traces diverge at cycle {first} "
-                        f"(vs reference {reference})",
-                    )
-                )
-
-
-def uniform_loop_bounds(
+def _plan_activations(
     topology: SystemTopology,
-    graph: MarkedGraph | None = None,
-) -> dict[str, Fraction]:
-    """Per-process period-rate upper bounds from the topology's own
-    marked-graph cycles (empty for feed-forward topologies).
-
-    Sound only in the uniform regime, where every process pops and
-    pushes each port exactly once per period, so the marked-graph
-    cycle ratio upper-bounds its period rate.  Pass ``graph`` when the
-    topology's marked graph is already built.
-    """
-    if graph is None:
-        graph = topology_marked_graph(topology)
-    metrics = graph.cycle_metrics()
-    bounds: dict[str, Fraction] = {}
-    for nodes, tokens, latency in metrics:
-        ratio = (
-            Fraction(0) if tokens == 0 else Fraction(tokens, latency)
-        )
-        for name in nodes:
-            previous = bounds.get(name)
-            if previous is None or ratio < previous:
-                bounds[name] = ratio
-    return bounds
-
-
-def throughput_slack(topology: SystemTopology) -> int:
-    """Additive slack on the loop bounds, covering tokens already
-    staged in FIFOs at the measurement boundary."""
-    return topology.port_depth * len(topology.processes) + 2
-
-
-def check_loop_bounds(
-    check: str,
-    label: str,
-    bounds: Mapping[str, Fraction],
-    slack: int,
-    run: StyleRun,
-    outcome: CaseOutcome,
-) -> None:
-    """One run's measured period counts against precomputed uniform
-    loop bounds (``label`` fills the divergence's style slot)."""
-    for process, bound in bounds.items():
-        outcome.checks += 1
-        periods = run.periods.get(process, 0)
-        if periods > bound * run.executed + slack:
-            outcome.divergences.append(
-                Divergence(
-                    check,
-                    label,
-                    process,
-                    f"{periods} periods in {run.executed} cycles "
-                    f"exceeds loop bound {bound} (+{slack} slack)",
-                )
-            )
-
-
-def check_relay_peak(
-    check: str,
-    label: str,
-    run: StyleRun,
-    outcome: CaseOutcome,
-) -> None:
-    """The relay-station capacity invariant (occupancy <= 2) against
-    one run's telemetry."""
-    if run.relay_peak is None:
-        return
-    outcome.checks += 1
-    station, depth = run.relay_peak
-    if depth > RELAY_CAPACITY:
-        outcome.divergences.append(
-            Divergence(
-                check,
-                label,
-                station,
-                f"occupancy reached {depth} "
-                f"(capacity {RELAY_CAPACITY})",
-            )
-        )
-
-
-def _check_analytic(
-    case: VerifyCase,
-    runs: dict[str, StyleRun],
-    outcome: CaseOutcome,
-) -> None:
-    graph = topology_marked_graph(case.topology)
-    enumerated = graph.throughput_enumerated()
-    parametric = graph.throughput_parametric()
-    outcome.checks += 1
-    if abs(enumerated - parametric) > Fraction(1, 10**6):
-        outcome.divergences.append(
-            Divergence(
-                "analytic",
-                "",
-                "throughput",
-                f"enumerated {enumerated} != parametric "
-                f"{float(parametric):.9f}",
-            )
-        )
-
-    if not case.topology.uniform:
-        return
-    bounds = uniform_loop_bounds(case.topology, graph)
-    if not bounds:
-        return
-    slack = throughput_slack(case.topology)
-    for style, run in runs.items():
-        if run.error is not None:
-            continue
-        check_loop_bounds(
-            "analytic", style, bounds, slack, run, outcome
-        )
-
-
-def _check_relay_occupancy(
-    runs: dict[str, StyleRun],
-    outcome: CaseOutcome,
-) -> None:
-    """The relay-station capacity invariant, harvested from every
-    style run's telemetry."""
-    for style, run in runs.items():
-        if run.error is not None:
-            continue
-        check_relay_peak("relay", style, run, outcome)
-
-
-def _case_activations(
-    case: VerifyCase, runs: dict[str, StyleRun]
+    cycles: int,
+    deadlock_window: int | None,
+    runs: Mapping[str, StyleRun],
+    engine: str | None = None,
+    stalls: Sequence[LinkStall] = (),
 ) -> dict[str, StaticActivation]:
-    """Static activation plans for a case's shift-register styles,
-    reusing the FSM reference run when it already happened."""
+    """Static activation plans for a topology's shift-register styles,
+    reusing the FSM reference run when it already happened (otherwise
+    the reference simulation — same stalls applied — runs here)."""
     fsm = runs.get("fsm")
-    if fsm is not None and fsm.error is None:
-        return plan_topology_activations(
-            case.topology,
-            case.cycles,
-            case.deadlock_window,
-            reference_traces=fsm.traces,
+    if fsm is not None and fsm.error is None and fsm.traces:
+        traces: Mapping[str, Sequence[bool]] = fsm.traces
+    else:
+        reference = simulate_topology(
+            topology, "fsm", cycles, deadlock_window, engine=engine,
+            trace=True, stalls=stalls,
         )
+        if reference.error is not None:
+            raise RuntimeError(
+                f"FSM reference run failed: {reference.error}"
+            )
+        traces = reference.traces
     return plan_topology_activations(
-        case.topology, case.cycles, case.deadlock_window
+        topology, cycles, deadlock_window, reference_traces=traces
     )
+
+
+def run_styles(
+    topology: SystemTopology,
+    styles: Sequence[str],
+    cycles: int,
+    deadlock_window: int | None = 64,
+    engine: str | None = None,
+    stalls: Sequence[LinkStall] = (),
+    trace: bool = True,
+) -> dict[str, StyleRun]:
+    """Simulate ``topology`` once per style, in order — the registry
+    fold the oracle pipeline consumes.
+
+    Styles that need a planned static activation (the registry's
+    ``needs_activation`` flag) trigger one per-topology planning pass,
+    reusing the FSM run when it already happened; a planning failure
+    becomes each dependent style's ``error`` record.  Unknown style
+    names become error records too (a finding for the oracles, never
+    a crash).
+    """
+    runs: dict[str, StyleRun] = {}
+    activations: dict[str, StaticActivation] | None = None
+    planning_error: str | None = None
+    for style in styles:
+        try:
+            needs_activation = get_style(style).needs_activation
+        except ValueError:
+            needs_activation = False  # simulate_topology records it
+        if needs_activation and activations is None:
+            if planning_error is None:
+                try:
+                    activations = _plan_activations(
+                        topology, cycles, deadlock_window, runs,
+                        engine=engine, stalls=stalls,
+                    )
+                except Exception as exc:
+                    planning_error = (
+                        "static activation planning failed: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+            if planning_error is not None:
+                # Planning is per-topology, not per-style: don't retry
+                # it for the second shift-register style.
+                runs[style] = StyleRun(
+                    streams={}, traces={}, periods={}, executed=0,
+                    error=planning_error,
+                )
+                continue
+        runs[style] = simulate_topology(
+            topology,
+            style,
+            cycles,
+            deadlock_window,
+            engine=engine,
+            trace=trace,
+            activations=activations,
+            stalls=stalls,
+        )
+    return runs
 
 
 def run_case(case: VerifyCase) -> CaseOutcome:
-    """Execute every style of one case and cross-check the results.
+    """Execute every style of one case and fold the oracle pipeline
+    over the results.
 
     Styles run in the order given; the shift-register styles derive
     their static activation plan from the FSM reference run (rerunning
@@ -667,42 +456,24 @@ def run_case(case: VerifyCase) -> CaseOutcome:
     includes them simulates the topology once more than its style
     count suggests only in that fallback.
     """
+    # Imported lazily: the oracle pipeline consumes this module's
+    # data types.
+    from .oracles import run_pipeline
+
     outcome = CaseOutcome(
         index=case.index,
         seed=case.seed,
         topology_stats=case.topology.stats(),
     )
-    runs: dict[str, StyleRun] = {}
-    activations: dict[str, StaticActivation] | None = None
-    planning_error: str | None = None
-    for style in case.styles:
-        if style in SHIFTREG_STYLES and activations is None:
-            if planning_error is None:
-                try:
-                    activations = _case_activations(case, runs)
-                except Exception as exc:
-                    planning_error = (
-                        "static activation planning failed: "
-                        f"{type(exc).__name__}: {exc}"
-                    )
-            if planning_error is not None:
-                # Planning is per-case, not per-style: don't retry it
-                # for the second shift-register style.
-                runs[style] = StyleRun(
-                    streams={}, traces={}, periods={}, executed=0,
-                    error=planning_error,
-                )
-                outcome.cycles_executed[style] = 0
-                outcome.divergences.append(
-                    Divergence("exception", style, "*", planning_error)
-                )
-                continue
-        run = runs[style] = _run_style(case, style, activations)
+    runs = run_styles(
+        case.topology,
+        case.styles,
+        case.cycles,
+        case.deadlock_window,
+        engine=case.engine,
+    )
+    for style, run in runs.items():
         outcome.cycles_executed[style] = run.executed
-        if run.error is not None:
-            outcome.divergences.append(
-                Divergence("exception", style, "*", run.error)
-            )
     reference = next(
         (s for s in case.styles if runs[s].error is None), None
     )
@@ -710,13 +481,5 @@ def run_case(case: VerifyCase) -> CaseOutcome:
         outcome.sink_tokens = sum(
             len(stream) for stream in runs[reference].streams.values()
         )
-        _check_stream_prefixes(runs, reference, outcome)
-        _check_cycle_exact_pairs(runs, outcome)
-    _check_relay_occupancy(runs, outcome)
-    _check_analytic(case, runs, outcome)
-    if case.perturb or case.variants:
-        # Imported lazily: perturb builds on this module's machinery.
-        from .perturb import check_perturbations
-
-        check_perturbations(case, runs, outcome)
+    run_pipeline(case, runs, outcome)
     return outcome

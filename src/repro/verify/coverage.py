@@ -12,11 +12,14 @@ across pushes to see coverage drift).
 
 Everything here is computed from the :class:`~repro.sched.generate.
 SystemTopology` descriptions alone, before any simulation happens, so
-the report is deterministic for a given ``(seed, cases, profile,
-traffic, perturb)`` tuple.  Batches with latency perturbation
+the report is deterministic for a given batch configuration — the
+``(seed, cases, profile, traffic)`` tuple plus, for perturbed
+batches, the perturbation settings and ``cycles`` (dynamic stall
+plans are drawn inside the case's cycle horizon).  Batches with latency perturbation
 (:mod:`repro.verify.perturb`) additionally report the perturbation
-axes: variants per case, perturbation kinds, and the latency spread
-the variants actually explored.
+axes: variants per case, perturbation kinds, the latency spread the
+variants actually explored, and — for dynamic variants — the stall
+events each mid-run stall plan injects.
 
 :func:`diff_coverage` compares two coverage documents — typically two
 CI artifacts from consecutive pushes — and flags *shrinking histogram
@@ -53,6 +56,7 @@ METRICS = (
     "perturb_variants",
     "perturb_kinds",
     "perturb_max_latency",
+    "perturb_stall_events",
 )
 
 _BAR_WIDTH = 24
@@ -144,6 +148,13 @@ class CoverageReport:
                     "perturb_max_latency",
                     topology_features(variant.topology)["max_latency"],
                 )
+                if variant.stalls:
+                    # Dynamic variants: how many mid-run stall events
+                    # each plan injects (absent in non-dynamic batches,
+                    # keeping their JSON byte-identical).
+                    self._bump(
+                        "perturb_stall_events", len(variant.stalls)
+                    )
 
     @classmethod
     def from_cases(cls, cases: Iterable) -> "CoverageReport":

@@ -11,11 +11,14 @@ through.
 This module closes that hole metamorphically.  For a case with
 ``perturb = K``, :func:`repro.sched.generate.derive_variants` draws K
 latency-perturbed siblings of the base topology — re-segmented
-channels, extra pipelining on feed-forward edges, and (on request)
-floorplan-driven variants where
-:func:`repro.lis.floorplan.plan_channels` at a drawn target clock
-dictates each channel's relay count.  Every variant is simulated under
-the case's reference style and held to three checks:
+channels, extra pipelining on feed-forward edges, floorplan-driven
+variants (:func:`repro.lis.floorplan.plan_channels` at a drawn target
+clock), and — with ``perturb_dynamic`` — *dynamic* variants that keep
+the topology untouched and instead inject seeded mid-run relay/link
+stalls (:mod:`repro.lis.stall`).  Every variant is simulated under the
+case's reference style — or, with ``perturb_styles = "all"``, under
+**every** style the case exercises, RTL-in-the-loop ones included —
+and held to these checks:
 
 * **stream invariance** — each sink's token stream must equal the
   base run's on the common prefix: latencies may change *when* tokens
@@ -23,44 +26,60 @@ the case's reference style and held to three checks:
   determinism is exactly what the wrappers are supposed to preserve);
 * **per-variant throughput** — each variant's measured period rates
   must respect the marked-graph cycle bounds of *its own* re-segmented
-  graph (:func:`repro.verify.cases.uniform_loop_bounds`), not the
+  graph (:func:`repro.verify.oracles.uniform_loop_bounds`), not the
   base's: deeper loops must actually slow down accordingly;
 * **relay occupancy** — no relay station anywhere in the variant may
   ever hold more than :data:`~repro.lis.relay_station.RELAY_CAPACITY`
-  tokens (harvested from the stations' telemetry).
+  tokens (harvested from the stations' telemetry);
+* **cycle exactness** (``"all"`` mode only) — the registry's
+  cycle-exact style pairs must still agree trace-for-trace *inside*
+  every variant.
 
 Failures surface as :class:`~repro.verify.cases.Divergence` records
 with check kinds ``perturb-streams`` / ``perturb-throughput`` /
-``perturb-relay`` and the variant label (``resegment0``,
-``pipeline1``, ``floorplan2``, …) in the style slot; the shrinker
+``perturb-relay`` / ``perturb-trace`` and the variant label
+(``resegment0``, ``pipeline1``, ``dynamic2``, …) in the style slot —
+suffixed ``/style`` when variants run under every style; the shrinker
 (:func:`repro.verify.shrink.shrink_case`) then reduces a failing
-perturbation to the minimal base-plus-variant pair.
+perturbation to the minimal base-plus-variant pair, minimizing the
+variant's stall plan too.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Mapping
 
 from ..sched.generate import SystemTopology, TopologyVariant, derive_variants
 from .cases import (
-    SHIFTREG_STYLES,
     CaseOutcome,
     Divergence,
     StyleRun,
     VerifyCase,
+    run_styles,
+    simulate_topology,
+)
+from .oracles import (
+    Oracle,
+    check_cycle_exact,
     check_loop_bounds,
     check_relay_peak,
     compare_stream_prefixes,
-    simulate_topology,
     throughput_slack,
     uniform_loop_bounds,
 )
+from .styles import SHIFTREG_STYLES, cycle_exact_pairs
+
+#: Valid values of ``VerifyCase.perturb_styles`` /
+#: ``BatchConfig.perturb_styles`` / ``--perturb-styles``.
+PERTURB_STYLE_MODES = ("reference", "all")
 
 
 def case_variants(case: VerifyCase) -> tuple[TopologyVariant, ...]:
     """The effective variant set of a case: the pinned ``variants``
     when present (shrunk cases, replayed reproducers), else ``perturb``
-    freshly derived variants seeded by the case seed."""
+    freshly derived variants seeded by the case seed (with dynamic
+    stall plans drawn inside the case's cycle horizon when
+    ``perturb_dynamic`` is set)."""
     if case.variants is not None:
         return case.variants
     if case.perturb <= 0:
@@ -70,14 +89,16 @@ def case_variants(case: VerifyCase) -> tuple[TopologyVariant, ...]:
         case.perturb,
         seed=case.seed,
         floorplan=case.perturb_floorplan,
+        dynamic=case.perturb_dynamic,
+        horizon=case.cycles,
     )
 
 
 def reference_style(styles: tuple[str, ...]) -> str:
-    """The style variants run under: ``fsm`` when the case exercises
-    it, else the first non-shift-register style (shift-register styles
-    need a per-topology activation plan, which a perturbed sibling
-    invalidates)."""
+    """The style variants run under in ``"reference"`` mode: ``fsm``
+    when the case exercises it, else the first non-shift-register
+    style (shift-register styles need a per-topology activation plan,
+    which a perturbed sibling invalidates)."""
     if "fsm" in styles:
         return "fsm"
     for style in styles:
@@ -86,17 +107,39 @@ def reference_style(styles: tuple[str, ...]) -> str:
     return "fsm"
 
 
+def perturb_style_set(case: VerifyCase) -> tuple[str, ...]:
+    """The styles every variant of ``case`` runs under.
+
+    ``"reference"`` pins the single reference style;  ``"all"`` runs
+    the case's full style list (duplicates removed, order kept) —
+    shift-register styles included: their static activation re-plans
+    from the *variant's* own FSM run, so the replay stays exact even
+    under perturbed latencies or injected stalls.
+    """
+    if case.perturb_styles not in PERTURB_STYLE_MODES:
+        raise ValueError(
+            f"unknown perturb-styles mode {case.perturb_styles!r}; "
+            f"choose from {PERTURB_STYLE_MODES}"
+        )
+    if case.perturb_styles == "all":
+        return tuple(dict.fromkeys(case.styles))
+    return (reference_style(case.styles),)
+
+
 def run_variant(
     topology: SystemTopology,
     style: str,
     cycles: int,
     deadlock_window: int | None = 64,
     engine: str | None = None,
+    stalls=(),
 ) -> StyleRun:
-    """Simulate one variant topology under ``style`` and harvest the
-    oracle's inputs (sink streams, period counts, relay telemetry)."""
+    """Simulate one variant topology under ``style`` (with its stall
+    plan, if any) and harvest the oracle's inputs (sink streams,
+    period counts, relay telemetry)."""
     return simulate_topology(
-        topology, style, cycles, deadlock_window, engine=engine
+        topology, style, cycles, deadlock_window, engine=engine,
+        stalls=stalls,
     )
 
 
@@ -129,48 +172,53 @@ def _check_variant_progress(
     return False
 
 
-def _check_variant_throughput(
-    label: str,
+def _variant_bounds(
     topology: SystemTopology,
-    run: StyleRun,
-    outcome: CaseOutcome,
-) -> None:
+) -> tuple[dict, int]:
+    """The variant's own uniform loop bounds and slack, computed once
+    per variant (empty bounds outside the uniform regime or without
+    marked-graph cycles)."""
     if not topology.uniform:
-        return
+        return {}, 0
     bounds = uniform_loop_bounds(topology)
     if not bounds:
-        return
-    check_loop_bounds(
-        "perturb-throughput",
-        label,
-        bounds,
-        throughput_slack(topology),
-        run,
-        outcome,
-    )
+        return {}, 0
+    return bounds, throughput_slack(topology)
 
 
 def check_perturbations(
     case: VerifyCase,
-    runs: dict[str, Any],
+    runs: Mapping[str, StyleRun],
     outcome: CaseOutcome,
 ) -> None:
     """Run every latency-perturbed variant of ``case`` and append any
     metamorphic divergences to ``outcome``.
 
-    ``runs`` is :func:`repro.verify.cases.run_case`'s per-style run
-    map; the variant streams are compared against the reference
-    style's base run (re-simulated only when the case never exercised
-    that style).  A reference style that already crashed in the style
-    loop skips the perturbation checks entirely — the case is failing
-    anyway, and re-running the deterministic crash would only duplicate
-    the divergence.
+    ``runs`` is the base per-style run map from
+    :func:`repro.verify.cases.run_styles`; the variant streams are
+    compared against the reference style's base run (re-simulated only
+    when the case never exercised that style).  A reference style that
+    already crashed in the style loop skips the perturbation checks
+    entirely — the case is failing anyway, and re-running the
+    deterministic crash would only duplicate the divergence.
     """
     variants = case_variants(case)
     if not variants:
         return
-    style = reference_style(case.styles)
-    base = runs.get(style)
+    all_mode = case.perturb_styles == "all"
+    # Styles whose base run already crashed are excluded: the crash is
+    # deterministic, the exception oracle reported it once, and re-
+    # running it per variant would only duplicate the divergence (and
+    # leave no base stream to judge progress against).
+    styles = tuple(
+        style
+        for style in perturb_style_set(case)
+        if style not in runs or runs[style].error is None
+    )
+    if not styles:
+        return
+    reference = reference_style(case.styles)
+    base = runs.get(reference)
     if base is not None:
         if base.error is not None:
             return
@@ -179,7 +227,7 @@ def check_perturbations(
         # The style loop never ran the reference style: measure a base.
         base_run = run_variant(
             case.topology,
-            style,
+            reference,
             case.cycles,
             case.deadlock_window,
             case.engine,
@@ -188,7 +236,7 @@ def check_perturbations(
             outcome.divergences.append(
                 Divergence(
                     "exception",
-                    style,
+                    reference,
                     "*",
                     f"perturbation base run failed: {base_run.error}",
                 )
@@ -198,32 +246,81 @@ def check_perturbations(
     base_tokens = sum(
         len(stream) for stream in base_streams.values()
     )
+    # Progress is judged per style against that style's own base run:
+    # a policy that already stalls on the unperturbed topology (the
+    # all-ports-ready combinational wrapper has strictly harsher
+    # liveness requirements) must not fail the vacuity guard for
+    # stalling under a variant too.
+    base_progress = {}
+    for style in styles:
+        style_base = runs.get(style)
+        if style_base is not None and style_base.error is None:
+            base_progress[style] = sum(
+                len(stream)
+                for stream in style_base.streams.values()
+            )
+        else:
+            base_progress[style] = base_tokens
+    pairs = cycle_exact_pairs(styles) if all_mode else ()
     for variant in variants:
-        run = run_variant(
+        bounds, slack = _variant_bounds(variant.topology)
+        variant_runs = run_styles(
             variant.topology,
-            style,
+            styles,
             case.cycles,
             case.deadlock_window,
-            case.engine,
+            engine=case.engine,
+            stalls=variant.stalls,
+            # Traces are only consumed by the per-variant cycle-exact
+            # pairs of all-styles mode.
+            trace=all_mode,
         )
-        if run.error is not None:
-            outcome.divergences.append(
-                Divergence("exception", variant.label, "*", run.error)
+        for style in styles:
+            run = variant_runs[style]
+            label = (
+                f"{variant.label}/{style}"
+                if all_mode
+                else variant.label
             )
-            continue
-        if not _check_variant_progress(
-            variant.label, base_tokens, run, outcome
-        ):
-            continue
-        compare_stream_prefixes(
-            "perturb-streams",
-            "base",
-            variant.label,
-            base_streams,
-            run.streams,
-            outcome,
-        )
-        _check_variant_throughput(
-            variant.label, variant.topology, run, outcome
-        )
-        check_relay_peak("perturb-relay", variant.label, run, outcome)
+            if run.error is not None:
+                outcome.divergences.append(
+                    Divergence("exception", label, "*", run.error)
+                )
+                continue
+            if not _check_variant_progress(
+                label, base_progress[style], run, outcome
+            ):
+                continue
+            compare_stream_prefixes(
+                "perturb-streams",
+                "base",
+                label,
+                base_streams,
+                run.streams,
+                outcome,
+            )
+            if bounds:
+                check_loop_bounds(
+                    "perturb-throughput", label, bounds, slack, run,
+                    outcome,
+                )
+            check_relay_peak("perturb-relay", label, run, outcome)
+        if pairs:
+            check_cycle_exact(
+                variant_runs,
+                outcome,
+                pairs=pairs,
+                check="perturb-trace",
+                prefix=f"{variant.label}/",
+            )
+
+
+class PerturbationOracle(Oracle):
+    """The metamorphic latency-perturbation checks, as one pipeline
+    stage (no-op for cases without perturbation)."""
+
+    name = "perturb"
+
+    def check(self, case, runs, outcome) -> None:
+        if case.perturb or case.variants:
+            check_perturbations(case, runs, outcome)

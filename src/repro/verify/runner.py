@@ -22,14 +22,11 @@ from ..sched.generate import (
     topology_to_dict,
     variant_to_dict,
 )
-from .cases import (
-    CaseOutcome,
-    VerifyCase,
-    run_case,
-    styles_for_traffic,
-)
+from .cases import CaseOutcome, VerifyCase, run_case
 from .coverage import CoverageReport
+from .perturb import PERTURB_STYLE_MODES
 from .shrink import shrink_case
+from .styles import styles_for_traffic
 
 
 @dataclass(frozen=True)
@@ -62,7 +59,14 @@ class BatchConfig:
       latency-perturbed variants per case and demand stream
       invariance, per-variant throughput bounds and relay-occupancy
       invariants; ``perturb_floorplan`` adds floorplan-driven variants
-      to the perturbation kinds.
+      to the perturbation kinds;
+    * ``perturb_styles`` — run each variant under the reference style
+      only (``"reference"``, the default) or under every style of the
+      case (``"all"``, RTL-in-the-loop styles included, with
+      per-variant cycle-exact checks);
+    * ``perturb_dynamic`` — add dynamic-latency variants: seeded
+      mid-run link/relay stall plans (:mod:`repro.lis.stall`) over
+      the unchanged topology.
     """
 
     cases: int = 50
@@ -77,6 +81,8 @@ class BatchConfig:
     engine: str | None = None
     perturb: int = 0
     perturb_floorplan: bool = False
+    perturb_styles: str = "reference"
+    perturb_dynamic: bool = False
 
     def __post_init__(self) -> None:
         if self.cases < 1:
@@ -87,6 +93,11 @@ class BatchConfig:
             raise ValueError("need at least one cycle")
         if self.perturb < 0:
             raise ValueError("perturb variant count must be >= 0")
+        if self.perturb_styles not in PERTURB_STYLE_MODES:
+            raise ValueError(
+                f"unknown perturb-styles mode {self.perturb_styles!r}; "
+                f"choose from {PERTURB_STYLE_MODES}"
+            )
         # Pin the resolved engine in the (frozen) config so the batch
         # is deterministic even if workers see a different environment.
         object.__setattr__(
@@ -152,6 +163,8 @@ def make_cases(config: BatchConfig) -> list[VerifyCase]:
             engine=config.engine,
             perturb=config.perturb,
             perturb_floorplan=config.perturb_floorplan,
+            perturb_styles=config.perturb_styles,
+            perturb_dynamic=config.perturb_dynamic,
         )
         for index, case_seed in enumerate(seeds)
     ]
@@ -211,7 +224,10 @@ class BatchReport:
             perturb = (
                 f", perturb {self.config.perturb}"
                 f"{'+floorplan' if self.config.perturb_floorplan else ''}"
+                f"{'+dynamic' if self.config.perturb_dynamic else ''}"
             )
+            if self.config.perturb_styles != "reference":
+                perturb += f" ({self.config.perturb_styles} styles)"
         lines = [
             f"verify: {total} cases, {self.checks} cross-checks, "
             f"{failed} divergent, seed {self.config.seed}, "
@@ -289,21 +305,28 @@ class BatchRunner:
                 reproducer["cycles"] = minimal.cycles
                 reproducer["deadlock_window"] = minimal.deadlock_window
                 reproducer["styles"] = list(minimal.styles)
-                if minimal.variants is not None:
-                    # Perturbed cases shrink to a pinned variant set
-                    # (ideally one: the minimal divergent pair).
-                    reproducer["perturb"] = len(minimal.variants)
+                if minimal.variants is not None or minimal.perturb:
+                    reproducer["perturb"] = (
+                        len(minimal.variants)
+                        if minimal.variants is not None
+                        else minimal.perturb
+                    )
                     reproducer["perturb_floorplan"] = (
                         minimal.perturb_floorplan
                     )
+                    reproducer["perturb_styles"] = (
+                        minimal.perturb_styles
+                    )
+                    reproducer["perturb_dynamic"] = (
+                        minimal.perturb_dynamic
+                    )
+                if minimal.variants is not None:
+                    # Perturbed cases shrink to a pinned variant set
+                    # (ideally one: the minimal divergent pair, with a
+                    # minimal stall plan for dynamic variants).
                     reproducer["variants"] = [
                         variant_to_dict(variant)
                         for variant in minimal.variants
                     ]
-                elif minimal.perturb:
-                    reproducer["perturb"] = minimal.perturb
-                    reproducer["perturb_floorplan"] = (
-                        minimal.perturb_floorplan
-                    )
                 report.shrunk.append((outcome, reproducer))
         return report

@@ -14,9 +14,13 @@ second pass: the derived variants are pinned as an explicit set and
 greedily dropped while the case keeps failing, so a perturbation
 failure shrinks to the minimal divergent base-plus-variant pair (and
 to an empty variant set when the failure never needed perturbation at
-all).  Cases that arrive with pinned variants — replayed reproducers —
-skip the topology-mutating reductions, which would orphan the variant
-wiring, and only reduce cycles and the variant set.
+all).  Pinned dynamic variants shrink further: their mid-run stall
+plans (:mod:`repro.lis.stall`) lose one stall event at a time, and
+surviving events have their windows halved, down to the minimal plan
+that still diverges.  Cases that arrive with pinned variants —
+replayed reproducers — skip the topology-mutating reductions, which
+would orphan the variant wiring, and only reduce cycles, the variant
+set, and the stall plans.
 """
 
 from __future__ import annotations
@@ -113,6 +117,47 @@ def _drop_one_variant(case: VerifyCase) -> Iterator[VerifyCase]:
         yield replace(case, variants=kept, perturb=len(kept))
 
 
+def _with_variant(
+    case: VerifyCase, index: int, variant
+) -> VerifyCase:
+    variants = case.variants or ()
+    return replace(
+        case,
+        variants=variants[:index] + (variant,) + variants[index + 1:],
+    )
+
+
+def _shrink_stall_plans(case: VerifyCase) -> Iterator[VerifyCase]:
+    """Reduce pinned dynamic variants' stall plans: drop one stall
+    event at a time, then halve a surviving event's duration."""
+    for index, variant in enumerate(case.variants or ()):
+        stalls = variant.stalls
+        if not stalls:
+            continue
+        for position in range(len(stalls)):
+            kept = stalls[:position] + stalls[position + 1:]
+            yield _with_variant(
+                case, index, replace(variant, stalls=kept)
+            )
+        for position, stall in enumerate(stalls):
+            if stall.duration > 1:
+                shorter = replace(
+                    stall, duration=stall.duration // 2
+                )
+                yield _with_variant(
+                    case,
+                    index,
+                    replace(
+                        variant,
+                        stalls=(
+                            stalls[:position]
+                            + (shorter,)
+                            + stalls[position + 1:]
+                        ),
+                    ),
+                )
+
+
 def _variants(case: VerifyCase) -> Iterator[VerifyCase]:
     """Candidate reductions, most aggressive first."""
     if case.cycles > 50:
@@ -120,8 +165,9 @@ def _variants(case: VerifyCase) -> Iterator[VerifyCase]:
     if case.variants is not None:
         # Pinned variants reference the base topology's exact wiring;
         # mutating the topology under them would break that, so only
-        # the variant set itself shrinks further.
+        # the variant set itself (and its stall plans) shrinks further.
         yield from _drop_one_variant(case)
+        yield from _shrink_stall_plans(case)
         return
     if case.perturb > 1:
         # Fewer derived variants (the set re-derives deterministically
@@ -186,9 +232,11 @@ def _pin_variants(
     case: VerifyCase, max_attempts: int
 ) -> VerifyCase:
     """Materialize a failing perturbed case's derived variants as an
-    explicit set and greedily drop them while the failure persists —
-    the result names the minimal divergent variant pair (or proves the
-    failure needs no perturbation at all, ending with an empty set)."""
+    explicit set and greedily reduce them while the failure persists —
+    dropping whole variants, then stall events from the surviving
+    dynamic ones — so the result names the minimal divergent variant
+    pair with the minimal stall plan (or proves the failure needs no
+    perturbation at all, ending with an empty set)."""
     variants = case_variants(case)
     pinned = replace(
         case, variants=variants, perturb=len(variants)
@@ -197,7 +245,7 @@ def _pin_variants(
     progress = True
     while progress and attempts < max_attempts:
         progress = False
-        for candidate in _drop_one_variant(pinned):
+        for candidate in _variant_reductions(pinned):
             attempts += 1
             if attempts > max_attempts:
                 break
@@ -206,6 +254,11 @@ def _pin_variants(
                 progress = True
                 break
     return pinned
+
+
+def _variant_reductions(case: VerifyCase) -> Iterator[VerifyCase]:
+    yield from _drop_one_variant(case)
+    yield from _shrink_stall_plans(case)
 
 
 def shrink_case(case: VerifyCase, max_attempts: int = 120) -> VerifyCase:

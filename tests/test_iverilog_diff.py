@@ -1,0 +1,148 @@
+"""Differential smoke against an external HDL simulator (iverilog).
+
+The emitted Verilog is normally only checked by this repository's own
+RTL simulators.  This test closes the loop the ROADMAP asks for: it
+emits a golden SP wrapper plus its self-checking testbench
+(`repro.core.rtlgen.testbench`), cross-checks the wrapper against the
+compiled simulation engine under the *same* stimulus the testbench
+embeds, and — when `iverilog` is on PATH — compiles and runs the
+testbench for real, expecting `TESTBENCH PASS`.  Without iverilog the
+external half skips; the engine cross-check always runs.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import subprocess
+
+import pytest
+
+from repro.core.compiler import compile_schedule
+from repro.core.processor import SyncProcessor
+from repro.core.rtlgen import generate_sp_wrapper
+from repro.core.rtlgen.common import sanitize
+from repro.core.rtlgen.testbench import generate_sp_testbench
+from repro.rtl.emitter import emit_module
+from repro.rtl.simulator import Simulator
+from repro.sched.generate import DSPProfile, dsp_schedule
+
+TB_CYCLES = 300
+TB_SEED = 1
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """One GAUT-shaped schedule, its SP wrapper, and the testbench."""
+    schedule = dsp_schedule(
+        DSPProfile(n_inputs=2, n_outputs=2, input_phase_ops=6,
+                   compute_burst=9, output_phase_ops=4),
+        seed=3,
+    )
+    program = compile_schedule(schedule)
+    module = generate_sp_wrapper(
+        program, name="sp_ivl_smoke", schedule=schedule
+    )
+    testbench = generate_sp_testbench(
+        program,
+        schedule=schedule,
+        module_name=module.name,
+        cycles=TB_CYCLES,
+        seed=TB_SEED,
+    )
+    return schedule, program, module, testbench
+
+
+def _stimulus(program):
+    """The exact stimulus/expectation vectors the testbench embeds
+    (same rng seed, same behavioural model)."""
+    fmt = program.fmt
+    rng = random.Random(TB_SEED)
+    proc = SyncProcessor(program)
+    rows = []
+    for _ in range(TB_CYCLES):
+        in_ready = rng.getrandbits(fmt.n_inputs) if fmt.n_inputs else 0
+        out_ready = (
+            rng.getrandbits(fmt.n_outputs) if fmt.n_outputs else 0
+        )
+        action = proc.step(in_ready, out_ready)
+        rows.append(
+            (in_ready, out_ready, int(action.enable),
+             action.pop_mask, action.push_mask)
+        )
+    return rows
+
+
+def test_compiled_engine_matches_testbench_expectations(golden):
+    """The compiled RTL engine, driven with the testbench's stimulus,
+    must reproduce every embedded enable/pop/push expectation — the
+    in-process half of the differential."""
+    schedule, program, module, _testbench = golden
+    sim = Simulator(module, engine="compiled")
+    in_names = [sanitize(n) for n in schedule.inputs]
+    out_names = [sanitize(n) for n in schedule.outputs]
+
+    sim.poke("rst", 1)
+    sim.step()
+    sim.poke("rst", 0)
+    for cycle, (in_ready, out_ready, enable, pop, push) in enumerate(
+        _stimulus(program)
+    ):
+        for bit, name in enumerate(in_names):
+            sim.poke(f"{name}_not_empty", in_ready >> bit & 1)
+        for bit, name in enumerate(out_names):
+            sim.poke(f"{name}_not_full", out_ready >> bit & 1)
+        sim.settle()
+        assert sim.peek("ip_enable") == enable, f"cycle {cycle}"
+        got_pop = sum(
+            sim.peek(f"{name}_pop") << bit
+            for bit, name in enumerate(in_names)
+        )
+        got_push = sum(
+            sim.peek(f"{name}_push") << bit
+            for bit, name in enumerate(out_names)
+        )
+        assert got_pop == pop, f"cycle {cycle}"
+        assert got_push == push, f"cycle {cycle}"
+        sim.step()
+
+
+def test_testbench_embeds_the_behavioural_expectations(golden):
+    _schedule, program, module, testbench = golden
+    assert f"module {module.name}_tb;" in testbench
+    rows = _stimulus(program)
+    enables = [row[2] for row in rows]
+    # Spot-check a few embedded expectation vectors.
+    for cycle in (0, 1, TB_CYCLES // 2, TB_CYCLES - 1):
+        assert (
+            f"exp_enable_mem[{cycle}] = 1'd{enables[cycle]};"
+            in testbench
+        )
+
+
+def test_iverilog_runs_the_testbench(golden, tmp_path):
+    """The external half: compile wrapper + testbench with iverilog
+    and demand TESTBENCH PASS (skips when iverilog is absent)."""
+    if shutil.which("iverilog") is None:
+        pytest.skip("iverilog not on PATH")
+    _schedule, _program, module, testbench = golden
+    wrapper_v = tmp_path / f"{module.name}.v"
+    wrapper_v.write_text(emit_module(module))
+    tb_v = tmp_path / f"{module.name}_tb.v"
+    tb_v.write_text(testbench)
+    binary = tmp_path / "sim"
+    subprocess.run(
+        ["iverilog", "-g2001", "-o", str(binary), str(wrapper_v),
+         str(tb_v)],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    result = subprocess.run(
+        ["vvp", str(binary)],
+        check=True,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "TESTBENCH PASS" in result.stdout, result.stdout

@@ -25,11 +25,8 @@ from repro.verify import (
     shrink_case,
     topology_marked_graph,
 )
-from repro.verify.cases import (
-    StyleRun,
-    _check_cycle_exact_pairs,
-    _check_stream_prefixes,
-)
+from repro.verify.cases import StyleRun
+from repro.verify.oracles import check_cycle_exact, check_stream_prefixes
 from repro.lis.simulator import Simulation
 
 SMALL = TopologyProfile(
@@ -160,7 +157,7 @@ class TestOracleSensitivity:
             "sp": self._style_run({"snk0": [1, 9]}),
         }
         outcome = CaseOutcome(index=0, seed=0)
-        _check_stream_prefixes(runs, "fsm", outcome)
+        check_stream_prefixes(runs, "fsm", outcome)
         assert not outcome.ok
         assert outcome.divergences[0].check == "streams"
         assert "token 1" in outcome.divergences[0].detail
@@ -171,7 +168,7 @@ class TestOracleSensitivity:
             "sp": self._style_run({"snk0": [1, 2]}),
         }
         outcome = CaseOutcome(index=0, seed=0)
-        _check_stream_prefixes(runs, "fsm", outcome)
+        check_stream_prefixes(runs, "fsm", outcome)
         assert outcome.ok
 
     def test_trace_mismatch_detected(self):
@@ -184,7 +181,7 @@ class TestOracleSensitivity:
             ),
         }
         outcome = CaseOutcome(index=0, seed=0)
-        _check_cycle_exact_pairs(runs, outcome)
+        check_cycle_exact(runs, outcome)
         assert not outcome.ok
         assert outcome.divergences[0].check == "trace"
         assert "cycle 1" in outcome.divergences[0].detail
@@ -195,7 +192,7 @@ class TestOracleSensitivity:
             "rtl-sp": self._style_run({}, executed=9),
         }
         outcome = CaseOutcome(index=0, seed=0)
-        _check_cycle_exact_pairs(runs, outcome)
+        check_cycle_exact(runs, outcome)
         assert not outcome.ok
 
 

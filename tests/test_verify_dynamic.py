@@ -1,0 +1,514 @@
+"""Dynamic latency perturbation: stall injection end to end.
+
+Covers the stall layer (`repro.lis.stall`), the `dynamic` variant
+kind (`repro.sched.generate.derive_variants`), the perturb-styles
+modes of the oracle, stall-plan JSON round-trips, shrink-to-minimal-
+stall-plan, coverage axes, and the CLI threading.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.lis.simulator import Simulation
+from repro.lis.stall import (
+    LinkStall,
+    apply_stall_plan,
+    derive_stall_plan,
+    stall_from_dict,
+    stall_to_dict,
+)
+from repro.sched.generate import (
+    TopologyVariant,
+    derive_variants,
+    random_topology,
+    topology_link_names,
+    topology_to_dict,
+    variant_from_dict,
+    variant_to_dict,
+)
+from repro.verify import (
+    BatchConfig,
+    BatchRunner,
+    CoverageReport,
+    VerifyCase,
+    build_system,
+    case_variants,
+    make_cases,
+    perturb_style_set,
+    run_case,
+    shrink_case,
+    simulate_topology,
+)
+
+
+def _case(topology, **kwargs):
+    defaults = dict(
+        index=0, seed=topology.seed, cycles=200, topology=topology
+    )
+    defaults.update(kwargs)
+    return VerifyCase(**defaults)
+
+
+# -- the stall layer -----------------------------------------------------------
+
+
+class TestStallInjection:
+    def test_topology_link_names_match_built_system(self):
+        for seed in (0, 3, 11):
+            topology = random_topology(seed)
+            system, _shells, _sinks = build_system(topology, "fsm")
+            assert set(topology_link_names(topology)) == {
+                link.name for link in system.links
+            }
+
+    def test_stalled_run_preserves_streams_and_delays_arrival(self):
+        """Stalling every link mid-run must delay tokens, never lose,
+        duplicate or reorder them (the MixPearl streams would change
+        on any such fault)."""
+        topology = random_topology(4)
+        baseline = simulate_topology(topology, "fsm", 150, None)
+        # Freeze the whole fabric for a third of the horizon: long
+        # enough that the throughput loss is still visible at the end.
+        stalls = tuple(
+            LinkStall(link, start=40, duration=50)
+            for link in topology_link_names(topology)
+        )
+        stalled = simulate_topology(
+            topology, "fsm", 150, None, stalls=stalls
+        )
+        assert stalled.error is None
+        moved = sum(len(s) for s in stalled.streams.values())
+        assert moved > 0
+        for sink, stream in stalled.streams.items():
+            reference = baseline.streams[sink]
+            assert stream == reference[: len(stream)]
+            # The freeze must actually cost throughput somewhere.
+        assert sum(
+            len(s) for s in stalled.streams.values()
+        ) < sum(len(s) for s in baseline.streams.values())
+
+    def test_injector_counts_stalled_cycles(self):
+        topology = random_topology(4)
+        system, _shells, _sinks = build_system(topology, "fsm")
+        link = system.links[0].name
+        injectors = apply_stall_plan(
+            system, (LinkStall(link, start=10, duration=5),)
+        )
+        assert [i.link.name for i in injectors] == [link]
+        Simulation(system).run(50)
+        assert injectors[0].stalled_cycles == 5
+        assert system.instruments == injectors
+
+    def test_overlapping_windows_merge_per_link(self):
+        topology = random_topology(4)
+        system, _shells, _sinks = build_system(topology, "fsm")
+        link = system.links[0].name
+        injectors = apply_stall_plan(
+            system,
+            (
+                LinkStall(link, start=10, duration=5),
+                LinkStall(link, start=12, duration=6),
+            ),
+        )
+        assert len(injectors) == 1
+        Simulation(system).run(50)
+        assert injectors[0].stalled_cycles == 8  # union of [10,15)+[12,18)
+
+    def test_unknown_link_rejected(self):
+        topology = random_topology(4)
+        system, _shells, _sinks = build_system(topology, "fsm")
+        with pytest.raises(ValueError, match="unknown link"):
+            apply_stall_plan(
+                system, (LinkStall("no-such-link", 1, 1),)
+            )
+
+    def test_stall_validation(self):
+        with pytest.raises(ValueError):
+            LinkStall("l", start=-1, duration=1)
+        with pytest.raises(ValueError):
+            LinkStall("l", start=0, duration=0)
+
+
+class TestStallPlans:
+    def test_derivation_is_deterministic(self):
+        links = topology_link_names(random_topology(9))
+        first = derive_stall_plan(links, random.Random(5), 300)
+        second = derive_stall_plan(links, random.Random(5), 300)
+        assert first == second
+        assert first != derive_stall_plan(links, random.Random(6), 300)
+
+    def test_windows_land_mid_run(self):
+        links = topology_link_names(random_topology(9))
+        for seed in range(10):
+            plan = derive_stall_plan(links, random.Random(seed), 300)
+            assert plan
+            for stall in plan:
+                assert stall.link in links
+                assert 1 <= stall.start <= 225
+                assert 1 <= stall.duration <= 16
+
+    def test_empty_inputs_yield_empty_plan(self):
+        assert derive_stall_plan((), random.Random(0), 300) == ()
+        links = ("a->b",)
+        assert derive_stall_plan(links, random.Random(0), 1) == ()
+
+    def test_json_round_trip(self):
+        stall = LinkStall("p0.o0->p1.i0.seg2", 41, 7)
+        data = json.loads(json.dumps(stall_to_dict(stall)))
+        assert stall_from_dict(data) == stall
+
+
+# -- the dynamic variant kind --------------------------------------------------
+
+
+class TestDynamicVariants:
+    def test_dynamic_kind_leads_the_rotation(self):
+        topology = random_topology(11)
+        variants = derive_variants(topology, 4, seed=11, dynamic=True)
+        assert [v.kind for v in variants] == [
+            "dynamic", "resegment", "pipeline", "dynamic"
+        ]
+
+    def test_without_flag_behaviour_is_unchanged(self):
+        topology = random_topology(11)
+        assert derive_variants(topology, 4, seed=11) == derive_variants(
+            topology, 4, seed=11, dynamic=False
+        )
+        assert [
+            v.kind for v in derive_variants(topology, 4, seed=11)
+        ] == ["resegment", "pipeline", "resegment", "pipeline"]
+
+    def test_dynamic_variant_keeps_topology_and_carries_stalls(self):
+        topology = random_topology(11)
+        variant = derive_variants(
+            topology, 1, seed=11, dynamic=True
+        )[0]
+        assert variant.kind == "dynamic"
+        assert variant.stalls
+        assert variant.topology == replace(
+            topology, name=f"{topology.name}~dynamic0"
+        )
+        links = set(topology_link_names(topology))
+        for stall in variant.stalls:
+            assert stall.link in links
+
+    def test_prefix_property_holds_with_flags(self):
+        topology = random_topology(11)
+        small = derive_variants(
+            topology, 2, seed=11, dynamic=True, floorplan=True
+        )
+        large = derive_variants(
+            topology, 6, seed=11, dynamic=True, floorplan=True
+        )
+        assert small == large[:2]
+
+    def test_horizon_bounds_the_stall_windows(self):
+        topology = random_topology(11)
+        variant = derive_variants(
+            topology, 1, seed=11, dynamic=True, horizon=80
+        )[0]
+        for stall in variant.stalls:
+            assert stall.start <= 60
+
+    def test_variant_json_round_trip_with_stalls(self):
+        topology = random_topology(11)
+        variant = derive_variants(
+            topology, 1, seed=11, dynamic=True
+        )[0]
+        data = json.loads(json.dumps(variant_to_dict(variant)))
+        assert "stalls" in data
+        assert variant_from_dict(data) == variant
+
+    def test_static_variant_json_has_no_stalls_key(self):
+        topology = random_topology(11)
+        variant = derive_variants(topology, 1, seed=11)[0]
+        assert "stalls" not in variant_to_dict(variant)
+        assert variant_from_dict(
+            variant_to_dict(variant)
+        ) == variant
+
+    def test_case_variants_passes_cycle_horizon(self):
+        topology = random_topology(11)
+        case = _case(
+            topology, perturb=1, perturb_dynamic=True, cycles=80
+        )
+        (variant,) = case_variants(case)
+        assert variant.kind == "dynamic"
+        for stall in variant.stalls:
+            assert stall.start <= 60
+
+
+# -- the oracle under dynamic perturbation ------------------------------------
+
+
+class TestDynamicOracle:
+    @pytest.mark.parametrize("seed", (0, 5, 9))
+    def test_reference_mode_is_clean(self, seed):
+        topology = random_topology(seed)
+        outcome = run_case(
+            _case(
+                topology, styles=("fsm",), perturb=3,
+                perturb_dynamic=True,
+            )
+        )
+        assert outcome.ok, [str(d) for d in outcome.divergences]
+
+    @pytest.mark.parametrize("seed", (0, 9))
+    def test_all_styles_mode_is_clean(self, seed):
+        topology = random_topology(seed)
+        outcome = run_case(
+            _case(
+                topology,
+                styles=("fsm", "sp", "combinational", "rtl-sp",
+                        "rtl-fsm"),
+                perturb=3,
+                perturb_dynamic=True,
+                perturb_styles="all",
+            )
+        )
+        assert outcome.ok, [str(d) for d in outcome.divergences]
+
+    def test_all_styles_mode_regular_traffic_with_shiftreg(self):
+        from repro.sched.generate import PROFILE_PRESETS
+        from repro.verify import REGULAR_STYLES
+
+        topology = random_topology(2, PROFILE_PRESETS["regular"])
+        outcome = run_case(
+            _case(
+                topology,
+                styles=REGULAR_STYLES,
+                perturb=2,
+                perturb_dynamic=True,
+                perturb_styles="all",
+                cycles=300,
+            )
+        )
+        assert outcome.ok, [str(d) for d in outcome.divergences]
+
+    def test_perturb_style_set_modes(self):
+        topology = random_topology(0)
+        case = _case(topology, styles=("sp", "fsm", "sp"))
+        assert perturb_style_set(case) == ("fsm",)
+        case = _case(
+            topology, styles=("sp", "fsm", "sp"),
+            perturb_styles="all",
+        )
+        assert perturb_style_set(case) == ("sp", "fsm")
+        case = _case(topology, perturb_styles="everything")
+        with pytest.raises(ValueError, match="perturb-styles"):
+            perturb_style_set(case)
+
+    def test_all_mode_labels_carry_variant_and_style(self):
+        """An injected token corruption in one variant must surface
+        with a `label/style` slot for every style it diverges under."""
+        for seed in range(60):
+            topology = random_topology(seed)
+            if not (topology.sources and topology.sinks):
+                continue
+            variant = derive_variants(topology, 1, seed=seed)[0]
+            sources = list(variant.topology.sources)
+            sources[0] = replace(sources[0], base=sources[0].base + 1)
+            bad = TopologyVariant(
+                kind=variant.kind,
+                index=variant.index,
+                topology=replace(
+                    variant.topology, sources=tuple(sources)
+                ),
+            )
+            outcome = run_case(
+                _case(
+                    topology,
+                    styles=("fsm", "sp"),
+                    variants=(bad,),
+                    perturb_styles="all",
+                )
+            )
+            streams = [
+                d
+                for d in outcome.divergences
+                if d.check == "perturb-streams"
+            ]
+            if streams:
+                assert {d.style for d in streams} <= {
+                    f"{bad.label}/fsm", f"{bad.label}/sp"
+                }
+                return
+        pytest.fail("no seed propagated the injected fault")
+
+    def test_crashed_base_style_not_rerun_per_variant(self):
+        """A style that already crashed on the base topology is
+        excluded from the all-styles variant runs: its deterministic
+        crash is reported exactly once, never duplicated per variant
+        (and never blamed on the perturbation)."""
+        topology = random_topology(7)
+        outcome = run_case(
+            _case(
+                topology,
+                styles=("fsm", "bogus"),
+                perturb=3,
+                perturb_dynamic=True,
+                perturb_styles="all",
+            )
+        )
+        exceptions = [
+            d for d in outcome.divergences if d.check == "exception"
+        ]
+        assert len(exceptions) == 1
+        assert exceptions[0].style == "bogus"
+        assert not any(
+            d.check.startswith("perturb")
+            for d in outcome.divergences
+        )
+
+    def test_batch_results_independent_of_job_count(self):
+        def fingerprint(report):
+            return [
+                (o.index, o.seed, o.checks, o.sink_tokens)
+                for o in report.outcomes
+            ]
+
+        base = dict(
+            cases=4, seed=3, cycles=150, perturb=2,
+            perturb_dynamic=True,
+        )
+        serial = BatchRunner(BatchConfig(jobs=1, **base)).run()
+        parallel = BatchRunner(BatchConfig(jobs=2, **base)).run()
+        assert fingerprint(serial) == fingerprint(parallel)
+        assert serial.ok
+
+    def test_config_validates_perturb_styles(self):
+        with pytest.raises(ValueError, match="perturb-styles"):
+            BatchConfig(perturb_styles="everything")
+
+    def test_make_cases_threads_the_flags(self):
+        config = BatchConfig(
+            cases=2, perturb=1, perturb_dynamic=True,
+            perturb_styles="all",
+        )
+        for case in make_cases(config):
+            assert case.perturb_dynamic
+            assert case.perturb_styles == "all"
+
+
+# -- shrinking stall plans -----------------------------------------------------
+
+
+def _stall_fault_case(topology, cycles=200):
+    """A pinned dynamic variant whose stall plan carries one poisoned
+    event (unknown link — a deterministic injected fault) among
+    healthy ones: the failure persists exactly while the poisoned
+    event survives, so the shrinker must isolate it."""
+    links = topology_link_names(topology)
+    stalls = (
+        LinkStall(links[0], start=30, duration=8),
+        LinkStall("poisoned->link", start=50, duration=8),
+        LinkStall(links[-1], start=70, duration=8),
+    )
+    variant = TopologyVariant(
+        kind="dynamic",
+        index=0,
+        topology=topology,
+        stalls=stalls,
+    )
+    healthy = derive_variants(topology, 1, seed=topology.seed + 1)
+    return _case(
+        topology,
+        styles=("fsm",),
+        variants=healthy + (variant,),
+        cycles=cycles,
+    )
+
+
+class TestStallPlanShrinking:
+    def test_shrinks_to_minimal_stall_plan(self):
+        topology = random_topology(6)
+        case = _stall_fault_case(topology)
+        assert not run_case(case).ok
+        minimal = shrink_case(case)
+        assert not run_case(minimal).ok
+        # The healthy variant and the healthy stall events are gone;
+        # the poisoned event survives with a minimal window.
+        assert minimal.variants is not None
+        assert len(minimal.variants) == 1
+        (variant,) = minimal.variants
+        assert len(variant.stalls) == 1
+        assert variant.stalls[0].link == "poisoned->link"
+        assert variant.stalls[0].duration == 1
+
+    def test_reproducer_json_with_stalls_replays(self, tmp_path, capsys):
+        topology = random_topology(6)
+        case = _stall_fault_case(topology)
+        minimal = shrink_case(case)
+        data = topology_to_dict(minimal.topology)
+        data["cycles"] = minimal.cycles
+        data["styles"] = list(minimal.styles)
+        data["perturb"] = len(minimal.variants)
+        data["variants"] = [
+            variant_to_dict(v) for v in minimal.variants
+        ]
+        path = tmp_path / "minimal.json"
+        path.write_text(json.dumps(data))
+        assert main(["verify", "--repro", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+        assert "poisoned->link" in out
+
+    def test_batch_reproducer_carries_dynamic_flags(self):
+        config = BatchConfig(
+            cases=1, seed=0, jobs=1, cycles=100,
+            styles=("fsm", "bogus"), perturb=1,
+            perturb_dynamic=True, perturb_styles="all",
+        )
+        report = BatchRunner(config).run()
+        assert not report.ok
+        _outcome, reproducer = report.shrunk[0]
+        assert reproducer["perturb_dynamic"] is True
+        assert reproducer["perturb_styles"] == "all"
+
+
+# -- coverage and CLI ----------------------------------------------------------
+
+
+class TestDynamicCoverageAndCli:
+    def test_dynamic_batches_report_stall_events(self):
+        config = BatchConfig(
+            cases=4, perturb=2, perturb_dynamic=True
+        )
+        report = CoverageReport.from_cases(make_cases(config))
+        data = report.to_dict()["histograms"]
+        assert "dynamic" in data["perturb_kinds"]
+        assert data["perturb_stall_events"]
+
+    def test_non_dynamic_batches_omit_the_metric(self):
+        config = BatchConfig(cases=4, perturb=2)
+        report = CoverageReport.from_cases(make_cases(config))
+        data = report.to_dict()["histograms"]
+        assert "perturb_stall_events" not in data
+        assert "dynamic" not in data["perturb_kinds"]
+
+    def test_cli_repro_rejects_bad_perturb_styles_mode(
+        self, tmp_path, capsys
+    ):
+        topology = random_topology(6)
+        data = topology_to_dict(topology)
+        data["perturb_styles"] = "al"  # typo'd hand-edited reproducer
+        path = tmp_path / "bad_mode.json"
+        path.write_text(json.dumps(data))
+        assert main(["verify", "--repro", str(path)]) == 2
+        assert "perturb-styles" in capsys.readouterr().err
+
+    def test_cli_dynamic_all_styles_batch(self, capsys):
+        assert main(
+            ["verify", "--cases", "3", "--cycles", "150",
+             "--perturb", "2", "--perturb-dynamic",
+             "--perturb-styles", "all"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "perturb 2+dynamic (all styles)" in out
+        assert "0 divergent" in out

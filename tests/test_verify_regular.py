@@ -239,11 +239,13 @@ class TestShiftregOracleParity:
 
     def test_shiftreg_trace_matches_fsm_cycle_for_cycle(self):
         case = _regular_case(5, styles=("fsm", "shiftreg"))
-        from repro.verify.cases import _run_style, _case_activations
+        from repro.verify.cases import run_styles
 
-        fsm = _run_style(case, "fsm")
-        plans = _case_activations(case, {"fsm": fsm})
-        shiftreg = _run_style(case, "shiftreg", plans)
+        runs = run_styles(
+            case.topology, case.styles, case.cycles,
+            case.deadlock_window,
+        )
+        fsm, shiftreg = runs["fsm"], runs["shiftreg"]
         assert shiftreg.error is None
         assert shiftreg.traces == fsm.traces
         assert shiftreg.streams == fsm.streams

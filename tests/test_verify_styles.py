@@ -1,0 +1,197 @@
+"""The wrapper-style registry (`repro.verify.styles`).
+
+Covers registry completeness against the derived style sets and
+cycle-exact pairs, spec validation, shell building through the
+registry, and the `repro verify --list-styles` CLI surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.sched.generate import random_topology
+from repro.verify import MixPearl, build_system
+from repro.verify.regular import StaticActivation
+from repro.verify.styles import (
+    ALL_STYLES,
+    BEHAVIOURAL_STYLES,
+    CYCLE_EXACT_PAIRS,
+    DEFAULT_STYLES,
+    REGULAR_STYLES,
+    RTL_STYLES,
+    SHIFTREG_STYLES,
+    StyleSpec,
+    cycle_exact_pairs,
+    format_style_registry,
+    get_style,
+    register_style,
+    registered_styles,
+    style_specs,
+    styles_for_traffic,
+)
+
+
+class TestRegistryCompleteness:
+    """The derived constants must stay consistent with the registry —
+    the drift the registry exists to prevent."""
+
+    def test_every_style_is_registered_exactly_once(self):
+        names = registered_styles()
+        assert len(names) == len(set(names))
+        assert names == ALL_STYLES
+
+    def test_style_sets_partition_the_registry(self):
+        assert set(ALL_STYLES) == (
+            set(BEHAVIOURAL_STYLES)
+            | set(RTL_STYLES)
+            | set(SHIFTREG_STYLES)
+        )
+        assert set(DEFAULT_STYLES) == (
+            set(BEHAVIOURAL_STYLES) | set(RTL_STYLES)
+        )
+        assert set(REGULAR_STYLES) == set(ALL_STYLES)
+
+    def test_styles_for_traffic_matches_eligibility(self):
+        for traffic in ("random", "regular"):
+            expected = tuple(
+                spec.name
+                for spec in style_specs()
+                if spec.eligible(traffic)
+            )
+            assert styles_for_traffic(traffic) == expected
+        assert styles_for_traffic("random") == DEFAULT_STYLES
+        assert styles_for_traffic("regular") == REGULAR_STYLES
+
+    def test_cycle_exact_pairs_derive_from_specs(self):
+        derived = tuple(
+            (spec.cycle_exact_reference, spec.name)
+            for spec in style_specs()
+            if spec.cycle_exact_reference is not None
+        )
+        assert cycle_exact_pairs() == derived
+        assert CYCLE_EXACT_PAIRS == derived
+
+    def test_cycle_exact_references_are_registered(self):
+        names = set(registered_styles())
+        for reference, checked in cycle_exact_pairs():
+            assert reference in names
+            assert checked in names
+            # A checked style is never laxer-eligible than its
+            # reference: wherever it runs, the reference runs too.
+            assert get_style(reference).eligible(
+                get_style(checked).traffic
+            ) or get_style(reference).traffic == "any"
+
+    def test_cycle_exact_pairs_restrict_to_style_subset(self):
+        subset = ("sp", "rtl-sp", "combinational")
+        assert cycle_exact_pairs(subset) == (("sp", "rtl-sp"),)
+        assert cycle_exact_pairs(("combinational",)) == ()
+
+    def test_needs_activation_exactly_for_shiftreg_styles(self):
+        for spec in style_specs():
+            assert spec.needs_activation == (
+                spec.name in SHIFTREG_STYLES
+            )
+
+    def test_rtl_kind_implies_engine_use(self):
+        for spec in style_specs():
+            assert spec.uses_engine == (spec.kind == "rtl")
+
+
+class TestRegistryApi:
+    def test_get_style_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown verify style"):
+            get_style("warp-drive")
+
+    def test_register_rejects_duplicates(self):
+        spec = get_style("fsm")
+        with pytest.raises(ValueError, match="already registered"):
+            register_style(spec)
+
+    def test_register_rejects_dangling_cycle_exact_reference(self):
+        spec = StyleSpec(
+            name="fsm-two",
+            kind="behavioural",
+            traffic="any",
+            cycle_exact_reference="no-such-style",
+            needs_activation=False,
+            uses_engine=False,
+            builder=get_style("fsm").builder,
+        )
+        with pytest.raises(ValueError, match="unregistered"):
+            register_style(spec)
+
+    def test_spec_validates_kind_and_traffic(self):
+        with pytest.raises(ValueError, match="unknown style kind"):
+            StyleSpec(
+                name="x", kind="quantum", traffic="any",
+                cycle_exact_reference=None, needs_activation=False,
+                uses_engine=False, builder=get_style("fsm").builder,
+            )
+        with pytest.raises(ValueError, match="traffic eligibility"):
+            StyleSpec(
+                name="x", kind="rtl", traffic="bursty",
+                cycle_exact_reference=None, needs_activation=False,
+                uses_engine=False, builder=get_style("fsm").builder,
+            )
+
+    def test_build_without_required_activation_rejected(self):
+        topology = random_topology(0)
+        node = topology.processes[0]
+        pearl = MixPearl(node.name, node.schedule)
+        for style in SHIFTREG_STYLES:
+            with pytest.raises(ValueError, match="static activation"):
+                get_style(style).build(
+                    pearl, node, topology.port_depth
+                )
+
+    @pytest.mark.parametrize("style", DEFAULT_STYLES)
+    def test_every_default_style_builds_a_shell(self, style):
+        topology = random_topology(1)
+        node = topology.processes[0]
+        shell = get_style(style).build(
+            MixPearl(node.name, node.schedule),
+            node,
+            topology.port_depth,
+        )
+        assert shell.name == node.name
+
+    @pytest.mark.parametrize("style", SHIFTREG_STYLES)
+    def test_shiftreg_styles_build_with_activation(self, style):
+        topology = random_topology(1)
+        node = topology.processes[0]
+        activation = StaticActivation(
+            prefix=(False, True), pattern=(True, False)
+        )
+        shell = get_style(style).build(
+            MixPearl(node.name, node.schedule),
+            node,
+            topology.port_depth,
+            activation=activation,
+        )
+        assert shell.name == node.name
+
+    def test_build_system_resolves_through_registry(self):
+        topology = random_topology(3)
+        system, shells, _sinks = build_system(topology, "rtl-fsm")
+        assert set(shells) == {n.name for n in topology.processes}
+        assert system.name.endswith(":rtl-fsm")
+
+
+class TestListStyles:
+    def test_format_contains_every_style_and_reference(self):
+        text = format_style_registry()
+        for spec in style_specs():
+            assert spec.name in text
+            if spec.cycle_exact_reference is not None:
+                assert spec.cycle_exact_reference in text
+        assert "regular" in text
+        assert "behavioural" in text
+
+    def test_cli_list_styles(self, capsys):
+        assert main(["verify", "--list-styles"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_STYLES:
+            assert name in out
+        assert "cycle-exact" in out
