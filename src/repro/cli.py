@@ -19,7 +19,10 @@ Subcommands:
   ``--perturb-floorplan`` adds floorplan-driven variants,
   ``--perturb-dynamic`` adds mid-run stall-plan variants, and
   ``--perturb-styles all`` runs every variant under every wrapper
-  style); ``--list-styles`` prints the style registry;
+  style); ``--engine vectorized`` packs same-shape cases into the
+  word-level lanes of one bit-parallel RTL simulation
+  (:mod:`repro.verify.vectorize`) with identical results;
+  ``--list-styles`` prints the style registry;
   ``--coverage`` / ``--coverage-json`` report topology-shape
   histograms;
 * ``coverage-diff`` — compare two ``--coverage-json`` artifacts and
@@ -114,15 +117,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     # Imported lazily: the verify machinery drags in the RTL simulator
     # and multiprocessing, which the synthesis subcommands never need.
+    from .rtl.simulator import resolve_engine
     from .sched.generate import topology_from_dict, variant_from_dict
     from .verify import (
-        DEFAULT_STYLES,
         PERTURB_STYLE_MODES,
         BatchConfig,
         BatchRunner,
         VerifyCase,
         format_style_registry,
         run_case,
+        styles_for_traffic,
     )
 
     if args.list_styles:
@@ -137,17 +141,32 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         # Saved reproducers carry their run parameters; CLI flags only
-        # fill the gaps for hand-written topology files.
+        # fill the gaps for hand-written topology files.  An explicit
+        # --engine flag overrides the recorded engine; the fallback
+        # resolves engine=None exactly like BatchConfig.__post_init__,
+        # so a replay runs under the engine the failure was found with.
+        topology = topology_from_dict(data)
         case = VerifyCase(
             index=0,
             seed=int(data.get("seed", 0)),
             cycles=int(data.get("cycles", args.cycles)),
-            topology=topology_from_dict(data),
-            styles=tuple(data.get("styles", DEFAULT_STYLES)),
+            topology=topology,
+            # Hand-written files without a style list get the styles
+            # their traffic regime would run with — regular-traffic
+            # topologies include the shift-register styles.
+            styles=(
+                tuple(data["styles"])
+                if "styles" in data
+                else styles_for_traffic(topology.traffic)
+            ),
             deadlock_window=data.get(
                 "deadlock_window", args.deadlock_window
             ),
-            engine=args.engine,
+            engine=resolve_engine(
+                args.engine
+                if args.engine is not None
+                else data.get("engine")
+            ),
             perturb=int(data.get("perturb", args.perturb)),
             perturb_floorplan=bool(
                 data.get("perturb_floorplan", args.perturb_floorplan)
@@ -380,12 +399,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--coverage-json", default=None, metavar="FILE",
         help="write the coverage histograms as JSON (CI trend tracking)",
     )
+    from .rtl.simulator import ENGINES
+
     verify.add_argument(
         "--engine", default=None,
-        choices=("compiled", "interp"),
+        choices=ENGINES,
         help=(
             "RTL simulation backend for the rtl-* styles (default: "
-            "compiled, or the REPRO_RTL_ENGINE environment override)"
+            "compiled, or the REPRO_RTL_ENGINE environment override); "
+            "'vectorized' packs same-shape cases into word-level "
+            "lanes of one bit-parallel simulation"
         ),
     )
     verify.add_argument(

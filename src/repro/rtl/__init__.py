@@ -36,7 +36,13 @@ from .module import (
     Rom,
     RtlError,
 )
-from .compile_sim import CompiledSimulator, compile_design
+from .compile_sim import (
+    CompiledSimulator,
+    VectorLane,
+    VectorSimulator,
+    compile_design,
+    compile_vector_design,
+)
 from .netlist import BitBlaster, Netlist, bit_blast
 from .simulator import (
     DEFAULT_ENGINE,
@@ -79,6 +85,8 @@ __all__ = [
     "Ternary",
     "UnaryOp",
     "VIRTEX2",
+    "VectorLane",
+    "VectorSimulator",
     "WidthError",
     "all_of",
     "any_of",
@@ -86,6 +94,7 @@ __all__ = [
     "check",
     "clog2",
     "compile_design",
+    "compile_vector_design",
     "emit_design",
     "emit_expr",
     "emit_module",

@@ -134,6 +134,15 @@ from .regular import (
 )
 from .runner import BatchConfig, BatchReport, BatchRunner, make_cases
 from .shrink import shrink_case
+from .vectorize import (
+    DEFAULT_LANES,
+    LaneRTLShell,
+    bucket_cases,
+    chunk_cases,
+    run_cases_vectorized,
+    shape_key,
+    vectorizable_style,
+)
 
 __all__ = [
     "ALL_STYLES",
@@ -147,9 +156,11 @@ __all__ = [
     "CoverageDiff",
     "CoverageReport",
     "CycleExactOracle",
+    "DEFAULT_LANES",
     "DEFAULT_STYLES",
     "Divergence",
     "ExceptionOracle",
+    "LaneRTLShell",
     "MixPearl",
     "Oracle",
     "PERTURB_STYLE_MODES",
@@ -163,9 +174,11 @@ __all__ = [
     "StyleRun",
     "StyleSpec",
     "VerifyCase",
+    "bucket_cases",
     "build_system",
     "case_variants",
     "check_perturbations",
+    "chunk_cases",
     "cycle_exact_pairs",
     "default_pipeline",
     "diff_coverage",
@@ -178,9 +191,11 @@ __all__ = [
     "register_style",
     "registered_styles",
     "run_case",
+    "run_cases_vectorized",
     "run_pipeline",
     "run_styles",
     "run_variant",
+    "shape_key",
     "shrink_case",
     "simulate_topology",
     "style_specs",
@@ -189,4 +204,5 @@ __all__ = [
     "topology_features",
     "topology_marked_graph",
     "uniform_loop_bounds",
+    "vectorizable_style",
 ]

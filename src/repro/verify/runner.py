@@ -51,9 +51,12 @@ class BatchConfig:
     * ``shrink`` — minimize failing cases into replayable topology-JSON
       reproducers;
     * ``engine`` — RTL simulation backend for the RTL-in-the-loop
-      styles; ``None`` resolves once at construction through the
-      simulator default (so the ``REPRO_RTL_ENGINE`` environment
-      override applies to verify runs);
+      styles (``"compiled"`` / ``"interp"`` / ``"vectorized"``);
+      ``None`` resolves once at construction through the simulator
+      default (so the ``REPRO_RTL_ENGINE`` environment override
+      applies to verify runs); ``"vectorized"`` batches same-shape
+      cases into the word-level lane simulator
+      (:mod:`repro.verify.vectorize`) with identical results;
     * ``perturb`` / ``perturb_floorplan`` — metamorphic latency
       perturbation (:mod:`repro.verify.perturb`): derive this many
       latency-perturbed variants per case and demand stream
@@ -278,7 +281,14 @@ class BatchRunner:
         config = self.config
         cases = make_cases(config)
         started = time.perf_counter()
-        if config.jobs == 1:
+        if config.engine == "vectorized":
+            # Shape-bucketed lane batching: same-shape cases share one
+            # vector RTL simulation; results are case-order identical
+            # to the scalar path.
+            from .vectorize import run_cases_vectorized
+
+            outcomes = run_cases_vectorized(cases, jobs=config.jobs)
+        elif config.jobs == 1:
             outcomes = [run_case(case) for case in cases]
         else:
             chunksize = max(1, len(cases) // (config.jobs * 4))
@@ -305,6 +315,11 @@ class BatchRunner:
                 reproducer["cycles"] = minimal.cycles
                 reproducer["deadlock_window"] = minimal.deadlock_window
                 reproducer["styles"] = list(minimal.styles)
+                # Without these two, a replay would run under seed 0
+                # and whatever engine the replaying CLI defaults to —
+                # silently missing seed- or engine-dependent failures.
+                reproducer["seed"] = minimal.seed
+                reproducer["engine"] = minimal.engine
                 if minimal.variants is not None or minimal.perturb:
                     reproducer["perturb"] = (
                         len(minimal.variants)

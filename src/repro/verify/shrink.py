@@ -228,32 +228,67 @@ def _variants(case: VerifyCase) -> Iterator[VerifyCase]:
             )
 
 
+class _AttemptBudget:
+    """Hard cap on shrinking ``run_case`` executions.
+
+    One budget instance is shared by the structural pass and the
+    variant-pinning pass, and ``spend`` is called once per *executed*
+    candidate — candidates merely generated by the reduction iterators
+    cost nothing.  ``shrink_case(case, max_attempts=N)`` therefore
+    never simulates more than N candidates in total, no matter how the
+    work splits between the passes.
+    """
+
+    __slots__ = ("limit", "used")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.used >= self.limit
+
+    def spend(self) -> bool:
+        """Claim one attempt; False once the budget is used up."""
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _reduce(case, candidates, budget: _AttemptBudget) -> VerifyCase:
+    """Greedy fixed-point: take the first still-failing reduction,
+    restart; stop when no reduction fails or the budget runs out."""
+    current = case
+    progress = True
+    while progress and not budget.exhausted:
+        progress = False
+        for candidate in candidates(current):
+            if not budget.spend():
+                break
+            if not run_case(candidate).ok:
+                current = candidate
+                progress = True
+                break
+    return current
+
+
 def _pin_variants(
-    case: VerifyCase, max_attempts: int
+    case: VerifyCase, budget: _AttemptBudget
 ) -> VerifyCase:
     """Materialize a failing perturbed case's derived variants as an
     explicit set and greedily reduce them while the failure persists —
     dropping whole variants, then stall events from the surviving
     dynamic ones — so the result names the minimal divergent variant
     pair with the minimal stall plan (or proves the failure needs no
-    perturbation at all, ending with an empty set)."""
+    perturbation at all, ending with an empty set).  Pinning itself is
+    free; only the reduction attempts draw on the shared budget."""
     variants = case_variants(case)
     pinned = replace(
         case, variants=variants, perturb=len(variants)
     )
-    attempts = 0
-    progress = True
-    while progress and attempts < max_attempts:
-        progress = False
-        for candidate in _variant_reductions(pinned):
-            attempts += 1
-            if attempts > max_attempts:
-                break
-            if not run_case(candidate).ok:
-                pinned = candidate
-                progress = True
-                break
-    return pinned
+    return _reduce(pinned, _variant_reductions, budget)
 
 
 def _variant_reductions(case: VerifyCase) -> Iterator[VerifyCase]:
@@ -263,22 +298,14 @@ def _variant_reductions(case: VerifyCase) -> Iterator[VerifyCase]:
 
 def shrink_case(case: VerifyCase, max_attempts: int = 120) -> VerifyCase:
     """Minimize a failing case; returns the smallest variant that still
-    diverges (``case`` itself if no reduction reproduces the failure)."""
-    current = case
-    attempts = 0
-    progress = True
-    while progress and attempts < max_attempts:
-        progress = False
-        for variant in _variants(current):
-            attempts += 1
-            if attempts > max_attempts:
-                break
-            if not run_case(variant).ok:
-                current = variant
-                progress = True
-                break
+    diverges (``case`` itself if no reduction reproduces the failure).
+
+    ``max_attempts`` is a hard cap on candidate *executions* across
+    both shrinking passes, so a pathological case — one where every
+    candidate still fails, restarting the greedy loop each time —
+    costs at most ``max_attempts`` simulations."""
+    budget = _AttemptBudget(max_attempts)
+    current = _reduce(case, _variants, budget)
     if current.variants is None and current.perturb > 0:
-        current = _pin_variants(
-            current, max_attempts=max(8, max_attempts - attempts)
-        )
+        current = _pin_variants(current, budget)
     return current

@@ -65,9 +65,17 @@ class StyleSpec:
     * ``needs_activation`` — the builder requires a planned static
       activation (:mod:`repro.verify.regular`);
     * ``uses_engine`` — the builder honours the RTL engine selection
-      (``compiled``/``interp``);
+      (``compiled``/``interp``/``vectorized``);
     * ``builder`` — ``(pearl, node, port_depth, engine, activation)
-      -> Shell``.
+      -> Shell``;
+    * ``rtl_parts`` — for RTL-in-the-loop styles, ``(node) ->
+      (module, program | None)``: the generated wrapper module (and,
+      for SP wrappers, the expected operation stream) the builder
+      wraps an :class:`RTLShell` around.  The lane-batched vectorized
+      engine (:mod:`repro.verify.vectorize`) uses it to compile one
+      shared lane-packed kernel per process shape; styles without it
+      (or needing a per-case planned activation) fall back to the
+      scalar path under ``--engine vectorized``.
     """
 
     name: str
@@ -77,6 +85,7 @@ class StyleSpec:
     needs_activation: bool
     uses_engine: bool
     builder: Callable[..., Shell]
+    rtl_parts: Callable[..., tuple] | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in STYLE_KINDS:
@@ -217,7 +226,7 @@ def _build_combinational(
     return CombinationalWrapper(pearl, port_depth)
 
 
-def _build_rtl_sp(pearl, node, port_depth, engine, activation) -> Shell:
+def _rtl_sp_parts(node):
     # fuse=False keeps op.point_index aligned with the pearl's own
     # schedule, exactly as the behavioural SPWrapper compiles it.
     program = compile_schedule(
@@ -226,6 +235,16 @@ def _build_rtl_sp(pearl, node, port_depth, engine, activation) -> Shell:
     module = generate_sp_wrapper(
         program, name=f"sp_{node.name}", schedule=node.schedule
     )
+    return module, program
+
+
+def _rtl_fsm_parts(node):
+    module = generate_fsm_wrapper(node.schedule, name=f"fsm_{node.name}")
+    return module, None
+
+
+def _build_rtl_sp(pearl, node, port_depth, engine, activation) -> Shell:
+    module, program = _rtl_sp_parts(node)
     return RTLShell(
         pearl, module, program=program, port_depth=port_depth,
         engine=engine,
@@ -233,7 +252,7 @@ def _build_rtl_sp(pearl, node, port_depth, engine, activation) -> Shell:
 
 
 def _build_rtl_fsm(pearl, node, port_depth, engine, activation) -> Shell:
-    module = generate_fsm_wrapper(node.schedule, name=f"fsm_{node.name}")
+    module, _program = _rtl_fsm_parts(node)
     return RTLShell(pearl, module, port_depth=port_depth, engine=engine)
 
 
@@ -295,6 +314,7 @@ register_style(StyleSpec(
     needs_activation=False,
     uses_engine=True,
     builder=_build_rtl_sp,
+    rtl_parts=_rtl_sp_parts,
 ))
 register_style(StyleSpec(
     name="rtl-fsm",
@@ -304,6 +324,7 @@ register_style(StyleSpec(
     needs_activation=False,
     uses_engine=True,
     builder=_build_rtl_fsm,
+    rtl_parts=_rtl_fsm_parts,
 ))
 # Shift-register styles: their static activation is planned from the
 # FSM reference run (:mod:`repro.verify.regular`), so they only join

@@ -1,0 +1,465 @@
+"""Lane-batched verification: run W same-shape cases bit-parallel.
+
+The compiled RTL engine already shares one kernel across every case
+whose wrapper lowers to the same source (the *shape* cache).  This
+module exploits that sharing at run time: cases whose processes carry
+identical schedules are grouped into lane batches, each process shape
+is compiled **once** into a lane-packed
+:class:`~repro.rtl.compile_sim.VectorSimulator`, and one group
+``settle``/``step`` advances the wrapper RTL of all W cases per cycle.
+The behavioural side of each case (ports, relay stations, pearls)
+stays per-lane Python, driven in lockstep; per-lane streams, traces
+and periods are demuxed back into ordinary
+:class:`~repro.verify.cases.StyleRun` records, so the oracle pipeline
+is untouched and ``run_cases_vectorized(cases)`` is result-identical
+to ``[run_case(c) for c in cases]``.
+
+Lockstep is sound because the LIS two-phase discipline has no
+same-cycle input-to-output path: within one cycle the scalar driver's
+poke -> settle -> read -> step sequence per shell commutes across
+shells, so hoisting the settle/step into one group call per kernel
+changes nothing observable.  A lane whose case errors out simply
+stops being driven — its RTL keeps stepping in the packed word, which
+is harmless because no other lane can see it.
+
+What vectorizes: RTL-in-the-loop styles that publish their generated
+module via :attr:`~repro.verify.styles.StyleSpec.rtl_parts` and need
+no per-case planned activation (``rtl-sp``, ``rtl-fsm``).
+Behavioural styles, ``rtl-shiftreg`` (its activation — and therefore
+its module — is planned per case from the FSM reference run), and
+singleton shape buckets fall back to the scalar path, where
+``engine="vectorized"`` degrades to the compiled engine.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Sequence
+
+from ..core.equivalence import RTLShell
+from ..core.rtlgen.common import sanitize
+from ..lis.port import DEFAULT_PORT_DEPTH
+from ..rtl.compile_sim import VectorLane, VectorSimulator
+from .cases import (
+    CaseOutcome,
+    StyleRun,
+    VerifyCase,
+    build_system,
+    relay_peak_occupancy,
+    run_case,
+    run_styles,
+)
+from .styles import get_style
+
+__all__ = [
+    "DEFAULT_LANES",
+    "LaneRTLShell",
+    "bucket_cases",
+    "chunk_cases",
+    "run_cases_vectorized",
+    "shape_key",
+    "vectorizable_style",
+]
+
+#: Default lane width: wide enough to amortize the per-cycle Python
+#: drive overhead, narrow enough that the packed big ints stay in the
+#: fast small-multi-digit regime and partial batches stay rare.
+DEFAULT_LANES = 32
+
+
+def vectorizable_style(name: str) -> bool:
+    """True when ``name`` can run on the lane-batched path."""
+    try:
+        spec = get_style(name)
+    except ValueError:
+        return False
+    return (
+        spec.kind == "rtl"
+        and spec.rtl_parts is not None
+        and not spec.needs_activation
+    )
+
+
+def shape_key(case: VerifyCase) -> tuple:
+    """Bucketing key: cases with equal keys lower every process to
+    identical wrapper RTL (same schedules under the same names) and
+    share one drive loop (same cycles/window/styles)."""
+    return (
+        case.cycles,
+        case.deadlock_window,
+        case.styles,
+        tuple(
+            (
+                node.name,
+                tuple(node.schedule.inputs),
+                tuple(node.schedule.outputs),
+                tuple(
+                    (
+                        tuple(sorted(point.inputs)),
+                        tuple(sorted(point.outputs)),
+                        point.run,
+                    )
+                    for point in node.schedule.points
+                ),
+            )
+            for node in case.topology.processes
+        ),
+    )
+
+
+def bucket_cases(
+    cases: Sequence[VerifyCase],
+) -> list[list[VerifyCase]]:
+    """Group cases by :func:`shape_key`, preserving order."""
+    buckets: dict[tuple, list[VerifyCase]] = {}
+    for case in cases:
+        buckets.setdefault(shape_key(case), []).append(case)
+    return list(buckets.values())
+
+
+def chunk_cases(
+    cases: Sequence[VerifyCase], lanes: int = DEFAULT_LANES
+) -> list[list[VerifyCase]]:
+    """Same-shape lane batches of at most ``lanes`` cases each (the
+    last batch of a bucket may be partial)."""
+    chunks: list[list[VerifyCase]] = []
+    for bucket in bucket_cases(cases):
+        for start in range(0, len(bucket), lanes):
+            chunks.append(bucket[start : start + lanes])
+    return chunks
+
+
+def _control_bundle(schedule) -> tuple[str, ...]:
+    """The wrapper's 1-bit ready inputs, in shell poke order (the
+    reset stays outside: it is only poked collectively, once)."""
+    return tuple(
+        f"{sanitize(name)}_not_empty" for name in schedule.inputs
+    ) + tuple(
+        f"{sanitize(name)}_not_full" for name in schedule.outputs
+    )
+
+
+def _status_bundle(schedule) -> tuple[str, ...]:
+    """The wrapper's 1-bit strobe outputs: enable, pops, pushes."""
+    return (
+        ("ip_enable",)
+        + tuple(f"{sanitize(name)}_pop" for name in schedule.inputs)
+        + tuple(f"{sanitize(name)}_push" for name in schedule.outputs)
+    )
+
+
+class LaneRTLShell(RTLShell):
+    """An :class:`RTLShell` whose RTL lives in one lane of a shared
+    :class:`VectorSimulator`.
+
+    Its ``_wrapper_step`` only pokes the packed ready word — the group
+    driver owns settle, the strobe-reading decide pass
+    (:meth:`_lane_decide`) and step, interleaved across every lane of
+    the batch.  Reset is collective too (the driver broadcasts ``rst``
+    before the first cycle), so per-shell reset is a no-op and these
+    shells are single-use.
+    """
+
+    style = "rtl-lane"
+
+    def __init__(
+        self,
+        pearl,
+        module,
+        lane: VectorLane,
+        program=None,
+        port_depth: int = DEFAULT_PORT_DEPTH,
+    ) -> None:
+        self._lane_view = lane
+        super().__init__(
+            pearl, module, program=program, port_depth=port_depth,
+            engine="vectorized",
+        )
+        n_inputs = len(pearl.schedule.inputs)
+        self._in_mask = (1 << n_inputs) - 1
+        self._push_shift = 1 + n_inputs
+
+    def _make_rtl(self):
+        return self._lane_view
+
+    def _apply_reset(self) -> None:
+        pass  # the group driver resets all lanes at once
+
+    def _wrapper_step(self, cycle: int) -> None:
+        bits = 0
+        position = 0
+        in_ports = self.in_ports
+        for name, _poke_name in self._not_empty_pokes:
+            if in_ports[name].not_empty:
+                bits |= 1 << position
+            position += 1
+        out_ports = self.out_ports
+        for name, _poke_name in self._not_full_pokes:
+            if out_ports[name].not_full:
+                bits |= 1 << position
+            position += 1
+        self._lane_view.poke_control(bits)
+
+    def _lane_decide(self, cycle: int) -> None:
+        """Read this lane's settled strobes and execute the cycle
+        (the scalar step's post-settle half)."""
+        status = self._lane_view.peek_status()
+        self._apply_strobes(
+            cycle,
+            bool(status & 1),
+            status >> 1 & self._in_mask,
+            status >> self._push_shift,
+        )
+
+    def reset(self) -> None:
+        raise RuntimeError(
+            "lane-batched RTL shells are single-use; build a fresh "
+            "batch instead of resetting"
+        )
+
+
+class _LaneRecord:
+    """One lane's case, system, phase lists and run bookkeeping."""
+
+    __slots__ = (
+        "case", "system", "shells", "sinks", "produce", "consume",
+        "commit", "deciders", "shell_list", "error", "executed",
+        "deadlocked", "done", "quiet", "last_total",
+    )
+
+    def __init__(self, case: VerifyCase) -> None:
+        self.case = case
+        self.error: str | None = None
+        self.executed = 0
+        self.deadlocked = False
+        self.done = False
+        self.quiet = 0
+        self.last_total = 0
+
+    def fail(self, exc: Exception) -> None:
+        # Same contract as simulate_topology: any failure is an error
+        # record (executed resets to 0 — the scalar path never reports
+        # partial progress for a crashed style either).
+        self.error = f"{type(exc).__name__}: {exc}"
+        self.executed = 0
+        self.done = True
+
+    def build(
+        self,
+        style: str,
+        parts: dict[str, tuple],
+        sims: dict[str, VectorSimulator],
+        lane: int,
+        trace: bool,
+    ) -> None:
+        topology = self.case.topology
+
+        def factory(pearl, node):
+            module, program = parts[node.name]
+            return LaneRTLShell(
+                pearl,
+                module,
+                sims[node.name].lane(lane),
+                program=program,
+                port_depth=topology.port_depth,
+            )
+
+        system, shells, sinks = build_system(
+            topology, style, trace=trace, shell_factory=factory
+        )
+        system.validate()
+        self.system = system
+        self.shells = shells
+        self.sinks = sinks
+        produce: list[Any] = []
+        consume: list[Any] = []
+        commit: list[Any] = []
+        for block in system.blocks:
+            p, c, k = block.phase_parts()
+            produce.extend(p)
+            consume.extend(c)
+            commit.extend(k)
+        self.produce = produce
+        self.consume = consume
+        self.commit = commit
+        self.shell_list = list(shells.values())
+        self.deciders = [
+            shell._lane_decide for shell in self.shell_list
+        ]
+
+    def tick_deadlock(self, window: int | None) -> None:
+        if window is None:
+            return
+        total = sum(
+            shell.enabled_cycles for shell in self.shell_list
+        )
+        self.quiet = 0 if total != self.last_total else self.quiet + 1
+        self.last_total = total
+        if self.quiet >= window:
+            self.deadlocked = True
+            self.done = True
+
+    def harvest(self, trace: bool) -> StyleRun:
+        if self.error is not None:
+            return StyleRun(
+                streams={}, traces={}, periods={}, executed=0,
+                error=self.error,
+            )
+        return StyleRun(
+            streams={
+                name: list(sink.received)
+                for name, sink in self.sinks.items()
+            },
+            traces=(
+                {
+                    name: list(shell.trace_enable or [])
+                    for name, shell in self.shells.items()
+                }
+                if trace
+                else {}
+            ),
+            periods={
+                name: shell.periods_completed
+                for name, shell in self.shells.items()
+            },
+            executed=self.executed,
+            relay_peak=relay_peak_occupancy(self.system),
+            deadlocked=self.deadlocked,
+        )
+
+
+def _run_style_lanes(
+    cases: Sequence[VerifyCase], style: str, trace: bool = True
+) -> list[StyleRun]:
+    """Simulate same-shape ``cases`` under one vectorizable RTL style
+    in lane lockstep; one :class:`StyleRun` per case, in order."""
+    spec = get_style(style)
+    lanes = len(cases)
+    first = cases[0].topology
+    parts = {
+        node.name: spec.rtl_parts(node) for node in first.processes
+    }
+    sims = {
+        node.name: VectorSimulator(
+            parts[node.name][0],
+            lanes,
+            poke_bundle=_control_bundle(node.schedule),
+            peek_bundle=_status_bundle(node.schedule),
+        )
+        for node in first.processes
+    }
+    records = [_LaneRecord(case) for case in cases]
+    for lane, record in enumerate(records):
+        try:
+            record.build(style, parts, sims, lane, trace)
+        except Exception as exc:
+            record.fail(exc)
+
+    sim_list = list(sims.values())
+    for sim in sim_list:
+        sim.broadcast("rst", 1)
+        sim.step()
+        sim.broadcast("rst", 0)
+
+    cycles = cases[0].cycles
+    window = cases[0].deadlock_window
+    live = [r for r in records if not r.done]
+    for _ in range(cycles):
+        if not live:
+            break
+        for record in live:
+            try:
+                cycle = record.executed
+                for fn in record.produce:
+                    fn(cycle)
+                for fn in record.consume:
+                    fn(cycle)
+            except Exception as exc:
+                record.fail(exc)
+        live = [r for r in live if not r.done]
+        for sim in sim_list:
+            sim.settle()
+        for record in live:
+            try:
+                for fn in record.deciders:
+                    fn(record.executed)
+            except Exception as exc:
+                record.fail(exc)
+        for sim in sim_list:
+            sim.step()
+        for record in live:
+            if record.done:
+                continue
+            try:
+                for fn in record.commit:
+                    fn()
+                record.executed += 1
+                record.tick_deadlock(window)
+            except Exception as exc:
+                record.fail(exc)
+        live = [r for r in live if not r.done]
+
+    return [record.harvest(trace) for record in records]
+
+
+def _run_chunk(chunk: Sequence[VerifyCase]) -> list[CaseOutcome]:
+    """Run one same-shape chunk: lane-batch the vectorizable styles,
+    scalar-run the rest, then fold the oracle pipeline per case."""
+    if len(chunk) == 1:
+        return [run_case(chunk[0])]
+    lane_runs = {
+        style: _run_style_lanes(chunk, style)
+        for style in chunk[0].styles
+        if vectorizable_style(style)
+    }
+    outcomes: list[CaseOutcome] = []
+    for position, case in enumerate(chunk):
+        rest = [s for s in case.styles if s not in lane_runs]
+        scalar_runs = (
+            run_styles(
+                case.topology,
+                rest,
+                case.cycles,
+                case.deadlock_window,
+                engine=case.engine,
+            )
+            if rest
+            else {}
+        )
+        runs = {
+            style: (
+                lane_runs[style][position]
+                if style in lane_runs
+                else scalar_runs[style]
+            )
+            for style in case.styles
+        }
+        outcomes.append(run_case(case, runs=runs))
+    return outcomes
+
+
+def run_cases_vectorized(
+    cases: Sequence[VerifyCase],
+    lanes: int = DEFAULT_LANES,
+    jobs: int = 1,
+) -> list[CaseOutcome]:
+    """Outcomes for ``cases`` (any mix of shapes), result-identical to
+    ``[run_case(c) for c in cases]`` and returned in the same order.
+
+    Cases are bucketed by :func:`shape_key` and cut into lane batches
+    of at most ``lanes``; each batch runs its RTL styles on shared
+    lane-packed kernels.  With ``jobs > 1`` whole batches fan out
+    across worker processes.
+    """
+    chunks = chunk_cases(cases, lanes)
+    if jobs > 1 and len(chunks) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            per_chunk = list(pool.map(_run_chunk, chunks))
+    else:
+        per_chunk = [_run_chunk(chunk) for chunk in chunks]
+    by_index = {
+        outcome.index: outcome
+        for outcomes in per_chunk
+        for outcome in outcomes
+    }
+    return [by_index[case.index] for case in cases]

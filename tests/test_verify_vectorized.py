@@ -1,0 +1,334 @@
+"""Lane-batched verification: ``run_cases_vectorized`` parity.
+
+The vectorized path must be *result-identical* to the scalar path —
+``[run_case(c) for c in cases]`` — over full and partial lane batches,
+mixed shape buckets, deadlocking lanes, error (poison-token) lanes and
+mid-run divergent lanes.  Style-level runs are compared field by field
+against :func:`simulate_topology` under both scalar engines.
+"""
+
+from __future__ import annotations
+
+import random as random_mod
+from dataclasses import replace
+
+import pytest
+
+from repro.sched.generate import random_topology
+from repro.verify import (
+    BatchConfig,
+    BatchRunner,
+    MixPearl,
+    VerifyCase,
+    make_cases,
+    run_case,
+)
+from repro.verify.cases import simulate_topology
+from repro.verify.vectorize import (
+    DEFAULT_LANES,
+    _run_style_lanes,
+    bucket_cases,
+    chunk_cases,
+    run_cases_vectorized,
+    shape_key,
+    vectorizable_style,
+)
+
+STYLES = ("sp", "fsm", "rtl-sp", "rtl-fsm")
+
+
+def _pattern(rng, length):
+    bits = tuple(rng.random() < 0.6 for _ in range(length))
+    return bits if any(bits) else (True,) + bits[1:]
+
+
+def _base_topology():
+    for seed in range(50):
+        topology = random_topology(seed)
+        if topology.sources and topology.sinks:
+            return topology
+    raise AssertionError("no source+sink topology in 50 seeds")
+
+
+def _traffic_variant(topology, rng, offset):
+    """Same processes (same shape), different traffic: shifted token
+    values, fresh jitter gaps and fresh sink stall patterns."""
+    sources = tuple(
+        replace(
+            src,
+            base=src.base + offset,
+            gaps=_pattern(rng, 8),
+        )
+        for src in topology.sources
+    )
+    sinks = tuple(
+        replace(snk, stalls=_pattern(rng, 8))
+        for snk in topology.sinks
+    )
+    return replace(topology, sources=sources, sinks=sinks)
+
+
+def _same_shape_cases(count, cycles=120, styles=STYLES, **kwargs):
+    base = _base_topology()
+    rng = random_mod.Random(99)
+    return [
+        VerifyCase(
+            index=index,
+            seed=1000 + index,
+            cycles=cycles,
+            topology=_traffic_variant(base, rng, offset=index * 64),
+            styles=styles,
+            **kwargs,
+        )
+        for index in range(count)
+    ]
+
+
+def _assert_outcomes_equal(vectorized, scalar):
+    assert len(vectorized) == len(scalar)
+    for got, want in zip(vectorized, scalar):
+        assert got == want, (
+            f"case {want.index}: vectorized {got} != scalar {want}"
+        )
+
+
+# -- bucketing and chunking ----------------------------------------------------
+
+
+class TestBucketing:
+    def test_traffic_variants_share_a_bucket(self):
+        cases = _same_shape_cases(5)
+        assert len({shape_key(c) for c in cases}) == 1
+        assert [len(b) for b in bucket_cases(cases)] == [5]
+
+    def test_different_schedules_split_buckets(self):
+        config = BatchConfig(cases=6, seed=0, shrink=False)
+        buckets = bucket_cases(make_cases(config))
+        assert sum(len(b) for b in buckets) == 6
+        assert len(buckets) > 1  # random seeds draw distinct shapes
+
+    def test_cycles_and_styles_are_part_of_the_key(self):
+        case = _same_shape_cases(1)[0]
+        assert shape_key(case) != shape_key(
+            replace(case, cycles=case.cycles + 1)
+        )
+        assert shape_key(case) != shape_key(
+            replace(case, styles=("fsm",))
+        )
+
+    def test_chunking_splits_partial_last_batch(self):
+        cases = _same_shape_cases(7)
+        chunks = chunk_cases(cases, lanes=4)
+        assert [len(c) for c in chunks] == [4, 3]
+        assert [c.index for chunk in chunks for c in chunk] == list(
+            range(7)
+        )
+
+    def test_default_lane_width(self):
+        assert DEFAULT_LANES == 32
+
+
+class TestVectorizableStyles:
+    def test_rtl_in_the_loop_styles_vectorize(self):
+        assert vectorizable_style("rtl-sp")
+        assert vectorizable_style("rtl-fsm")
+
+    def test_everything_else_falls_back(self):
+        # Behavioural styles have no RTL; rtl-shiftreg's module embeds
+        # a per-case activation plan; unknown names are scalar errors.
+        for name in ("sp", "fsm", "comb", "shiftreg", "rtl-shiftreg",
+                     "no-such-style"):
+            assert not vectorizable_style(name)
+
+
+# -- style-run parity ----------------------------------------------------------
+
+
+class TestStyleRunParity:
+    @pytest.mark.parametrize("style", ["rtl-sp", "rtl-fsm"])
+    @pytest.mark.parametrize("engine", ["compiled", "interp"])
+    def test_lane_runs_match_scalar_runs(self, style, engine):
+        """Every StyleRun field — streams, traces, periods, executed,
+        relay peak, deadlock flag — matches a scalar simulation of the
+        same case, under both scalar reference engines."""
+        cases = _same_shape_cases(6, cycles=100)
+        runs = _run_style_lanes(cases, style)
+        for case, run in zip(cases, runs):
+            scalar = simulate_topology(
+                case.topology,
+                style,
+                case.cycles,
+                case.deadlock_window,
+                engine=engine,
+                trace=True,
+            )
+            assert run.streams == scalar.streams
+            assert run.traces == scalar.traces
+            assert run.periods == scalar.periods
+            assert run.executed == scalar.executed
+            assert run.relay_peak == scalar.relay_peak
+            assert run.deadlocked == scalar.deadlocked
+            assert run.error == scalar.error
+
+    def test_lanes_genuinely_diverge_mid_run(self):
+        """The per-lane traffic differs, so enable traces must differ
+        across lanes — this batch is not W copies of one case."""
+        cases = _same_shape_cases(6, cycles=100)
+        runs = _run_style_lanes(cases, "rtl-sp")
+        traces = [
+            tuple(
+                (name, tuple(values))
+                for name, values in sorted(run.traces.items())
+            )
+            for run in runs
+        ]
+        assert len(set(traces)) > 1
+
+
+# -- full-case parity ----------------------------------------------------------
+
+
+class TestCaseParity:
+    def test_same_shape_batch_matches_scalar(self):
+        cases = _same_shape_cases(6, cycles=120)
+        _assert_outcomes_equal(
+            run_cases_vectorized(cases),
+            [run_case(c) for c in cases],
+        )
+
+    def test_partial_batches_match_scalar(self):
+        cases = _same_shape_cases(7, cycles=80)
+        _assert_outcomes_equal(
+            run_cases_vectorized(cases, lanes=3),
+            [run_case(c) for c in cases],
+        )
+
+    def test_mixed_shapes_match_scalar(self):
+        """Singleton buckets (the scalar fallback) interleaved with a
+        same-shape batch come back in input order."""
+        mixed = _same_shape_cases(3, cycles=80)
+        config = BatchConfig(
+            cases=3, seed=5, cycles=80, styles=STYLES, shrink=False
+        )
+        for case in make_cases(config):
+            mixed.append(replace(case, index=len(mixed)))
+        _assert_outcomes_equal(
+            run_cases_vectorized(mixed),
+            [run_case(c) for c in mixed],
+        )
+
+    def test_seeded_random_topologies_match_scalar(self):
+        """20 seeded random topologies, replicated into same-shape
+        traffic batches, all stay outcome-identical."""
+        rng = random_mod.Random(4)
+        cases = []
+        for seed in range(20):
+            topology = random_topology(seed)
+            if not (topology.sources and topology.sinks):
+                continue
+            for copy in range(3):
+                cases.append(
+                    VerifyCase(
+                        index=len(cases),
+                        seed=seed,
+                        cycles=60,
+                        topology=_traffic_variant(
+                            topology, rng, offset=copy * 32
+                        ),
+                        styles=("fsm", "rtl-fsm"),
+                    )
+                )
+        assert len(bucket_cases(cases)) < len(cases)
+        _assert_outcomes_equal(
+            run_cases_vectorized(cases),
+            [run_case(c) for c in cases],
+        )
+
+    def test_deadlocked_lane_matches_scalar(self):
+        """A lane that starves (source tokens run out) deadlocks at the
+        same cycle as its scalar run while other lanes keep going."""
+        cases = _same_shape_cases(4, cycles=200)
+        starved = replace(
+            cases[1].topology,
+            sources=tuple(
+                replace(src, n_tokens=2)
+                for src in cases[1].topology.sources
+            ),
+        )
+        cases[1] = replace(cases[1], topology=starved)
+        scalar = [run_case(c) for c in cases]
+        _assert_outcomes_equal(run_cases_vectorized(cases), scalar)
+
+    def test_poison_token_lane_matches_scalar(self, monkeypatch):
+        """A pearl that raises on one lane's tokens becomes an error
+        StyleRun for that case only — in both paths identically."""
+        cases = _same_shape_cases(4, cycles=100)
+        poison = cases[2].topology.sources[0].base
+        original = MixPearl.on_sync
+
+        def poisoned(self, point_index, popped):
+            if poison in popped.values():
+                raise ValueError("poison token")
+            return original(self, point_index, popped)
+
+        monkeypatch.setattr(MixPearl, "on_sync", poisoned)
+        scalar = [run_case(c) for c in cases]
+        assert not scalar[2].ok
+        assert any(
+            d.check == "exception" for d in scalar[2].divergences
+        )
+        _assert_outcomes_equal(run_cases_vectorized(cases), scalar)
+
+    def test_multiprocess_chunks_match_inline(self):
+        cases = _same_shape_cases(6, cycles=60) + [
+            replace(c, index=c.index + 6)
+            for c in _same_shape_cases(6, cycles=61)
+        ]
+        _assert_outcomes_equal(
+            run_cases_vectorized(cases, lanes=4, jobs=2),
+            run_cases_vectorized(cases, lanes=4),
+        )
+
+
+# -- batch-runner dispatch -----------------------------------------------------
+
+
+class TestRunnerDispatch:
+    def test_vectorized_engine_reaches_lane_path(self, monkeypatch):
+        import repro.verify.vectorize as vectorize_mod
+
+        calls = {}
+        real = vectorize_mod.run_cases_vectorized
+
+        def spy(cases, lanes=DEFAULT_LANES, jobs=1):
+            calls["cases"] = len(cases)
+            calls["jobs"] = jobs
+            return real(cases, lanes=lanes, jobs=jobs)
+
+        monkeypatch.setattr(
+            vectorize_mod, "run_cases_vectorized", spy
+        )
+        config = BatchConfig(
+            cases=3, seed=0, cycles=60, engine="vectorized",
+            shrink=False,
+        )
+        report = BatchRunner(config).run()
+        assert calls == {"cases": 3, "jobs": 1}
+        assert len(report.outcomes) == 3
+
+    def test_vectorized_batch_matches_compiled_batch(self):
+        kwargs = dict(cases=8, seed=3, cycles=100, shrink=False)
+        vec = BatchRunner(
+            BatchConfig(engine="vectorized", **kwargs)
+        ).run()
+        ref = BatchRunner(
+            BatchConfig(engine="compiled", **kwargs)
+        ).run()
+        assert vec.outcomes == ref.outcomes
+
+    def test_engine_survives_config_resolution(self):
+        config = BatchConfig(cases=1, engine="vectorized")
+        assert config.engine == "vectorized"
+        assert all(
+            c.engine == "vectorized" for c in make_cases(config)
+        )
