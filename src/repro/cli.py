@@ -24,7 +24,14 @@ Subcommands:
   (:mod:`repro.verify.vectorize`) with identical results;
   ``--list-styles`` prints the style registry;
   ``--coverage`` / ``--coverage-json`` report topology-shape
-  histograms;
+  histograms; ``--timeout``/``--retries`` bound each case's wall
+  clock and retry budget under the supervised worker pool
+  (:mod:`repro.verify.supervise` — crashes and hangs become
+  structured ``crash``/``timeout`` outcomes), ``--checkpoint FILE
+  [--resume]`` streams outcomes into a resumable campaign journal
+  (:mod:`repro.verify.campaign`), and ``--chaos SPEC`` injects
+  seeded worker faults to exercise exactly that machinery; Ctrl-C
+  prints the partial summary, flushes the journal, and exits 130;
 * ``coverage-diff`` — compare two ``--coverage-json`` artifacts and
   exit nonzero when the new batch's histogram support shrank
   (CI trend tracking).
@@ -125,8 +132,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         BatchRunner,
         VerifyCase,
         format_style_registry,
+        parse_chaos,
         run_case,
         styles_for_traffic,
+        write_atomic,
     )
 
     if args.list_styles:
@@ -207,7 +216,18 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"  {divergence}")
         return 1
 
+    if args.resume and args.checkpoint is None:
+        print(
+            "error: --resume needs --checkpoint <file> to resume from",
+            file=sys.stderr,
+        )
+        return 2
     try:
+        chaos = (
+            parse_chaos(args.chaos, args.cases)
+            if args.chaos is not None
+            else None
+        )
         config = BatchConfig(
             cases=args.cases,
             seed=args.seed,
@@ -222,29 +242,50 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             perturb_floorplan=args.perturb_floorplan,
             perturb_styles=args.perturb_styles,
             perturb_dynamic=args.perturb_dynamic,
+            timeout=args.timeout,
+            retries=args.retries,
+            retry_backoff=args.retry_backoff,
+            chaos=chaos,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = BatchRunner(config).run()
-    print(report.summary())
-    if report.coverage is not None:
-        if args.coverage:
-            print(report.coverage.render())
-        if args.coverage_json is not None:
-            path = pathlib.Path(args.coverage_json)
-            if path.parent != pathlib.Path(""):
-                path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(report.coverage.to_json())
-            print(f"wrote coverage JSON to {path}")
-    if args.out is not None:
-        out_dir = pathlib.Path(args.out)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        for outcome, topology in report.shrunk:
-            path = out_dir / f"case{outcome.index}_minimal.json"
-            path.write_text(json.dumps(topology, indent=2) + "\n")
-            print(f"wrote {path}")
-    return 0 if report.ok else 1
+    try:
+        try:
+            report = BatchRunner(
+                config,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            ).run()
+        except (ValueError, OSError) as exc:
+            # Journal problems: unreadable file, wrong campaign, …
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report.summary())
+        if report.coverage is not None:
+            if args.coverage:
+                print(report.coverage.render())
+            if args.coverage_json is not None:
+                path = pathlib.Path(args.coverage_json)
+                if path.parent != pathlib.Path(""):
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                write_atomic(path, report.coverage.to_json())
+                print(f"wrote coverage JSON to {path}")
+        if args.out is not None:
+            out_dir = pathlib.Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for outcome, topology in report.shrunk:
+                path = out_dir / f"case{outcome.index}_minimal.json"
+                write_atomic(path, json.dumps(topology, indent=2) + "\n")
+                print(f"wrote {path}")
+        if report.interrupted:
+            return 130
+        return 0 if report.ok else 1
+    except KeyboardInterrupt:
+        # A second Ctrl-C (or one outside the runner's window): the
+        # journal, if any, was flushed per case — just exit cleanly.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 def _cmd_coverage_diff(args: argparse.Namespace) -> int:
@@ -418,6 +459,51 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--no-shrink", action="store_true",
         help="skip minimizing failing cases",
+    )
+    verify.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-case wall-clock budget; a case past it is killed and "
+            "retried, then reported as a structured 'timeout' outcome "
+            "(lane batches get timeout x lane count; default: none)"
+        ),
+    )
+    verify.add_argument(
+        "--retries", type=int, default=1,
+        help=(
+            "extra attempts a crashed or timed-out case gets before "
+            "its fault is finalized as an outcome (default: 1)"
+        ),
+    )
+    verify.add_argument(
+        "--retry-backoff", type=float, default=0.1, metavar="SECONDS",
+        help=(
+            "base of the capped exponential delay between retries "
+            "(default: 0.1, capped at 5s)"
+        ),
+    )
+    verify.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help=(
+            "seeded worker-fault injection, e.g. 'crash:3,11;hang:7;"
+            "flaky:5' (explicit case indices) or 'seed:7;"
+            "crash-rate:0.1;hang-rate:0.05;flaky-rate:0.1;hang-s:30' "
+            "(seeded draws); exercises the supervised fault model"
+        ),
+    )
+    verify.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help=(
+            "stream finished outcomes into a resumable JSONL campaign "
+            "journal (config header + one record per case, fsynced)"
+        ),
+    )
+    verify.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "resume from the --checkpoint journal: replay recorded "
+            "outcomes, run only the remainder"
+        ),
     )
     verify.add_argument(
         "--out", default=None,

@@ -64,12 +64,19 @@ Failing cases are shrunk to minimal reproducers
 (:func:`repro.verify.shrink_case`) and reported with their topology as
 JSON; failing perturbations shrink further, to the minimal divergent
 base-plus-variant pair.  The :class:`BatchRunner` fans cases across
-``concurrent.futures`` workers with deterministic per-case seeds, so
-``repro verify --cases N --seed S`` is reproducible at any job count,
-and every batch carries a topology-shape coverage report
-(:mod:`repro.verify.coverage`) rendered by ``repro verify --coverage``
-or exported as JSON for CI trend tracking (``repro coverage-diff``
-compares two such artifacts and fails on shrinking support).
+**supervised** worker processes (:mod:`repro.verify.supervise`) with
+deterministic per-case seeds, so ``repro verify --cases N --seed S``
+is reproducible at any job count; a worker that crashes or hangs past
+the per-case ``--timeout`` becomes a structured ``crash``/``timeout``
+outcome (retried ``--retries`` times first) instead of sinking the
+batch, ``--checkpoint``/``--resume`` stream outcomes into a resumable
+campaign journal (:mod:`repro.verify.campaign`), and the fault model
+itself is exercised by seeded fault injection
+(:mod:`repro.verify.chaos`, ``--chaos``).  Every batch carries a
+topology-shape coverage report (:mod:`repro.verify.coverage`) rendered
+by ``repro verify --coverage`` or exported as JSON for CI trend
+tracking (``repro coverage-diff`` compares two such artifacts and
+fails on shrinking support).
 """
 
 from .styles import (
@@ -132,8 +139,28 @@ from .regular import (
     plan_static_activation,
     plan_topology_activations,
 )
-from .runner import BatchConfig, BatchReport, BatchRunner, make_cases
+from .campaign import (
+    CampaignJournal,
+    config_fingerprint,
+    open_journal,
+    write_atomic,
+)
+from .chaos import CHAOS_EXIT, ChaosConfig, parse_chaos
+from .runner import (
+    BatchConfig,
+    BatchReport,
+    BatchRunner,
+    make_cases,
+    reproducer_dict,
+    run_cases_supervised,
+)
 from .shrink import shrink_case
+from .supervise import (
+    MAX_BACKOFF,
+    SupervisedPool,
+    WorkerFault,
+    backoff_delay,
+)
 from .vectorize import (
     DEFAULT_LANES,
     LaneRTLShell,
@@ -151,8 +178,11 @@ __all__ = [
     "BatchConfig",
     "BatchReport",
     "BatchRunner",
+    "CHAOS_EXIT",
     "CYCLE_EXACT_PAIRS",
+    "CampaignJournal",
     "CaseOutcome",
+    "ChaosConfig",
     "CoverageDiff",
     "CoverageReport",
     "CycleExactOracle",
@@ -161,6 +191,7 @@ __all__ = [
     "Divergence",
     "ExceptionOracle",
     "LaneRTLShell",
+    "MAX_BACKOFF",
     "MixPearl",
     "Oracle",
     "PERTURB_STYLE_MODES",
@@ -173,24 +204,32 @@ __all__ = [
     "StreamPrefixOracle",
     "StyleRun",
     "StyleSpec",
+    "SupervisedPool",
     "VerifyCase",
+    "WorkerFault",
+    "backoff_delay",
     "bucket_cases",
     "build_system",
     "case_variants",
     "check_perturbations",
     "chunk_cases",
+    "config_fingerprint",
     "cycle_exact_pairs",
     "default_pipeline",
     "diff_coverage",
     "format_style_registry",
     "get_style",
     "make_cases",
+    "open_journal",
+    "parse_chaos",
     "perturb_style_set",
     "plan_static_activation",
     "plan_topology_activations",
     "register_style",
     "registered_styles",
+    "reproducer_dict",
     "run_case",
+    "run_cases_supervised",
     "run_cases_vectorized",
     "run_pipeline",
     "run_styles",
@@ -205,4 +244,5 @@ __all__ = [
     "topology_marked_graph",
     "uniform_loop_bounds",
     "vectorizable_style",
+    "write_atomic",
 ]

@@ -1,0 +1,294 @@
+"""Resumable campaign journals: checkpoint a batch, resume after a kill.
+
+A long campaign that dies at case 9,999 of 10,000 should not restart
+from zero.  ``repro verify --checkpoint file`` streams every finished
+:class:`~repro.verify.cases.CaseOutcome` into a JSONL journal as it
+lands; ``--resume`` replays the journal's outcomes and runs only the
+remainder.  This journal is the embryo of the ROADMAP's campaign
+results store.
+
+Journal layout (one JSON object per line):
+
+* line 1 — a ``header`` record: journal version plus the batch's
+  *result fingerprint* — every :class:`~repro.verify.runner.BatchConfig`
+  field that determines outcomes (cases, seed, cycles, styles,
+  profile, traffic, deadlock window, engine, perturbation, chaos).
+  Liveness-only knobs (jobs, timeout, retries, backoff, shrink) are
+  deliberately excluded: resuming with more workers or a different
+  timeout is fine, resuming a different batch is an error.
+* following lines — one ``outcome`` record per finished case, written
+  with ``flush`` + ``fsync`` so a SIGKILL costs at most the in-flight
+  case.
+
+Keys are emitted sorted, so fault-free journals of the same campaign
+are byte-comparable after a sort by case index.  A truncated trailing
+line (the record being written when the process died) is tolerated on
+load: :meth:`CampaignJournal.resume` truncates the file back to the
+last complete record before appending.
+
+Also home to :func:`write_atomic`, the temp-file + ``os.replace``
+helper that keeps reproducer/coverage JSON writes crash-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import IO, Mapping
+
+from .cases import CaseOutcome, Divergence
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "CampaignJournal",
+    "config_fingerprint",
+    "open_journal",
+    "outcome_from_record",
+    "outcome_to_record",
+    "write_atomic",
+]
+
+JOURNAL_VERSION = 1
+
+
+def write_atomic(path: Path | str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically: temp file in the same
+    directory, fsync, then ``os.replace`` — a crash mid-write leaves
+    either the old file or the new one, never a truncated hybrid."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def config_fingerprint(config) -> dict:
+    """The result-determining identity of a batch config.
+
+    Everything that feeds the job-count-independence invariant —
+    results are a pure function of these fields — and nothing that
+    only affects liveness (jobs, timeout, retries, backoff) or
+    reporting (shrink).
+    """
+    profile = config.profile
+    if is_dataclass(profile) and not isinstance(profile, type):
+        profile = {"custom": asdict(profile)}
+    chaos = config.chaos
+    return {
+        "cases": config.cases,
+        "seed": config.seed,
+        "cycles": config.cycles,
+        "styles": list(config.styles),
+        "profile": profile,
+        "traffic": config.traffic,
+        "deadlock_window": config.deadlock_window,
+        "engine": config.engine,
+        "perturb": config.perturb,
+        "perturb_floorplan": config.perturb_floorplan,
+        "perturb_styles": config.perturb_styles,
+        "perturb_dynamic": config.perturb_dynamic,
+        "chaos": None if chaos is None else chaos.to_dict(),
+    }
+
+
+def outcome_to_record(outcome: CaseOutcome) -> dict:
+    """One journal line's payload for a finished case."""
+    return {
+        "kind": "outcome",
+        "case": outcome.index,
+        "seed": outcome.seed,
+        "status": outcome.status,
+        "attempts": outcome.attempts,
+        "fault": outcome.fault,
+        "checks": outcome.checks,
+        "sink_tokens": outcome.sink_tokens,
+        "topology_stats": outcome.topology_stats,
+        "cycles_executed": outcome.cycles_executed,
+        "divergences": [
+            {
+                "check": d.check,
+                "style": d.style,
+                "subject": d.subject,
+                "detail": d.detail,
+            }
+            for d in outcome.divergences
+        ],
+    }
+
+
+def outcome_from_record(record: Mapping) -> CaseOutcome:
+    return CaseOutcome(
+        index=record["case"],
+        seed=record["seed"],
+        checks=record.get("checks", 0),
+        divergences=[
+            Divergence(
+                check=d["check"],
+                style=d["style"],
+                subject=d["subject"],
+                detail=d["detail"],
+            )
+            for d in record.get("divergences", ())
+        ],
+        cycles_executed=dict(record.get("cycles_executed", {})),
+        sink_tokens=record.get("sink_tokens", 0),
+        topology_stats=record.get("topology_stats", ""),
+        status=record.get("status", "completed"),
+        attempts=record.get("attempts", 1),
+        fault=record.get("fault"),
+    )
+
+
+class CampaignJournal:
+    """Append-only JSONL checkpoint of one campaign."""
+
+    def __init__(self, path: Path, handle: IO[str]) -> None:
+        self.path = path
+        self._handle = handle
+
+    # -- creation / resumption -------------------------------------------------
+
+    @classmethod
+    def create(cls, path: Path | str, config) -> "CampaignJournal":
+        """Start a fresh journal (truncating any existing file)."""
+        path = Path(path)
+        handle = open(path, "w")
+        journal = cls(path, handle)
+        journal._append(
+            {
+                "kind": "header",
+                "version": JOURNAL_VERSION,
+                "config": config_fingerprint(config),
+                "info": {
+                    "jobs": config.jobs,
+                    "timeout": config.timeout,
+                    "retries": config.retries,
+                },
+            }
+        )
+        return journal
+
+    @classmethod
+    def resume(
+        cls, path: Path | str, config
+    ) -> tuple["CampaignJournal", dict[int, CaseOutcome]]:
+        """Reopen ``path``, validate it belongs to ``config``'s
+        campaign, and return the journal (positioned for appends)
+        plus the outcomes already on record, keyed by case index.
+
+        A truncated trailing line — the record in flight when the
+        campaign was killed — is dropped and the file truncated back
+        to the last complete record."""
+        path = Path(path)
+        if not path.exists():
+            raise ValueError(
+                f"cannot resume: no journal at {path} "
+                "(run once with --checkpoint to create it)"
+            )
+        header, outcomes, valid_bytes = cls._load(path)
+        if header is None:
+            raise ValueError(
+                f"cannot resume: {path} has no readable journal header"
+            )
+        version = header.get("version")
+        if version != JOURNAL_VERSION:
+            raise ValueError(
+                f"cannot resume: {path} is journal version {version}, "
+                f"this build writes version {JOURNAL_VERSION}"
+            )
+        recorded = header.get("config")
+        expected = config_fingerprint(config)
+        if recorded != expected:
+            mismatched = sorted(
+                key
+                for key in expected
+                if (recorded or {}).get(key) != expected[key]
+            )
+            raise ValueError(
+                f"cannot resume: journal {path} belongs to a different "
+                f"campaign (mismatched: {', '.join(mismatched)})"
+            )
+        handle = open(path, "r+")
+        handle.truncate(valid_bytes)
+        handle.seek(valid_bytes)
+        return cls(path, handle), outcomes
+
+    @staticmethod
+    def _load(
+        path: Path,
+    ) -> tuple[dict | None, dict[int, CaseOutcome], int]:
+        """Tolerant line-by-line parse: returns the header, the
+        outcomes by case index, and the byte offset just past the last
+        complete, parseable record."""
+        header: dict | None = None
+        outcomes: dict[int, CaseOutcome] = {}
+        valid_bytes = 0
+        with open(path, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break  # in-flight record from a killed writer
+                try:
+                    record = json.loads(raw)
+                except ValueError:
+                    break
+                if not isinstance(record, dict):
+                    break
+                kind = record.get("kind")
+                if kind == "header" and header is None:
+                    header = record
+                elif kind == "outcome" and header is not None:
+                    try:
+                        outcome = outcome_from_record(record)
+                    except (KeyError, TypeError):
+                        break
+                    outcomes[outcome.index] = outcome
+                else:
+                    break
+                valid_bytes += len(raw)
+        return header, outcomes, valid_bytes
+
+    # -- appends ---------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record(self, outcome: CaseOutcome) -> None:
+        """Checkpoint one finished case (flushed and fsynced — a kill
+        after this returns can never lose the outcome)."""
+        self._append(outcome_to_record(outcome))
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_journal(
+    path: Path | str, config, resume: bool
+) -> tuple[CampaignJournal, dict[int, CaseOutcome]]:
+    """``--checkpoint``/``--resume`` entry point: resume an existing
+    journal (validated against ``config``) or start a fresh one."""
+    if resume:
+        return CampaignJournal.resume(path, config)
+    return CampaignJournal.create(path, config), {}

@@ -277,7 +277,16 @@ class Divergence:
 
 @dataclass
 class CaseOutcome:
-    """Everything :func:`run_case` learned about one case."""
+    """Everything :func:`run_case` learned about one case.
+
+    ``status`` is ``"completed"`` when the case actually ran;
+    supervised campaigns (:mod:`repro.verify.runner`) finalize a case
+    whose worker died or blew its deadline as ``"crash"`` /
+    ``"timeout"``, with ``fault`` carrying the supervisor's detail and
+    ``attempts`` the number of execution attempts spent.  Faulted
+    outcomes carry no verification data — they are a liveness record,
+    not a divergence.
+    """
 
     index: int
     seed: int
@@ -286,10 +295,17 @@ class CaseOutcome:
     cycles_executed: dict[str, int] = field(default_factory=dict)
     sink_tokens: int = 0
     topology_stats: str = ""
+    status: str = "completed"
+    attempts: int = 1
+    fault: str | None = None
 
     @property
     def ok(self) -> bool:
         return not self.divergences
+
+    @property
+    def faulted(self) -> bool:
+        return self.status != "completed"
 
 
 @dataclass

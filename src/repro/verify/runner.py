@@ -1,17 +1,27 @@
-"""Batch execution of verification cases across worker processes.
+"""Batch execution of verification cases across supervised workers.
 
 Per-case seeds are drawn once from the master seed, so the case list —
 and therefore the whole report — is a pure function of
 ``(seed, cases, profile, traffic)``: changing ``--jobs`` only changes
 wall clock, never results.
+
+Fan-out goes through the supervised pool
+(:mod:`repro.verify.supervise`): a worker that segfaults, is
+OOM-killed, or hangs past the per-case ``timeout`` is killed and
+replaced, its case retried up to ``retries`` times with capped
+backoff, and — if it keeps failing — finalized as a structured
+``crash``/``timeout`` :class:`~repro.verify.cases.CaseOutcome`
+instead of sinking the batch.  With ``--checkpoint`` every finished
+outcome streams into a resumable campaign journal
+(:mod:`repro.verify.campaign`).
 """
 
 from __future__ import annotations
 
 import random
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from ..rtl.simulator import resolve_engine
 from ..sched.generate import (
@@ -23,10 +33,16 @@ from ..sched.generate import (
     variant_to_dict,
 )
 from .cases import CaseOutcome, VerifyCase, run_case
+from .chaos import ChaosConfig
 from .coverage import CoverageReport
 from .perturb import PERTURB_STYLE_MODES
 from .shrink import shrink_case
 from .styles import styles_for_traffic
+from .supervise import SupervisedPool, WorkerFault
+
+#: A shrink re-simulates its case many times while bisecting, so its
+#: wall-clock guard is the per-case timeout scaled by this factor.
+SHRINK_TIMEOUT_SCALE = 16
 
 
 @dataclass(frozen=True)
@@ -69,7 +85,21 @@ class BatchConfig:
       per-variant cycle-exact checks);
     * ``perturb_dynamic`` — add dynamic-latency variants: seeded
       mid-run link/relay stall plans (:mod:`repro.lis.stall`) over
-      the unchanged topology.
+      the unchanged topology;
+    * ``timeout`` — per-case wall-clock seconds before the supervisor
+      kills and retries/faults the case (``None`` disables deadlines;
+      lane batches get ``timeout × lane count``);
+    * ``retries`` / ``retry_backoff`` — how many extra attempts a
+      crashed or timed-out case gets, and the base of the capped
+      exponential delay between them (:func:`~repro.verify.supervise.
+      backoff_delay`);
+    * ``chaos`` — optional seeded fault-injection plan
+      (:class:`~repro.verify.chaos.ChaosConfig`), applied worker-side
+      to exercise the fault model; forces supervised (subprocess)
+      execution even at ``jobs=1``.
+
+    ``timeout``, ``retries``, ``retry_backoff`` and ``jobs`` affect
+    liveness only — never results.
     """
 
     cases: int = 50
@@ -86,6 +116,10 @@ class BatchConfig:
     perturb_floorplan: bool = False
     perturb_styles: str = "reference"
     perturb_dynamic: bool = False
+    timeout: float | None = None
+    retries: int = 1
+    retry_backoff: float = 0.1
+    chaos: ChaosConfig | None = None
 
     def __post_init__(self) -> None:
         if self.cases < 1:
@@ -94,6 +128,17 @@ class BatchConfig:
             raise ValueError("need at least one job")
         if self.cycles < 1:
             raise ValueError("need at least one cycle")
+        if self.deadlock_window is not None and self.deadlock_window < 1:
+            raise ValueError(
+                "deadlock window must be at least one cycle "
+                "(use None to disable the early exit)"
+            )
+        if self.timeout is not None and not self.timeout > 0:
+            raise ValueError("per-case timeout must be positive")
+        if self.retries < 0:
+            raise ValueError("retry count must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry backoff must be >= 0")
         if self.perturb < 0:
             raise ValueError("perturb variant count must be >= 0")
         if self.perturb_styles not in PERTURB_STYLE_MODES:
@@ -173,19 +218,56 @@ def make_cases(config: BatchConfig) -> list[VerifyCase]:
     ]
 
 
+def reproducer_dict(minimal: VerifyCase) -> dict:
+    """The replayable reproducer JSON of a (shrunk) case: topology plus
+    the run parameters ``--repro`` needs to replay it exactly as it
+    failed."""
+    reproducer = topology_to_dict(minimal.topology)
+    reproducer["cycles"] = minimal.cycles
+    reproducer["deadlock_window"] = minimal.deadlock_window
+    reproducer["styles"] = list(minimal.styles)
+    # Without these two, a replay would run under seed 0 and whatever
+    # engine the replaying CLI defaults to — silently missing seed- or
+    # engine-dependent failures.
+    reproducer["seed"] = minimal.seed
+    reproducer["engine"] = minimal.engine
+    if minimal.variants is not None or minimal.perturb:
+        reproducer["perturb"] = (
+            len(minimal.variants)
+            if minimal.variants is not None
+            else minimal.perturb
+        )
+        reproducer["perturb_floorplan"] = minimal.perturb_floorplan
+        reproducer["perturb_styles"] = minimal.perturb_styles
+        reproducer["perturb_dynamic"] = minimal.perturb_dynamic
+    if minimal.variants is not None:
+        # Perturbed cases shrink to a pinned variant set (ideally one:
+        # the minimal divergent pair, with a minimal stall plan for
+        # dynamic variants).
+        reproducer["variants"] = [
+            variant_to_dict(variant) for variant in minimal.variants
+        ]
+    return reproducer
+
+
 @dataclass
 class BatchReport:
     """Aggregated outcome of one batch.
 
     * ``config`` — the :class:`BatchConfig` the batch ran with;
     * ``outcomes`` — one :class:`~repro.verify.cases.CaseOutcome` per
-      case, in case order;
+      case, in case order (on an interrupted run: per *finished*
+      case);
     * ``duration_s`` — wall-clock seconds for the whole batch;
     * ``shrunk`` — for each failing case, the minimal reproducer's
       topology JSON (replayable with ``repro verify --repro``);
     * ``coverage`` — topology-shape histograms over the batch's case
       list (:class:`~repro.verify.coverage.CoverageReport`), rendered
-      by ``repro verify --coverage``.
+      by ``repro verify --coverage``;
+    * ``interrupted`` — the batch was cut short (Ctrl-C); the report
+      covers the cases finished so far;
+    * ``shrink_faults`` — ``(case index, detail)`` for shrinks the
+      supervisor had to abandon (hang/crash while minimizing).
     """
 
     config: BatchConfig
@@ -193,20 +275,46 @@ class BatchReport:
     duration_s: float
     shrunk: list[tuple[CaseOutcome, dict]] = field(default_factory=list)
     coverage: CoverageReport | None = None
+    interrupted: bool = False
+    shrink_faults: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def completed(self) -> list[CaseOutcome]:
+        """Outcomes whose case actually ran to completion."""
+        return [o for o in self.outcomes if not o.faulted]
+
+    @property
+    def faulted(self) -> list[CaseOutcome]:
+        """Crash/timeout outcomes (no verification data, liveness
+        record only)."""
+        return [o for o in self.outcomes if o.faulted]
+
+    @property
+    def crashes(self) -> list[CaseOutcome]:
+        return [o for o in self.outcomes if o.status == "crash"]
+
+    @property
+    def timeouts(self) -> list[CaseOutcome]:
+        return [o for o in self.outcomes if o.status == "timeout"]
 
     @property
     def vacuous(self) -> bool:
         """True when the whole batch moved zero sink tokens — every
-        case stalled, so the differential checks compared nothing."""
+        completed case stalled, so the differential checks compared
+        nothing.  Faulted cases carry no data and don't count either
+        way."""
         return bool(self.outcomes) and not any(
-            outcome.sink_tokens for outcome in self.outcomes
+            outcome.sink_tokens for outcome in self.completed
         )
 
     @property
     def ok(self) -> bool:
         # A batch that verified nothing must not read as a pass: a
         # regression that deadlocks every wrapper style produces clean
-        # prefix/trace comparisons over empty data.
+        # prefix/trace comparisons over empty data.  Faulted cases are
+        # a liveness event, not a divergence — they don't fail the
+        # batch (the summary reports them; rerun or retry to close the
+        # gap).
         return not self.failures and not self.vacuous
 
     @property
@@ -231,9 +339,15 @@ class BatchReport:
             )
             if self.config.perturb_styles != "reference":
                 perturb += f" ({self.config.perturb_styles} styles)"
+        faults = ""
+        if self.faulted:
+            faults = (
+                f", {len(self.crashes)} crashed, "
+                f"{len(self.timeouts)} timed out"
+            )
         lines = [
             f"verify: {total} cases, {self.checks} cross-checks, "
-            f"{failed} divergent, seed {self.config.seed}, "
+            f"{failed} divergent{faults}, seed {self.config.seed}, "
             f"profile {self.config.profile_name}, "
             f"traffic {self.config.traffic_name}, "
             f"engine {self.config.engine}"
@@ -248,6 +362,13 @@ class BatchReport:
             )
             for divergence in outcome.divergences:
                 lines.append(f"    {divergence}")
+        for outcome in self.faulted:
+            plural = "s" if outcome.attempts != 1 else ""
+            lines.append(
+                f"  case {outcome.index} (seed {outcome.seed}): "
+                f"{outcome.status} after {outcome.attempts} "
+                f"attempt{plural} — {outcome.fault}"
+            )
         for outcome, topology in self.shrunk:
             variants = topology.get("variants")
             with_variants = (
@@ -261,6 +382,22 @@ class BatchReport:
                 f"{with_variants} — replay "
                 "with `repro verify --repro <file.json>`"
             )
+        for index, detail in self.shrink_faults:
+            lines.append(
+                f"  shrink abandoned for case {index}: {detail} "
+                "(reproducer not minimized)"
+            )
+        if self.interrupted:
+            done = len(self.outcomes)
+            lines.append(
+                f"  INTERRUPTED after {done}/{self.config.cases} "
+                "cases — partial report"
+                + (
+                    "; resume with --checkpoint <file> --resume"
+                    if done < self.config.cases
+                    else ""
+                )
+            )
         if self.vacuous:
             lines.append(
                 "  VACUOUS: no sink received a single token in any "
@@ -271,77 +408,258 @@ class BatchReport:
         return "\n".join(lines)
 
 
-class BatchRunner:
-    """Fans verification cases over ``concurrent.futures`` workers."""
+# -- supervised fan-out --------------------------------------------------------
 
-    def __init__(self, config: BatchConfig) -> None:
+
+def _campaign_worker(
+    cases: list[VerifyCase], attempt: int, chaos: ChaosConfig | None
+) -> list[CaseOutcome]:
+    """Worker-side unit of campaign work: one case (scalar) or one
+    same-shape lane chunk (vectorized).  Runs in a supervised child
+    process; the chaos hook fires *before* the work so an injected
+    crash looks exactly like a real worker death."""
+    if chaos is not None:
+        for case in cases:
+            chaos.apply(case.index, attempt)
+    if len(cases) == 1:
+        outcomes = [run_case(cases[0])]
+    else:
+        from .vectorize import run_chunk
+
+        outcomes = run_chunk(list(cases))
+    for outcome in outcomes:
+        outcome.attempts = attempt + 1
+    return outcomes
+
+
+def _split_chunk(cases: list[VerifyCase]) -> list[list[VerifyCase]] | None:
+    """Supervised-pool split policy: a faulting multi-case lane chunk
+    degrades to per-case scalar singletons (fresh retry budgets);
+    singletons retry as themselves."""
+    if len(cases) <= 1:
+        return None
+    return [[case] for case in cases]
+
+
+def _fault_outcome(case: VerifyCase, fault: WorkerFault) -> CaseOutcome:
+    """The structured outcome of a case the supervisor gave up on."""
+    return CaseOutcome(
+        index=case.index,
+        seed=case.seed,
+        topology_stats=case.topology.stats(),
+        status=fault.kind,
+        attempts=fault.attempts,
+        fault=fault.detail,
+    )
+
+
+def run_cases_supervised(
+    cases: list[VerifyCase],
+    *,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = 1,
+    backoff: float = 0.1,
+    chaos: ChaosConfig | None = None,
+    lanes: int | None = None,
+    on_result=None,
+) -> list[CaseOutcome]:
+    """Run ``cases`` under the supervised pool; crashes and timeouts
+    become ``crash``/``timeout`` outcomes instead of exceptions.
+
+    With ``lanes`` set, cases are shape-bucketed into vectorized lane
+    chunks (:mod:`repro.verify.vectorize`); a chunk whose worker
+    faults is split back to scalar singletons so one poisoned lane
+    can't sink its bucket.  ``on_result`` fires once per finalized
+    outcome, in completion order (the checkpoint journal hangs off
+    it); the returned list is in case order.
+    """
+    if lanes is not None:
+        from .vectorize import chunk_cases
+
+        payloads = chunk_cases(cases, lanes)
+    else:
+        payloads = [[case] for case in cases]
+    outcomes: list[CaseOutcome] = []
+
+    def handle(payload: list[VerifyCase], result) -> None:
+        if isinstance(result, WorkerFault):
+            finalized = [_fault_outcome(case, result) for case in payload]
+        else:
+            finalized = result
+        for outcome in finalized:
+            outcomes.append(outcome)
+            if on_result is not None:
+                on_result(outcome)
+
+    pool = SupervisedPool(
+        _campaign_worker,
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        worker_args=(chaos,),
+        split=_split_chunk,
+        timeout_scale=len,
+    )
+    pool.run(payloads, on_result=handle)
+    return sorted(outcomes, key=lambda outcome: outcome.index)
+
+
+def _shrink_worker(case: VerifyCase, attempt: int) -> dict:
+    """Supervised shrink: minimize one failing case and return its
+    reproducer JSON (runs in a child so a hanging shrink can be
+    killed without wedging the finished report)."""
+    return reproducer_dict(shrink_case(case))
+
+
+class BatchRunner:
+    """Fans verification cases over supervised worker processes.
+
+    ``checkpoint`` streams finished outcomes into a campaign journal
+    (:mod:`repro.verify.campaign`); with ``resume`` the journal's
+    recorded outcomes are replayed and only the remainder runs.
+    ``KeyboardInterrupt`` yields a partial report
+    (``report.interrupted``) instead of a traceback — the journal
+    holds everything finished before the interrupt.
+    """
+
+    def __init__(
+        self,
+        config: BatchConfig,
+        checkpoint: Path | str | None = None,
+        resume: bool = False,
+    ) -> None:
         self.config = config
+        self.checkpoint = checkpoint
+        self.resume = resume
 
     def run(self) -> BatchReport:
         config = self.config
         cases = make_cases(config)
         started = time.perf_counter()
-        if config.engine == "vectorized":
-            # Shape-bucketed lane batching: same-shape cases share one
-            # vector RTL simulation; results are case-order identical
-            # to the scalar path.
-            from .vectorize import run_cases_vectorized
+        journal = None
+        outcomes_by_index: dict[int, CaseOutcome] = {}
+        if self.checkpoint is not None:
+            from .campaign import open_journal
 
-            outcomes = run_cases_vectorized(cases, jobs=config.jobs)
-        elif config.jobs == 1:
-            outcomes = [run_case(case) for case in cases]
-        else:
-            chunksize = max(1, len(cases) // (config.jobs * 4))
-            with ProcessPoolExecutor(
-                max_workers=config.jobs
-            ) as executor:
-                outcomes = list(
-                    executor.map(run_case, cases, chunksize=chunksize)
-                )
-        duration = time.perf_counter() - started
-        report = BatchReport(
-            config=config,
-            outcomes=outcomes,
-            duration_s=duration,
-            coverage=CoverageReport.from_cases(cases),
+            journal, outcomes_by_index = open_journal(
+                self.checkpoint, config, self.resume
+            )
+        try:
+            remaining = [
+                case
+                for case in cases
+                if case.index not in outcomes_by_index
+            ]
+
+            def record(outcome: CaseOutcome) -> None:
+                outcomes_by_index[outcome.index] = outcome
+                if journal is not None:
+                    journal.record(outcome)
+
+            interrupted = False
+            try:
+                self._execute(remaining, record)
+            except KeyboardInterrupt:
+                interrupted = True
+            duration = time.perf_counter() - started
+            report = BatchReport(
+                config=config,
+                outcomes=[
+                    outcomes_by_index[index]
+                    for index in sorted(outcomes_by_index)
+                ],
+                duration_s=duration,
+                coverage=CoverageReport.from_cases(cases),
+                interrupted=interrupted,
+            )
+            if config.shrink and not interrupted:
+                try:
+                    self._shrink(report, cases)
+                except KeyboardInterrupt:
+                    report.interrupted = True
+            return report
+        finally:
+            if journal is not None:
+                journal.close()
+
+    def _execute(self, cases: list[VerifyCase], record) -> None:
+        """Run ``cases``, calling ``record`` once per finished outcome
+        (in completion order)."""
+        config = self.config
+        if not cases:
+            return
+        supervised = (
+            config.jobs > 1
+            or config.timeout is not None
+            or config.chaos is not None
         )
-        if config.shrink:
-            case_by_index = {case.index: case for case in cases}
-            for outcome in report.failures:
+        if supervised:
+            from .vectorize import DEFAULT_LANES
+
+            run_cases_supervised(
+                cases,
+                jobs=config.jobs,
+                timeout=config.timeout,
+                retries=config.retries,
+                backoff=config.retry_backoff,
+                chaos=config.chaos,
+                lanes=(
+                    DEFAULT_LANES
+                    if config.engine == "vectorized"
+                    else None
+                ),
+                on_result=record,
+            )
+        elif config.engine == "vectorized":
+            # Shape-bucketed lane batching in-process: same-shape cases
+            # share one vector RTL simulation; results are case-order
+            # identical to the scalar path.
+            from .vectorize import chunk_cases, run_chunk
+
+            for chunk in chunk_cases(cases):
+                for outcome in run_chunk(chunk):
+                    record(outcome)
+        else:
+            for case in cases:
+                record(run_case(case))
+
+    def _shrink(
+        self, report: BatchReport, cases: list[VerifyCase]
+    ) -> None:
+        """Minimize the report's failing cases into reproducers.  With
+        a per-case ``timeout`` configured, shrinks run supervised under
+        ``timeout × SHRINK_TIMEOUT_SCALE`` so a hanging shrink is
+        abandoned (``report.shrink_faults``), never a wedge."""
+        config = self.config
+        failures = report.failures
+        if not failures:
+            return
+        case_by_index = {case.index: case for case in cases}
+        if config.timeout is None:
+            for outcome in failures:
                 minimal = shrink_case(case_by_index[outcome.index])
-                # Carry the run parameters alongside the topology so
-                # `--repro` replays the case exactly as it failed.
-                reproducer = topology_to_dict(minimal.topology)
-                reproducer["cycles"] = minimal.cycles
-                reproducer["deadlock_window"] = minimal.deadlock_window
-                reproducer["styles"] = list(minimal.styles)
-                # Without these two, a replay would run under seed 0
-                # and whatever engine the replaying CLI defaults to —
-                # silently missing seed- or engine-dependent failures.
-                reproducer["seed"] = minimal.seed
-                reproducer["engine"] = minimal.engine
-                if minimal.variants is not None or minimal.perturb:
-                    reproducer["perturb"] = (
-                        len(minimal.variants)
-                        if minimal.variants is not None
-                        else minimal.perturb
-                    )
-                    reproducer["perturb_floorplan"] = (
-                        minimal.perturb_floorplan
-                    )
-                    reproducer["perturb_styles"] = (
-                        minimal.perturb_styles
-                    )
-                    reproducer["perturb_dynamic"] = (
-                        minimal.perturb_dynamic
-                    )
-                if minimal.variants is not None:
-                    # Perturbed cases shrink to a pinned variant set
-                    # (ideally one: the minimal divergent pair, with a
-                    # minimal stall plan for dynamic variants).
-                    reproducer["variants"] = [
-                        variant_to_dict(variant)
-                        for variant in minimal.variants
-                    ]
-                report.shrunk.append((outcome, reproducer))
-        return report
+                report.shrunk.append((outcome, reproducer_dict(minimal)))
+            return
+        pool = SupervisedPool(
+            _shrink_worker,
+            jobs=min(config.jobs, len(failures)),
+            timeout=config.timeout * SHRINK_TIMEOUT_SCALE,
+            retries=0,
+            backoff=0.0,
+        )
+        results = {
+            case.index: result
+            for case, result in pool.run(
+                [case_by_index[o.index] for o in failures]
+            )
+        }
+        for outcome in failures:
+            result = results.get(outcome.index)
+            if isinstance(result, WorkerFault):
+                report.shrink_faults.append(
+                    (outcome.index, f"{result.kind}: {result.detail}")
+                )
+            elif result is not None:
+                report.shrunk.append((outcome, result))

@@ -57,6 +57,7 @@ __all__ = [
     "bucket_cases",
     "chunk_cases",
     "run_cases_vectorized",
+    "run_chunk",
     "shape_key",
     "vectorizable_style",
 ]
@@ -402,9 +403,16 @@ def _run_style_lanes(
     return [record.harvest(trace) for record in records]
 
 
-def _run_chunk(chunk: Sequence[VerifyCase]) -> list[CaseOutcome]:
+def run_chunk(chunk: Sequence[VerifyCase]) -> list[CaseOutcome]:
     """Run one same-shape chunk: lane-batch the vectorizable styles,
-    scalar-run the rest, then fold the oracle pipeline per case."""
+    scalar-run the rest, then fold the oracle pipeline per case.
+
+    This is also the supervised campaign runner's unit of vectorized
+    work (:func:`repro.verify.runner.run_cases_supervised`): a chunk
+    whose worker crashes or times out is *split* back into singleton
+    chunks — i.e. plain scalar ``run_case`` calls — so one poisoned
+    lane degrades that bucket to per-case isolation instead of
+    sinking the batch."""
     if len(chunk) == 1:
         return [run_case(chunk[0])]
     lane_runs = {
@@ -454,9 +462,9 @@ def run_cases_vectorized(
     chunks = chunk_cases(cases, lanes)
     if jobs > 1 and len(chunks) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            per_chunk = list(pool.map(_run_chunk, chunks))
+            per_chunk = list(pool.map(run_chunk, chunks))
     else:
-        per_chunk = [_run_chunk(chunk) for chunk in chunks]
+        per_chunk = [run_chunk(chunk) for chunk in chunks]
     by_index = {
         outcome.index: outcome
         for outcomes in per_chunk

@@ -297,23 +297,22 @@ class TestRunnerDispatch:
     def test_vectorized_engine_reaches_lane_path(self, monkeypatch):
         import repro.verify.vectorize as vectorize_mod
 
-        calls = {}
-        real = vectorize_mod.run_cases_vectorized
+        calls = {"cases": 0, "chunks": 0}
+        real = vectorize_mod.run_chunk
 
-        def spy(cases, lanes=DEFAULT_LANES, jobs=1):
-            calls["cases"] = len(cases)
-            calls["jobs"] = jobs
-            return real(cases, lanes=lanes, jobs=jobs)
+        def spy(chunk):
+            calls["cases"] += len(chunk)
+            calls["chunks"] += 1
+            return real(chunk)
 
-        monkeypatch.setattr(
-            vectorize_mod, "run_cases_vectorized", spy
-        )
+        monkeypatch.setattr(vectorize_mod, "run_chunk", spy)
         config = BatchConfig(
             cases=3, seed=0, cycles=60, engine="vectorized",
             shrink=False,
         )
         report = BatchRunner(config).run()
-        assert calls == {"cases": 3, "jobs": 1}
+        assert calls["cases"] == 3
+        assert calls["chunks"] >= 1
         assert len(report.outcomes) == 3
 
     def test_vectorized_batch_matches_compiled_batch(self):
