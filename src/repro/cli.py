@@ -24,7 +24,10 @@ Subcommands:
   (:mod:`repro.verify.vectorize`) with identical results;
   ``--list-styles`` prints the style registry;
   ``--coverage`` / ``--coverage-json`` report topology-shape
-  histograms; ``--timeout``/``--retries`` bound each case's wall
+  histograms; ``--gen coverage [--corpus DIR]`` switches topology
+  generation to the coverage-guided corpus scheduler
+  (:mod:`repro.verify.corpus` — seeded mutation toward
+  under-populated histogram bins); ``--timeout``/``--retries`` bound each case's wall
   clock and retry budget under the supervised worker pool
   (:mod:`repro.verify.supervise` — crashes and hangs become
   structured ``crash``/``timeout`` outcomes), ``--checkpoint FILE
@@ -246,6 +249,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             retries=args.retries,
             retry_backoff=args.retry_backoff,
             chaos=chaos,
+            gen=args.gen,
+            corpus=args.corpus,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -289,7 +294,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_coverage_diff(args: argparse.Namespace) -> int:
-    from .verify.coverage import diff_coverage
+    from .verify.coverage import diff_coverage, support_total
 
     documents = []
     for label, name in (("old", args.old), ("new", args.new)):
@@ -303,6 +308,14 @@ def _cmd_coverage_diff(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.totals:
+        old_total = support_total(documents[0])
+        new_total = support_total(documents[1])
+        print(
+            f"coverage-diff --totals: {old_total} -> {new_total} "
+            "populated bucket(s)"
+        )
+        return 0 if new_total >= old_total else 1
     diff = diff_coverage(documents[0], documents[1])
     print(diff.render())
     return 0 if diff.ok else 1
@@ -388,6 +401,26 @@ def build_parser() -> argparse.ArgumentParser:
             "traffic regime override: 'regular' draws jitter-free "
             "periodic topologies and adds the shift-register wrapper "
             "styles; default: the profile's own regime"
+        ),
+    )
+    from .verify.runner import GEN_MODES
+
+    verify.add_argument(
+        "--gen", default="random", choices=GEN_MODES,
+        help=(
+            "topology-generation strategy: 'random' draws every case "
+            "i.i.d. from the profile; 'coverage' schedules a corpus "
+            "and mutates toward under-populated coverage-histogram "
+            "bins (same seeds, wider histogram support)"
+        ),
+    )
+    verify.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help=(
+            "corpus directory for --gen coverage (one reproducer-"
+            "format topology JSON per file): loaded into the mutation "
+            "pool before generation; a completed batch persists its "
+            "interesting topologies and shrunk reproducers back"
         ),
     )
     verify.add_argument(
@@ -524,6 +557,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     coverage_diff.add_argument("old", help="baseline coverage JSON")
     coverage_diff.add_argument("new", help="candidate coverage JSON")
+    coverage_diff.add_argument(
+        "--totals", action="store_true",
+        help=(
+            "compare total populated bucket counts instead of "
+            "per-bucket support: exit 1 only when the new document's "
+            "total is below the old one's (generator A/B checks)"
+        ),
+    )
     coverage_diff.set_defaults(fn=_cmd_coverage_diff)
     return parser
 

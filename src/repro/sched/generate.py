@@ -571,6 +571,641 @@ def random_topology(
     )
 
 
+# -- topology validation (mutation-operator safety net) ------------------------
+
+
+def validate_topology(topology: SystemTopology) -> None:
+    """Check the structural invariants every generated (or mutated)
+    topology must satisfy; raise :class:`ValueError` on the first
+    violation.
+
+    The invariants are exactly what :func:`repro.verify.build_system`
+    and the simulator rely on:
+
+    * unique names across processes, sources and sinks;
+    * every process input bound exactly once (channel or source) and
+      every process output bound exactly once (channel or sink), with
+      no connection referencing an unknown process or port;
+    * all latencies >= 1; channel reset markings within the port depth
+      (a deeper preload would overflow the consumer FIFO at build);
+    * every directed cycle contains at least one credit-marked channel
+      (``tokens > 0``), so the system is structurally live;
+    * regular-traffic topologies are uniform with no source jitter and
+      no sink backpressure;
+    * the ``uniform`` flag on a process matches its schedule (one sync
+      point touching every port exactly once).
+    """
+    if not topology.processes:
+        raise ValueError("topology has no processes")
+    if topology.port_depth < 1:
+        raise ValueError("port depth must be >= 1")
+    if topology.traffic not in TRAFFIC_MODES:
+        raise ValueError(f"unknown traffic mode {topology.traffic!r}")
+    names: list[str] = [node.name for node in topology.processes]
+    names += [src.name for src in topology.sources]
+    names += [snk.name for snk in topology.sinks]
+    if len(set(names)) != len(names):
+        dupes = sorted(
+            {name for name in names if names.count(name) > 1}
+        )
+        raise ValueError(f"duplicate block names: {dupes}")
+    nodes = {node.name: node for node in topology.processes}
+
+    def check_port(owner: str, port: str, direction: str) -> None:
+        node = nodes.get(owner)
+        if node is None:
+            raise ValueError(f"connection references unknown process {owner!r}")
+        ports = (
+            node.schedule.inputs if direction == "in"
+            else node.schedule.outputs
+        )
+        if port not in ports:
+            raise ValueError(
+                f"process {owner!r} has no {direction}put port {port!r}"
+            )
+
+    bound_inputs: set[tuple[str, str]] = set()
+    bound_outputs: set[tuple[str, str]] = set()
+
+    def bind(
+        bound: set[tuple[str, str]], owner: str, port: str
+    ) -> None:
+        if (owner, port) in bound:
+            raise ValueError(
+                f"port {owner}.{port} is bound more than once"
+            )
+        bound.add((owner, port))
+
+    for ch in topology.channels:
+        check_port(ch.producer, ch.out_port, "out")
+        check_port(ch.consumer, ch.in_port, "in")
+        bind(bound_outputs, ch.producer, ch.out_port)
+        bind(bound_inputs, ch.consumer, ch.in_port)
+        if ch.latency < 1:
+            raise ValueError("channel latency must be >= 1")
+        if not 0 <= ch.tokens <= topology.port_depth:
+            raise ValueError(
+                f"channel reset marking {ch.tokens} outside "
+                f"[0, port_depth={topology.port_depth}]"
+            )
+    for src in topology.sources:
+        check_port(src.consumer, src.in_port, "in")
+        bind(bound_inputs, src.consumer, src.in_port)
+        if src.latency < 1:
+            raise ValueError("source latency must be >= 1")
+        if src.n_tokens < 1:
+            raise ValueError("sources need at least one token")
+    for snk in topology.sinks:
+        check_port(snk.producer, snk.out_port, "out")
+        bind(bound_outputs, snk.producer, snk.out_port)
+        if snk.latency < 1:
+            raise ValueError("sink latency must be >= 1")
+    for node in topology.processes:
+        for port in node.schedule.inputs:
+            if (node.name, port) not in bound_inputs:
+                raise ValueError(f"input {node.name}.{port} is unbound")
+        for port in node.schedule.outputs:
+            if (node.name, port) not in bound_outputs:
+                raise ValueError(f"output {node.name}.{port} is unbound")
+        if node.uniform:
+            points = node.schedule.points
+            if len(points) != 1 or (
+                points[0].inputs != frozenset(node.schedule.inputs)
+                or points[0].outputs != frozenset(node.schedule.outputs)
+            ):
+                raise ValueError(
+                    f"process {node.name} is flagged uniform but its "
+                    "schedule is not a single all-ports sync point"
+                )
+    if topology.regular:
+        if not topology.uniform:
+            raise ValueError("regular-traffic topology must be uniform")
+        if any(src.gaps is not None for src in topology.sources):
+            raise ValueError("regular-traffic sources cannot jitter")
+        if any(snk.stalls is not None for snk in topology.sinks):
+            raise ValueError("regular-traffic sinks cannot backpressure")
+    # Structural liveness: the subgraph of *unmarked* channels must be
+    # acyclic — every directed cycle then carries a credit token.
+    unmarked: dict[str, list[str]] = {}
+    for ch in topology.channels:
+        if ch.tokens == 0:
+            unmarked.setdefault(ch.producer, []).append(ch.consumer)
+    state: dict[str, int] = {}  # 1 = on stack, 2 = done
+
+    def visit(name: str) -> None:
+        state[name] = 1
+        for successor in unmarked.get(name, ()):
+            mark = state.get(successor)
+            if mark == 1:
+                raise ValueError(
+                    "directed cycle without a credit-marked channel "
+                    f"(through {successor!r})"
+                )
+            if mark is None:
+                visit(successor)
+        state[name] = 2
+
+    for name in nodes:
+        if state.get(name) is None:
+            visit(name)
+
+
+# -- validity-preserving topology mutation (coverage-guided fuzzing) -----------
+
+
+#: Mutation operators :func:`mutate_topology` can apply.  Every
+#: operator preserves :func:`validate_topology`'s invariants, so a
+#: mutant simulates under any wrapper style exactly like a freshly
+#: generated topology:
+#:
+#: * ``add_feedback``    — rewire a sink and a source into a credit-
+#:   marked channel (at least one token, so any new cycle is live);
+#: * ``remove_feedback`` — cut one marked channel, draining its ends
+#:   into a fresh sink and source;
+#: * ``deepen_path``     — insert a uniform pass-through process into
+#:   the middle of one connection (longer paths, more processes);
+#: * ``widen_fanout``    — grow one process's out-degree: a new output
+#:   port (touched by its schedule) draining into a new sink;
+#: * ``stretch_latency`` — deepen one connection's relay segmentation
+#:   beyond what the drawing profile would ever reach;
+#: * ``toggle_jitter``   — add or remove one source gap pattern / sink
+#:   stall pattern (random traffic only);
+#: * ``splice``          — graft a second corpus topology in (renamed
+#:   apart) and bridge one boundary sink/source pair into a channel.
+MUTATION_OPS = (
+    "add_feedback",
+    "remove_feedback",
+    "deepen_path",
+    "widen_fanout",
+    "stretch_latency",
+    "toggle_jitter",
+    "splice",
+)
+
+#: Mutants larger than this many processes are rejected
+#: (``deepen_path``/``splice`` return ``None`` instead) so repeated
+#: mutation rounds cannot grow unsimulatably large systems.
+MUTATION_MAX_PROCESSES = 24
+
+
+def _fresh_name(base: str, used: set[str]) -> str:
+    index = 0
+    while f"{base}{index}" in used:
+        index += 1
+    return f"{base}{index}"
+
+
+def _used_names(topology: SystemTopology) -> set[str]:
+    return (
+        {node.name for node in topology.processes}
+        | {src.name for src in topology.sources}
+        | {snk.name for snk in topology.sinks}
+    )
+
+
+def _passthrough_node(name: str, run: int) -> ProcessNode:
+    schedule = IOSchedule(
+        ("i0",),
+        ("o0",),
+        [SyncPoint(frozenset({"i0"}), frozenset({"o0"}), run)],
+    )
+    return ProcessNode(name, schedule, uniform=True)
+
+
+def _mutate_add_feedback(
+    topology: SystemTopology, rng: random.Random, bound: int
+) -> SystemTopology | None:
+    """Rewire one sink and one source into a credit-marked channel.
+
+    The new channel always carries at least one token, so every cycle
+    it closes is marked and structurally live."""
+    if not topology.sinks or not topology.sources:
+        return None
+    snk = topology.sinks[rng.randrange(len(topology.sinks))]
+    src = topology.sources[rng.randrange(len(topology.sources))]
+    channel = TopologyChannel(
+        snk.producer,
+        snk.out_port,
+        src.consumer,
+        src.in_port,
+        latency=min(bound, rng.randint(1, 4)),
+        tokens=rng.randint(1, topology.port_depth),
+    )
+    return replace(
+        topology,
+        channels=topology.channels + (channel,),
+        sources=tuple(s for s in topology.sources if s.name != src.name),
+        sinks=tuple(s for s in topology.sinks if s.name != snk.name),
+    )
+
+
+def _mutate_remove_feedback(
+    topology: SystemTopology, rng: random.Random, bound: int
+) -> SystemTopology | None:
+    """Cut one marked channel; its ends drain into a fresh sink and a
+    fresh source (removing an edge can never create a cycle)."""
+    marked = [ch for ch in topology.channels if ch.tokens > 0]
+    if not marked:
+        return None
+    victim = marked[rng.randrange(len(marked))]
+    used = _used_names(topology)
+    source = TopologySource(
+        _fresh_name("mutsrc", used),
+        victim.consumer,
+        victim.in_port,
+        latency=victim.latency,
+        n_tokens=256,
+        base=1_000_000 * (len(topology.sources) + len(topology.sinks) + 2),
+    )
+    sink = TopologySink(
+        _fresh_name("mutsnk", used),
+        victim.producer,
+        victim.out_port,
+        latency=victim.latency,
+    )
+    channels = tuple(ch for ch in topology.channels if ch is not victim)
+    return replace(
+        topology,
+        channels=channels,
+        sources=topology.sources + (source,),
+        sinks=topology.sinks + (sink,),
+    )
+
+
+def _mutate_deepen_path(
+    topology: SystemTopology, rng: random.Random, bound: int
+) -> SystemTopology | None:
+    """Insert a uniform pass-through process into one connection.
+
+    A channel's reset marking moves to the new downstream half, so a
+    marked cycle through the split edge stays marked."""
+    if len(topology.processes) >= MUTATION_MAX_PROCESSES:
+        return None
+    kinds = (
+        [("ch", i) for i in range(len(topology.channels))]
+        + [("src", i) for i in range(len(topology.sources))]
+        + [("snk", i) for i in range(len(topology.sinks))]
+    )
+    if not kinds:
+        return None
+    kind, index = kinds[rng.randrange(len(kinds))]
+    name = _fresh_name("m", _used_names(topology))
+    node = _passthrough_node(name, run=rng.randrange(0, 3))
+    processes = topology.processes + (node,)
+    if kind == "ch":
+        ch = topology.channels[index]
+        lat_a = rng.randint(1, max(1, ch.latency))
+        lat_b = max(1, ch.latency + 1 - lat_a)
+        upstream = TopologyChannel(
+            ch.producer, ch.out_port, name, "i0", latency=lat_a
+        )
+        downstream = TopologyChannel(
+            name, "o0", ch.consumer, ch.in_port,
+            latency=lat_b, tokens=ch.tokens,
+        )
+        channels = (
+            topology.channels[:index]
+            + (upstream, downstream)
+            + topology.channels[index + 1:]
+        )
+        return replace(topology, processes=processes, channels=channels)
+    if kind == "src":
+        src = topology.sources[index]
+        downstream = TopologyChannel(
+            name, "o0", src.consumer, src.in_port, latency=src.latency
+        )
+        sources = (
+            topology.sources[:index]
+            + (replace(src, consumer=name, in_port="i0"),)
+            + topology.sources[index + 1:]
+        )
+        return replace(
+            topology,
+            processes=processes,
+            channels=topology.channels + (downstream,),
+            sources=sources,
+        )
+    snk = topology.sinks[index]
+    upstream = TopologyChannel(
+        snk.producer, snk.out_port, name, "i0", latency=snk.latency
+    )
+    sinks = (
+        topology.sinks[:index]
+        + (replace(snk, producer=name, out_port="o0"),)
+        + topology.sinks[index + 1:]
+    )
+    return replace(
+        topology,
+        processes=processes,
+        channels=topology.channels + (upstream,),
+        sinks=sinks,
+    )
+
+
+def _mutate_widen_fanout(
+    topology: SystemTopology, rng: random.Random, bound: int
+) -> SystemTopology | None:
+    """Add one output port to a process (touched by its schedule) and
+    drain it into a fresh sink."""
+    index = rng.randrange(len(topology.processes))
+    node = topology.processes[index]
+    schedule = node.schedule
+    taken = set(schedule.inputs) | set(schedule.outputs)
+    port = 0
+    while f"o{port}" in taken:
+        port += 1
+    new_port = f"o{port}"
+    if node.uniform:
+        touched = {0}
+    else:
+        touched = {rng.randrange(len(schedule.points))}
+    points = [
+        SyncPoint(
+            point.inputs,
+            point.outputs | ({new_port} if i in touched else set()),
+            point.run,
+        )
+        for i, point in enumerate(schedule.points)
+    ]
+    widened = ProcessNode(
+        node.name,
+        IOSchedule(
+            schedule.inputs, schedule.outputs + (new_port,), points
+        ),
+        node.uniform,
+    )
+    sink = TopologySink(
+        _fresh_name("mutsnk", _used_names(topology)),
+        node.name,
+        new_port,
+        latency=min(bound, rng.randint(1, 3)),
+    )
+    processes = (
+        topology.processes[:index]
+        + (widened,)
+        + topology.processes[index + 1:]
+    )
+    return replace(
+        topology, processes=processes, sinks=topology.sinks + (sink,)
+    )
+
+
+def _mutate_stretch_latency(
+    topology: SystemTopology, rng: random.Random, bound: int
+) -> SystemTopology | None:
+    """Deepen one connection's relay segmentation toward ``bound`` —
+    beyond what the drawing profile's ``max_latency`` ever reaches."""
+    kinds = (
+        [("ch", i) for i, ch in enumerate(topology.channels)
+         if ch.latency < bound]
+        + [("src", i) for i, src in enumerate(topology.sources)
+           if src.latency < bound]
+        + [("snk", i) for i, snk in enumerate(topology.sinks)
+           if snk.latency < bound]
+    )
+    if not kinds:
+        return None
+    kind, index = kinds[rng.randrange(len(kinds))]
+    if kind == "ch":
+        ch = topology.channels[index]
+        stretched = replace(
+            ch, latency=rng.randint(ch.latency + 1, bound)
+        )
+        return replace(
+            topology,
+            channels=(
+                topology.channels[:index]
+                + (stretched,)
+                + topology.channels[index + 1:]
+            ),
+        )
+    if kind == "src":
+        src = topology.sources[index]
+        stretched = replace(
+            src, latency=rng.randint(src.latency + 1, bound)
+        )
+        return replace(
+            topology,
+            sources=(
+                topology.sources[:index]
+                + (stretched,)
+                + topology.sources[index + 1:]
+            ),
+        )
+    snk = topology.sinks[index]
+    stretched = replace(
+        snk, latency=rng.randint(snk.latency + 1, bound)
+    )
+    return replace(
+        topology,
+        sinks=(
+            topology.sinks[:index]
+            + (stretched,)
+            + topology.sinks[index + 1:]
+        ),
+    )
+
+
+def _draw_gap_pattern(rng: random.Random, low: int, high: int) -> tuple[bool, ...]:
+    pattern = tuple(
+        rng.random() < 0.45 + 0.5 * rng.random()
+        for _ in range(rng.randint(low, high))
+    )
+    if not any(pattern):
+        pattern = (True,) + pattern[1:]
+    return pattern
+
+
+def _mutate_toggle_jitter(
+    topology: SystemTopology, rng: random.Random, bound: int
+) -> SystemTopology | None:
+    """Add or remove one source gap / sink stall pattern.  Regular
+    traffic must stay jitter-free, so regular topologies are left
+    alone."""
+    if topology.regular:
+        return None
+    kinds = (
+        [("src", i) for i in range(len(topology.sources))]
+        + [("snk", i) for i in range(len(topology.sinks))]
+    )
+    if not kinds:
+        return None
+    kind, index = kinds[rng.randrange(len(kinds))]
+    if kind == "src":
+        src = topology.sources[index]
+        toggled = replace(
+            src,
+            gaps=(
+                None
+                if src.gaps is not None
+                else _draw_gap_pattern(rng, 7, 31)
+            ),
+        )
+        return replace(
+            topology,
+            sources=(
+                topology.sources[:index]
+                + (toggled,)
+                + topology.sources[index + 1:]
+            ),
+        )
+    snk = topology.sinks[index]
+    toggled = replace(
+        snk,
+        stalls=(
+            None
+            if snk.stalls is not None
+            else _draw_gap_pattern(rng, 5, 23)
+        ),
+    )
+    return replace(
+        topology,
+        sinks=(
+            topology.sinks[:index]
+            + (toggled,)
+            + topology.sinks[index + 1:]
+        ),
+    )
+
+
+def _mutate_splice(
+    topology: SystemTopology,
+    rng: random.Random,
+    bound: int,
+    other: SystemTopology | None,
+) -> SystemTopology | None:
+    """Graft ``other`` into ``topology`` (renamed apart) and bridge one
+    boundary sink/source pair into a forward channel.
+
+    All bridging runs one way (host -> graft), so no unmarked cycle
+    can form across the seam."""
+    if other is None or other.traffic != topology.traffic:
+        return None
+    total = len(topology.processes) + len(other.processes)
+    if total > MUTATION_MAX_PROCESSES:
+        return None
+    used = _used_names(topology)
+    renames: dict[str, str] = {}
+    for name in (
+        [node.name for node in other.processes]
+        + [src.name for src in other.sources]
+        + [snk.name for snk in other.sinks]
+    ):
+        fresh = name
+        while fresh in used or fresh in renames.values():
+            fresh += "g"
+        renames[name] = fresh
+    processes = topology.processes + tuple(
+        ProcessNode(renames[node.name], node.schedule, node.uniform)
+        for node in other.processes
+    )
+    channels = topology.channels + tuple(
+        replace(
+            ch,
+            producer=renames[ch.producer],
+            consumer=renames[ch.consumer],
+        )
+        for ch in other.channels
+    )
+    sources = list(
+        topology.sources
+    ) + [
+        replace(src, name=renames[src.name], consumer=renames[src.consumer])
+        for src in other.sources
+    ]
+    sinks = list(
+        topology.sinks
+    ) + [
+        replace(snk, name=renames[snk.name], producer=renames[snk.producer])
+        for snk in other.sinks
+    ]
+    # Bridge one host sink into one grafted source (forward edge only).
+    host_sinks = [
+        i for i, snk in enumerate(sinks)
+        if snk.name in {s.name for s in topology.sinks}
+    ]
+    graft_sources = [
+        i for i, src in enumerate(sources)
+        if src.name in set(renames.values())
+    ]
+    if host_sinks and graft_sources:
+        snk_i = host_sinks[rng.randrange(len(host_sinks))]
+        src_i = graft_sources[rng.randrange(len(graft_sources))]
+        snk, src = sinks[snk_i], sources[src_i]
+        channels = channels + (
+            TopologyChannel(
+                snk.producer,
+                snk.out_port,
+                src.consumer,
+                src.in_port,
+                latency=min(bound, rng.randint(1, 3)),
+            ),
+        )
+        del sinks[snk_i]
+        del sources[src_i]
+    return replace(
+        topology,
+        name=f"{topology.name}+{other.name}",
+        processes=processes,
+        channels=channels,
+        sources=tuple(sources),
+        sinks=tuple(sinks),
+        port_depth=max(topology.port_depth, other.port_depth),
+    )
+
+
+def mutate_topology(
+    topology: SystemTopology,
+    rng: random.Random,
+    op: str | None = None,
+    other: SystemTopology | None = None,
+    max_latency: int = 8,
+) -> SystemTopology | None:
+    """Apply one validity-preserving mutation operator to ``topology``.
+
+    ``op`` names one of :data:`MUTATION_OPS` (``None`` draws one from
+    ``rng``); ``other`` supplies the second parent for ``splice``.
+    Returns ``None`` when the operator does not apply (no feedback to
+    remove, nothing left to stretch, regular traffic for
+    ``toggle_jitter``, missing/oversized splice partner, …) — callers
+    retry with another draw.  The result is deterministic for a given
+    ``(topology, rng state, op, other)``, passes
+    :func:`validate_topology`, and differs from ``topology`` in
+    exactly the operator's documented way, so the coverage-guided
+    fuzzer (:mod:`repro.verify.corpus`) can walk the topology space
+    far outside any drawing profile's reach while every mutant stays
+    simulatable under every wrapper style.
+    """
+    if op is None:
+        op = MUTATION_OPS[rng.randrange(len(MUTATION_OPS))]
+    if max_latency < 1:
+        raise ValueError("max_latency must be >= 1")
+    if op == "add_feedback":
+        mutated = _mutate_add_feedback(topology, rng, max_latency)
+    elif op == "remove_feedback":
+        mutated = _mutate_remove_feedback(topology, rng, max_latency)
+    elif op == "deepen_path":
+        mutated = _mutate_deepen_path(topology, rng, max_latency)
+    elif op == "widen_fanout":
+        mutated = _mutate_widen_fanout(topology, rng, max_latency)
+    elif op == "stretch_latency":
+        mutated = _mutate_stretch_latency(topology, rng, max_latency)
+    elif op == "toggle_jitter":
+        mutated = _mutate_toggle_jitter(topology, rng, max_latency)
+    elif op == "splice":
+        mutated = _mutate_splice(topology, rng, max_latency, other)
+    else:
+        raise ValueError(
+            f"unknown mutation operator {op!r}; choose from "
+            f"{MUTATION_OPS}"
+        )
+    if mutated is None:
+        return None
+    if op != "splice":
+        mutated = replace(mutated, name=f"{topology.name}~{op}")
+    return mutated
+
+
 # -- latency-perturbed variants (metamorphic verification) --------------------
 
 

@@ -123,8 +123,19 @@ from .oracles import (
 from .coverage import (
     CoverageDiff,
     CoverageReport,
+    case_bins,
     diff_coverage,
+    support_total,
     topology_features,
+)
+from .corpus import (
+    corpus_digest,
+    generate_guided_topologies,
+    load_corpus,
+    novelty_score,
+    save_topology,
+    select_interesting,
+    topology_digest,
 )
 from .perturb import (
     PERTURB_STYLE_MODES,
@@ -147,6 +158,7 @@ from .campaign import (
 )
 from .chaos import CHAOS_EXIT, ChaosConfig, parse_chaos
 from .runner import (
+    GEN_MODES,
     BatchConfig,
     BatchReport,
     BatchRunner,
@@ -190,6 +202,7 @@ __all__ = [
     "DEFAULT_STYLES",
     "Divergence",
     "ExceptionOracle",
+    "GEN_MODES",
     "LaneRTLShell",
     "MAX_BACKOFF",
     "MixPearl",
@@ -210,13 +223,18 @@ __all__ = [
     "backoff_delay",
     "bucket_cases",
     "build_system",
+    "case_bins",
     "case_variants",
     "check_perturbations",
     "chunk_cases",
     "config_fingerprint",
+    "corpus_digest",
     "cycle_exact_pairs",
     "default_pipeline",
     "diff_coverage",
+    "generate_guided_topologies",
+    "load_corpus",
+    "novelty_score",
     "format_style_registry",
     "get_style",
     "make_cases",
@@ -234,12 +252,16 @@ __all__ = [
     "run_pipeline",
     "run_styles",
     "run_variant",
+    "save_topology",
+    "select_interesting",
     "shape_key",
     "shrink_case",
     "simulate_topology",
     "style_specs",
     "styles_for_traffic",
+    "support_total",
     "throughput_slack",
+    "topology_digest",
     "topology_features",
     "topology_marked_graph",
     "uniform_loop_bounds",

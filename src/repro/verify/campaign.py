@@ -83,11 +83,24 @@ def config_fingerprint(config) -> dict:
     results are a pure function of these fields — and nothing that
     only affects liveness (jobs, timeout, retries, backoff) or
     reporting (shrink).
+
+    The generator strategy (``gen``) and — for coverage-guided
+    batches — a digest of the corpus directory contents are part of
+    the fingerprint: the corpus seeds the mutation pool, so resuming
+    a ``--gen coverage`` journal under ``--gen random`` (or against a
+    corpus that changed underneath it) would silently rerun different
+    cases under the old journal's records.
     """
     profile = config.profile
     if is_dataclass(profile) and not isinstance(profile, type):
         profile = {"custom": asdict(profile)}
     chaos = config.chaos
+    gen = getattr(config, "gen", "random")
+    corpus = None
+    if gen == "coverage" and getattr(config, "corpus", None) is not None:
+        from .corpus import corpus_digest
+
+        corpus = corpus_digest(config.corpus)
     return {
         "cases": config.cases,
         "seed": config.seed,
@@ -102,6 +115,8 @@ def config_fingerprint(config) -> dict:
         "perturb_styles": config.perturb_styles,
         "perturb_dynamic": config.perturb_dynamic,
         "chaos": None if chaos is None else chaos.to_dict(),
+        "gen": gen,
+        "corpus": corpus,
     }
 
 

@@ -1,0 +1,238 @@
+"""Coverage-guided topology scheduling with a persisted corpus.
+
+``repro verify --gen coverage`` closes the loop the coverage
+histograms (:mod:`repro.verify.coverage`) left open: instead of
+drawing every case i.i.d. from the profile
+(:func:`repro.sched.generate.random_topology`), the scheduler here
+keeps a *corpus* — a pool of interesting topologies — and, for each
+case slot, pits a fresh random draw against a handful of seeded
+mutants of pool entries (:func:`repro.sched.generate.mutate_topology`).
+Candidates are scored by the under-populated histogram bins they
+would fill (:func:`novelty_score`), the winner is observed into a
+running :class:`~repro.verify.coverage.CoverageReport`, and any
+candidate that populated a fresh bin joins the pool.  A fixed case
+budget therefore buys strictly wider histogram support than blind
+resampling, while the whole schedule stays a pure function of
+``(seed, cases, profile, traffic)`` — workers never influence it, so
+batch results remain byte-identical regardless of ``--jobs``.
+
+The on-disk corpus format is the reproducer topology JSON
+(:func:`repro.sched.generate.topology_to_dict`), one topology per
+``*.json`` file named by content digest.  ``--corpus dir/`` loads the
+pool before generation and persists the interesting survivors (plus
+any shrunk failure reproducers) after a completed batch, so
+successive campaigns keep deepening the same pool — and a shrunk
+reproducer dropped into the directory by hand is picked up the same
+way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from pathlib import Path
+from typing import Sequence
+
+from ..sched.generate import (
+    MUTATION_OPS,
+    SystemTopology,
+    TopologyProfile,
+    mutate_topology,
+    random_topology,
+    topology_from_dict,
+    topology_to_dict,
+    validate_topology,
+)
+from .coverage import CoverageReport, case_bins
+
+#: Candidates scored per case slot: one fresh random draw plus up to
+#: this many mutants of corpus entries.
+CANDIDATES_PER_CASE = 4
+
+#: Every Nth case slot takes the fresh random draw unconditionally,
+#: so the schedule never starves the profile's own distribution.
+FRESH_EVERY = 4
+
+#: In-memory pool cap; oldest entries are evicted first.
+POOL_LIMIT = 64
+
+#: Mutants may stretch connection latencies up to this bound —
+#: deliberately beyond every profile preset's ``max_latency``.
+MUTATION_LATENCY_BOUND = 8
+
+
+# -- on-disk corpus (reproducer topology JSON, one file per entry) -------------
+
+
+def _canonical_json(data: dict) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def topology_digest(topology: SystemTopology) -> str:
+    """Content digest of a topology — the corpus filename stem, so a
+    topology persists at most once no matter how often it recurs."""
+    payload = _canonical_json(topology_to_dict(topology))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def load_corpus(
+    directory: str | Path, traffic: str | None = None
+) -> list[SystemTopology]:
+    """Load every parseable, valid topology from ``directory``.
+
+    Files are visited in sorted name order (deterministic pool
+    seeding).  Entries that fail to parse or validate are skipped —
+    a hand-edited or stale file must not kill a campaign — as are
+    topologies of a different traffic regime than ``traffic`` (a
+    regular-traffic batch cannot use jittery corpus entries).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    pool: list[SystemTopology] = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            topology = topology_from_dict(
+                json.loads(path.read_text())
+            )
+            validate_topology(topology)
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            continue
+        if traffic is not None and topology.traffic != traffic:
+            continue
+        pool.append(topology)
+    return pool
+
+
+def save_topology(
+    directory: str | Path, topology: SystemTopology
+) -> Path | None:
+    """Persist one topology into the corpus directory (creating it if
+    needed); returns the file path, or ``None`` when an identical
+    entry already exists."""
+    from .campaign import write_atomic
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{topology_digest(topology)}.json"
+    if path.exists():
+        return None
+    write_atomic(
+        path,
+        json.dumps(topology_to_dict(topology), indent=2, sort_keys=True)
+        + "\n",
+    )
+    return path
+
+
+def corpus_digest(directory: str | Path) -> str | None:
+    """Digest of the corpus directory *contents* (file names + raw
+    bytes, sorted) — part of the campaign fingerprint, since the pool
+    seeds the generated case list.  ``None`` for a missing or empty
+    directory (equivalent to no corpus at all)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    hasher = hashlib.sha256()
+    seen = False
+    for path in sorted(directory.glob("*.json")):
+        seen = True
+        hasher.update(path.name.encode())
+        hasher.update(b"\x00")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()[:16] if seen else None
+
+
+# -- candidate scoring ---------------------------------------------------------
+
+
+def novelty_score(
+    report: CoverageReport,
+    topology: SystemTopology,
+    styles: Sequence[str] = (),
+) -> float:
+    """How much under-populated histogram support ``topology`` would
+    add to ``report``.
+
+    Each bin the candidate touches contributes ``1 / (1 + count)`` —
+    an empty bin is worth a full point, a crowded one nearly nothing —
+    so the scheduler prefers candidates reaching *new* shape-space and
+    tie-breaks toward thinly covered bins.
+    """
+    score = 0.0
+    for metric, label in case_bins(topology, styles):
+        count = report.histograms.get(metric, {}).get(label, 0)
+        score += 1.0 / (1.0 + count)
+    return score
+
+
+# -- the guided schedule -------------------------------------------------------
+
+
+def generate_guided_topologies(
+    case_seeds: Sequence[int],
+    profile: TopologyProfile,
+    corpus: Sequence[SystemTopology] = (),
+    master_seed: int = 0,
+) -> list[SystemTopology]:
+    """The coverage-guided topology schedule: one topology per entry
+    of ``case_seeds``, deterministic for a given ``(case_seeds,
+    profile, corpus, master_seed)``.
+
+    Per case slot: the fresh random draw ``random_topology(case_seed,
+    profile)`` — identical to what ``--gen random`` would have used —
+    is always a candidate, and every :data:`FRESH_EVERY`-th slot it
+    wins unconditionally.  Otherwise up to :data:`CANDIDATES_PER_CASE`
+    mutants of pool entries compete with it on :func:`novelty_score`;
+    the highest-scoring candidate (first wins ties, so the fresh draw
+    prevails when mutation buys nothing) becomes the case topology.
+    Any candidate that populated a fresh histogram bin joins the pool
+    for later slots to mutate.
+    """
+    mutation_rng = random.Random((master_seed << 1) ^ 0x5EED)
+    report = CoverageReport()
+    pool: list[SystemTopology] = list(corpus)[-POOL_LIMIT:]
+    chosen: list[SystemTopology] = []
+    for index, case_seed in enumerate(case_seeds):
+        fresh = random_topology(case_seed, profile)
+        candidates = [fresh]
+        if pool and index % FRESH_EVERY != 0:
+            for _ in range(CANDIDATES_PER_CASE):
+                parent = pool[mutation_rng.randrange(len(pool))]
+                other = pool[mutation_rng.randrange(len(pool))]
+                mutant = mutate_topology(
+                    parent,
+                    mutation_rng,
+                    other=other,
+                    max_latency=MUTATION_LATENCY_BOUND,
+                )
+                if mutant is not None:
+                    candidates.append(mutant)
+        best = max(
+            range(len(candidates)),
+            key=lambda i: novelty_score(report, candidates[i]),
+        )
+        winner = candidates[best]
+        if report.observe(winner) > 0:
+            pool.append(winner)
+            if len(pool) > POOL_LIMIT:
+                del pool[0]
+        chosen.append(winner)
+    return chosen
+
+
+def select_interesting(
+    topologies: Sequence[SystemTopology],
+) -> list[SystemTopology]:
+    """The subset of ``topologies`` worth persisting: replaying the
+    batch through a fresh report, keep every topology that populated
+    at least one new histogram bin.  Idempotent over a stable batch —
+    re-running a campaign re-selects the same survivors."""
+    report = CoverageReport()
+    return [
+        topology
+        for topology in topologies
+        if report.observe(topology) > 0
+    ]

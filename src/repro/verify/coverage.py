@@ -106,6 +106,49 @@ def _label(value: object) -> str:
     return str(value)
 
 
+def case_bins(
+    topology: SystemTopology,
+    styles: Sequence[str] = (),
+    variants: Sequence[TopologyVariant] = (),
+) -> list[tuple[str, str]]:
+    """The ``(metric, label)`` histogram bins one case populates.
+
+    This is the single source of truth for coverage accounting:
+    :meth:`CoverageReport.observe` bumps exactly these bins, and the
+    corpus scheduler (:mod:`repro.verify.corpus`) scores a candidate
+    topology by how under-populated its bins currently are.  A bin may
+    repeat (two variants of the same kind), in which case it is bumped
+    once per occurrence.
+    """
+    bins = [
+        (metric, _label(value))
+        for metric, value in topology_features(topology).items()
+    ]
+    bins.extend(("styles", _label(style)) for style in styles)
+    if variants:
+        bins.append(("perturb_variants", _label(len(variants))))
+        for variant in variants:
+            bins.append(("perturb_kinds", _label(variant.kind)))
+            bins.append(
+                (
+                    "perturb_max_latency",
+                    _label(
+                        topology_features(variant.topology)[
+                            "max_latency"
+                        ]
+                    ),
+                )
+            )
+            if variant.stalls:
+                # Dynamic variants: how many mid-run stall events
+                # each plan injects (absent in non-dynamic batches,
+                # keeping their JSON byte-identical).
+                bins.append(
+                    ("perturb_stall_events", _label(len(variant.stalls)))
+                )
+    return bins
+
+
 def _sort_key(label: str) -> tuple[int, object]:
     try:
         return (0, int(label))
@@ -135,26 +178,38 @@ class CoverageReport:
         wrapper styles it exercises, and — when the case carries
         latency perturbation — the variant axes (count, kinds, and the
         deepest channel latency each variant reaches)."""
+        self.observe(topology, styles, variants)
+
+    def observe(
+        self,
+        topology: SystemTopology,
+        styles: Sequence[str] = (),
+        variants: Sequence[TopologyVariant] = (),
+    ) -> int:
+        """Account one case incrementally and return how many histogram
+        bins it populated for the *first* time.
+
+        The return value is the coverage-guided generator's reward
+        signal: a candidate observing fresh bins widened the visited
+        topology space, one returning 0 only thickened existing
+        buckets."""
         self.cases += 1
-        for metric, value in topology_features(topology).items():
-            self._bump(metric, value)
-        for style in styles:
-            self._bump("styles", style)
-        if variants:
-            self._bump("perturb_variants", len(variants))
-            for variant in variants:
-                self._bump("perturb_kinds", variant.kind)
-                self._bump(
-                    "perturb_max_latency",
-                    topology_features(variant.topology)["max_latency"],
-                )
-                if variant.stalls:
-                    # Dynamic variants: how many mid-run stall events
-                    # each plan injects (absent in non-dynamic batches,
-                    # keeping their JSON byte-identical).
-                    self._bump(
-                        "perturb_stall_events", len(variant.stalls)
-                    )
+        fresh = 0
+        for metric, label in case_bins(topology, styles, variants):
+            histogram = self.histograms.setdefault(metric, {})
+            if histogram.get(label, 0) == 0:
+                fresh += 1
+            histogram[label] = histogram.get(label, 0) + 1
+        return fresh
+
+    def support(self) -> int:
+        """Total populated (nonzero) buckets, summed over metrics."""
+        return sum(
+            1
+            for histogram in self.histograms.values()
+            for count in histogram.values()
+            if count
+        )
 
     @classmethod
     def from_cases(cls, cases: Iterable) -> "CoverageReport":
@@ -243,32 +298,65 @@ class CoverageDiff:
         return "\n".join(lines)
 
 
+def _document_histograms(document: dict) -> dict[str, dict]:
+    """The ``histograms`` mapping of a coverage document, tolerating
+    malformed input (missing key, non-dict value) by degrading to
+    empty rather than crashing the trend check."""
+    if not isinstance(document, dict):
+        return {}
+    histograms = document.get("histograms", {})
+    if not isinstance(histograms, dict):
+        return {}
+    return {
+        metric: histogram
+        for metric, histogram in histograms.items()
+        if isinstance(histogram, dict)
+    }
+
+
+def _histogram_support(histogram: dict) -> set[str]:
+    return {label for label, count in histogram.items() if count}
+
+
+def support_total(document: dict) -> int:
+    """Total populated (nonzero-count) buckets of a coverage document,
+    summed over all metrics — the scalar ``repro coverage-diff
+    --totals`` compares to assert a guided batch out-covers a random
+    one."""
+    return sum(
+        len(_histogram_support(histogram))
+        for histogram in _document_histograms(document).values()
+    )
+
+
 def diff_coverage(old: dict, new: dict) -> CoverageDiff:
     """Compare two coverage documents (:meth:`CoverageReport.to_dict`
     shape, typically loaded from ``--coverage-json`` artifacts).
 
     Support is the set of nonzero-count buckets per metric.  Every
     bucket in the old document missing from the new one is a
-    regression; so is a whole metric disappearing.  Bucket *counts*
-    may change freely — only the visited shape space matters.
+    regression; so is a whole metric disappearing — but only when the
+    old metric had populated buckets, so a metric present in the new
+    document only (or present with zero counts on one side) never
+    counts as shrinkage.  Bucket *counts* may change freely — only the
+    visited shape space matters.  Metrics outside :data:`METRICS`
+    (documents from newer tool versions) are compared after the known
+    ones, in name order.
     """
+    old = old if isinstance(old, dict) else {}
+    new = new if isinstance(new, dict) else {}
     diff = CoverageDiff(
-        old_cases=int(old.get("cases", 0)),
-        new_cases=int(new.get("cases", 0)),
+        old_cases=int(old.get("cases", 0) or 0),
+        new_cases=int(new.get("cases", 0) or 0),
     )
-    old_histograms = old.get("histograms", {})
-    new_histograms = new.get("histograms", {})
-    for metric in METRICS:
-        old_support = {
-            label
-            for label, count in old_histograms.get(metric, {}).items()
-            if count
-        }
-        new_support = {
-            label
-            for label, count in new_histograms.get(metric, {}).items()
-            if count
-        }
+    old_histograms = _document_histograms(old)
+    new_histograms = _document_histograms(new)
+    extra = sorted(
+        (set(old_histograms) | set(new_histograms)) - set(METRICS)
+    )
+    for metric in (*METRICS, *extra):
+        old_support = _histogram_support(old_histograms.get(metric, {}))
+        new_support = _histogram_support(new_histograms.get(metric, {}))
         if old_support and metric not in new_histograms:
             diff.regressions.append(f"metric {metric} (entirely)")
             continue

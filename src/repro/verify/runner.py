@@ -44,6 +44,12 @@ from .supervise import SupervisedPool, WorkerFault
 #: wall-clock guard is the per-case timeout scaled by this factor.
 SHRINK_TIMEOUT_SCALE = 16
 
+#: Topology-generation strategies (``--gen``): ``"random"`` draws every
+#: case i.i.d. from the profile; ``"coverage"`` schedules a corpus and
+#: mutates toward under-populated coverage bins
+#: (:mod:`repro.verify.corpus`).
+GEN_MODES = ("random", "coverage")
+
 
 @dataclass(frozen=True)
 class BatchConfig:
@@ -96,10 +102,23 @@ class BatchConfig:
     * ``chaos`` — optional seeded fault-injection plan
       (:class:`~repro.verify.chaos.ChaosConfig`), applied worker-side
       to exercise the fault model; forces supervised (subprocess)
-      execution even at ``jobs=1``.
+      execution even at ``jobs=1``;
+    * ``gen`` — topology-generation strategy (:data:`GEN_MODES`):
+      ``"random"`` (the default) draws cases i.i.d. from the profile,
+      ``"coverage"`` runs the coverage-guided corpus scheduler
+      (:mod:`repro.verify.corpus`) — same per-case seeds, but each
+      slot may swap its fresh draw for a mutant that fills
+      under-populated coverage bins;
+    * ``corpus`` — corpus directory for the coverage-guided scheduler:
+      its topologies seed the mutation pool before generation, and a
+      completed batch persists its interesting survivors (plus any
+      shrunk failure reproducers) back into it.
 
     ``timeout``, ``retries``, ``retry_backoff`` and ``jobs`` affect
-    liveness only — never results.
+    liveness only — never results.  The generated case list — and so
+    the whole report — is a pure function of ``(seed, cases, gen,
+    profile, traffic)`` plus, for ``--gen coverage``, the corpus
+    contents at generation time.
     """
 
     cases: int = 50
@@ -120,6 +139,8 @@ class BatchConfig:
     retries: int = 1
     retry_backoff: float = 0.1
     chaos: ChaosConfig | None = None
+    gen: str = "random"
+    corpus: str | None = None
 
     def __post_init__(self) -> None:
         if self.cases < 1:
@@ -145,6 +166,11 @@ class BatchConfig:
             raise ValueError(
                 f"unknown perturb-styles mode {self.perturb_styles!r}; "
                 f"choose from {PERTURB_STYLE_MODES}"
+            )
+        if self.gen not in GEN_MODES:
+            raise ValueError(
+                f"unknown generator strategy {self.gen!r}; choose "
+                f"from {GEN_MODES}"
             )
         # Pin the resolved engine in the (frozen) config so the batch
         # is deterministic even if workers see a different environment.
@@ -196,16 +222,38 @@ class BatchConfig:
 
 
 def make_cases(config: BatchConfig) -> list[VerifyCase]:
-    """The deterministic case list of a batch."""
+    """The deterministic case list of a batch.
+
+    Per-case seeds are drawn identically for every generator strategy;
+    ``gen="coverage"`` only changes which *topology* fills each slot
+    (the corpus scheduler may swap the fresh draw for a mutant).  The
+    whole list is built up front in the parent process, so ``--jobs``
+    can never influence it.
+    """
     rng = random.Random(config.seed)
     seeds = [rng.getrandbits(31) for _ in range(config.cases)]
     profile = config.topology_profile
+    if config.gen == "coverage":
+        from .corpus import generate_guided_topologies, load_corpus
+
+        pool = (
+            load_corpus(config.corpus, traffic=config.traffic_name)
+            if config.corpus is not None
+            else []
+        )
+        topologies = generate_guided_topologies(
+            seeds, profile, corpus=pool, master_seed=config.seed
+        )
+    else:
+        topologies = [
+            random_topology(case_seed, profile) for case_seed in seeds
+        ]
     return [
         VerifyCase(
             index=index,
             seed=case_seed,
             cycles=config.cycles,
-            topology=random_topology(case_seed, profile),
+            topology=topology,
             styles=config.styles,
             deadlock_window=config.deadlock_window,
             engine=config.engine,
@@ -214,7 +262,9 @@ def make_cases(config: BatchConfig) -> list[VerifyCase]:
             perturb_styles=config.perturb_styles,
             perturb_dynamic=config.perturb_dynamic,
         )
-        for index, case_seed in enumerate(seeds)
+        for index, (case_seed, topology) in enumerate(
+            zip(seeds, topologies)
+        )
     ]
 
 
@@ -267,7 +317,9 @@ class BatchReport:
     * ``interrupted`` — the batch was cut short (Ctrl-C); the report
       covers the cases finished so far;
     * ``shrink_faults`` — ``(case index, detail)`` for shrinks the
-      supervisor had to abandon (hang/crash while minimizing).
+      supervisor had to abandon (hang/crash while minimizing);
+    * ``corpus_saved`` — topologies persisted into ``--corpus`` after
+      the batch (interesting survivors + shrunk reproducers).
     """
 
     config: BatchConfig
@@ -277,6 +329,7 @@ class BatchReport:
     coverage: CoverageReport | None = None
     interrupted: bool = False
     shrink_faults: list[tuple[int, str]] = field(default_factory=list)
+    corpus_saved: int = 0
 
     @property
     def completed(self) -> list[CaseOutcome]:
@@ -345,13 +398,18 @@ class BatchReport:
                 f", {len(self.crashes)} crashed, "
                 f"{len(self.timeouts)} timed out"
             )
+        # Only non-default strategies are tagged, keeping the default
+        # summary line byte-identical to earlier releases.
+        gen = "" if self.config.gen == "random" else (
+            f", gen {self.config.gen}"
+        )
         lines = [
             f"verify: {total} cases, {self.checks} cross-checks, "
             f"{failed} divergent{faults}, seed {self.config.seed}, "
             f"profile {self.config.profile_name}, "
             f"traffic {self.config.traffic_name}, "
             f"engine {self.config.engine}"
-            f"{perturb}",
+            f"{gen}{perturb}",
             f"  {tokens} sink tokens observed; {self.duration_s:.1f}s "
             f"({rate:.1f} cases/s, jobs={self.config.jobs})",
         ]
@@ -386,6 +444,12 @@ class BatchReport:
             lines.append(
                 f"  shrink abandoned for case {index}: {detail} "
                 "(reproducer not minimized)"
+            )
+        if self.corpus_saved:
+            lines.append(
+                f"  corpus: {self.corpus_saved} new topolog"
+                f"{'y' if self.corpus_saved == 1 else 'ies'} "
+                f"persisted to {self.config.corpus}"
             )
         if self.interrupted:
             done = len(self.outcomes)
@@ -579,10 +643,48 @@ class BatchRunner:
                     self._shrink(report, cases)
                 except KeyboardInterrupt:
                     report.interrupted = True
+            if not report.interrupted:
+                self._persist_corpus(report, cases)
             return report
         finally:
             if journal is not None:
                 journal.close()
+
+    def _persist_corpus(
+        self, report: BatchReport, cases: list[VerifyCase]
+    ) -> None:
+        """Persist the batch's interesting topologies into ``--corpus``
+        after a completed (non-interrupted) run.
+
+        Coverage-guided batches contribute every topology that widened
+        histogram support (:func:`~repro.verify.corpus.
+        select_interesting`); any batch contributes its shrunk failure
+        reproducers — a minimal divergent topology is the most
+        interesting seed a future campaign can mutate.  Interrupted
+        runs persist nothing, so a later ``--resume`` still sees the
+        corpus the fingerprint was computed over.
+        """
+        config = self.config
+        if config.corpus is None:
+            return
+        from ..sched.generate import topology_from_dict
+        from .corpus import save_topology, select_interesting
+
+        persisted = 0
+        candidates = []
+        if config.gen == "coverage":
+            candidates.extend(
+                select_interesting([case.topology for case in cases])
+            )
+        for _, reproducer in report.shrunk:
+            try:
+                candidates.append(topology_from_dict(reproducer))
+            except (ValueError, KeyError, TypeError):
+                continue
+        for topology in candidates:
+            if save_topology(config.corpus, topology) is not None:
+                persisted += 1
+        report.corpus_saved = persisted
 
     def _execute(self, cases: list[VerifyCase], record) -> None:
         """Run ``cases``, calling ``record`` once per finished outcome

@@ -1,0 +1,152 @@
+"""Edge cases of coverage-document diffing and the incremental
+observe API.
+
+:func:`diff_coverage` runs in CI against artifacts that may come from
+older or newer tool versions, be hand-truncated, or plain corrupt —
+it must degrade to sensible verdicts, never crash, and never report a
+*gain* as shrinkage.
+"""
+
+from __future__ import annotations
+
+from repro.sched.generate import PROFILE_PRESETS, random_topology
+from repro.verify.coverage import (
+    CoverageReport,
+    diff_coverage,
+    support_total,
+)
+
+
+def _doc(histograms, cases=10):
+    return {"cases": cases, "histograms": histograms}
+
+
+# -- diff edge cases -----------------------------------------------------------
+
+
+def test_empty_documents_diff_clean():
+    diff = diff_coverage({}, {})
+    assert diff.ok
+    assert diff.old_cases == 0 and diff.new_cases == 0
+    assert diff.regressions == [] and diff.additions == []
+    assert "did not shrink" in diff.render()
+
+
+def test_empty_old_against_populated_new_is_all_additions():
+    diff = diff_coverage({}, _doc({"processes": {"2": 5}}))
+    assert diff.ok
+    assert diff.additions == ["processes[2] (5 case(s))"]
+
+
+def test_metric_only_in_new_is_not_shrinkage():
+    old = _doc({"processes": {"2": 5}})
+    new = _doc({"processes": {"2": 5}, "styles": {"fsm": 5}})
+    diff = diff_coverage(old, new)
+    assert diff.ok
+    assert diff.additions == ["styles[fsm] (5 case(s))"]
+
+
+def test_perturb_metric_absent_in_new_is_a_regression():
+    """A perturb-only metric the old batch populated and the new one
+    dropped entirely is shrinkage — the perturbation oracle stopped
+    running."""
+    old = _doc({"perturb_kinds": {"resegment": 3}})
+    diff = diff_coverage(old, _doc({}))
+    assert not diff.ok
+    assert diff.regressions == ["metric perturb_kinds (entirely)"]
+
+
+def test_zero_count_buckets_carry_no_support():
+    """A bucket recorded with count 0 was never visited: losing it is
+    not a regression, gaining it is not an addition, and a metric
+    whose buckets are all zero counts as absent entirely."""
+    old = _doc({"processes": {"2": 0, "3": 4}})
+    new = _doc({"processes": {"3": 4}})
+    assert diff_coverage(old, new).ok
+    gained_zero = _doc({"processes": {"2": 0, "3": 4}})
+    assert diff_coverage(new, gained_zero).additions == []
+    all_zero = _doc({"perturb_kinds": {"resegment": 0}})
+    assert diff_coverage(all_zero, _doc({})).ok
+
+
+def test_unknown_extra_metrics_are_compared_too():
+    """Documents from a newer tool version may carry metrics outside
+    METRICS; their support still diffs (after the known metrics, in
+    name order)."""
+    old = _doc({"zz_future": {"a": 1}, "aa_future": {"b": 2}})
+    diff = diff_coverage(old, _doc({}))
+    assert [r for r in diff.regressions] == [
+        "metric aa_future (entirely)",
+        "metric zz_future (entirely)",
+    ]
+    assert diff_coverage(_doc({}), old).additions == [
+        "aa_future[b] (2 case(s))",
+        "zz_future[a] (1 case(s))",
+    ]
+
+
+def test_malformed_documents_do_not_crash():
+    assert diff_coverage(None, None).ok
+    assert diff_coverage([], "nope").ok
+    assert diff_coverage({"histograms": "oops"}, _doc({})).ok
+    assert diff_coverage(
+        _doc({"processes": "not-a-dict", "styles": {"fsm": 1}}),
+        _doc({"styles": {"fsm": 1}}),
+    ).ok
+    assert diff_coverage({"cases": None}, {"cases": None}).ok
+
+
+def test_real_reports_diff_clean_against_themselves():
+    report = CoverageReport()
+    for seed in range(8):
+        report.observe(
+            random_topology(seed, PROFILE_PRESETS["small"]),
+            styles=("fsm", "sp"),
+        )
+    doc = report.to_dict()
+    assert diff_coverage(doc, doc).ok
+
+
+# -- support totals ------------------------------------------------------------
+
+
+def test_support_total_counts_populated_buckets():
+    doc = _doc(
+        {
+            "processes": {"2": 5, "3": 0},
+            "styles": {"fsm": 1, "sp": 2},
+        }
+    )
+    assert support_total(doc) == 3
+    assert support_total({}) == 0
+    assert support_total(None) == 0
+    assert support_total({"histograms": {"processes": "oops"}}) == 0
+
+
+def test_support_total_matches_report_support():
+    report = CoverageReport()
+    for seed in range(6):
+        report.observe(random_topology(seed, PROFILE_PRESETS["small"]))
+    assert support_total(report.to_dict()) == report.support()
+
+
+# -- incremental observe -------------------------------------------------------
+
+
+def test_observe_returns_fresh_bin_count_then_zero():
+    report = CoverageReport()
+    topology = random_topology(0, PROFILE_PRESETS["small"])
+    first = report.observe(topology, styles=("fsm",))
+    # Every feature metric plus the style bin is fresh the first time.
+    assert first == 11
+    assert report.observe(topology, styles=("fsm",)) == 0
+    assert report.cases == 2
+
+
+def test_observe_matches_add():
+    observed, added = CoverageReport(), CoverageReport()
+    for seed in range(6):
+        topology = random_topology(seed, PROFILE_PRESETS["small"])
+        observed.observe(topology, styles=("fsm", "sp"))
+        added.add(topology, styles=("fsm", "sp"))
+    assert observed.to_dict() == added.to_dict()

@@ -1,0 +1,357 @@
+"""Property tests for the validity-preserving topology mutations.
+
+The coverage-guided fuzzer (:mod:`repro.verify.corpus`) is only sound
+if every mutant is as good as a freshly generated topology: it must
+pass :func:`validate_topology`, simulate without exception under the
+FSM reference style, and round-trip through the reproducer JSON
+format unchanged.  These properties are checked here across hundreds
+of seeded (topology, operator) draws, plus per-operator structural
+assertions and negative tests for the validator itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.schedule import IOSchedule, SyncPoint
+from repro.sched.generate import (
+    MUTATION_OPS,
+    PROFILE_PRESETS,
+    ProcessNode,
+    SystemTopology,
+    TopologyChannel,
+    TopologyProfile,
+    TopologySink,
+    TopologySource,
+    mutate_topology,
+    random_topology,
+    topology_from_dict,
+    topology_to_dict,
+    validate_topology,
+)
+from repro.verify.cases import simulate_topology
+
+REGULAR = TopologyProfile(traffic="regular")
+
+
+def _draws(n_topologies):
+    """Seeded (seed, topology, splice partner, op) draws covering
+    every operator for every topology, random and regular traffic
+    interleaved."""
+    for seed in range(n_topologies):
+        profile = PROFILE_PRESETS["small"] if seed % 3 else REGULAR
+        topology = random_topology(seed, profile)
+        other = random_topology(seed + 10_000, profile)
+        for op in MUTATION_OPS:
+            yield seed, topology, other, op
+
+
+# -- the headline property: mutants are indistinguishable from draws ----------
+
+
+def test_mutants_validate_simulate_and_round_trip():
+    """Across >= 200 seeded (topology, operator) draws, every mutant
+    passes validation, simulates cleanly under the FSM reference
+    style, and survives the JSON round trip unchanged."""
+    draws = applied = 0
+    for seed, topology, other, op in _draws(40):
+        draws += 1
+        rng = random.Random(seed * 1013 + draws)
+        mutant = mutate_topology(topology, rng, op=op, other=other)
+        if mutant is None:
+            continue
+        applied += 1
+        validate_topology(mutant)
+        round_tripped = topology_from_dict(topology_to_dict(mutant))
+        assert round_tripped == mutant
+        run = simulate_topology(
+            mutant, "fsm", cycles=150, deadlock_window=80
+        )
+        assert run.error is None, (op, seed, run.error)
+    assert draws >= 200
+    # Every operator must actually have fired across the sweep.
+    assert applied >= draws // 2
+
+
+def test_every_operator_applies_somewhere():
+    fired = set()
+    for seed, topology, other, op in _draws(30):
+        if op in fired:
+            continue
+        mutant = mutate_topology(
+            topology, random.Random(seed), op=op, other=other
+        )
+        if mutant is not None:
+            fired.add(op)
+    assert fired == set(MUTATION_OPS)
+
+
+def test_mutation_is_deterministic():
+    topology = random_topology(11, PROFILE_PRESETS["small"])
+    other = random_topology(12, PROFILE_PRESETS["small"])
+    for op in MUTATION_OPS:
+        first = mutate_topology(
+            topology, random.Random(7), op=op, other=other
+        )
+        second = mutate_topology(
+            topology, random.Random(7), op=op, other=other
+        )
+        assert first == second
+
+
+def test_mutation_never_mutates_its_input():
+    topology = random_topology(21, PROFILE_PRESETS["small"])
+    snapshot = topology_to_dict(topology)
+    rng = random.Random(3)
+    for op in MUTATION_OPS:
+        mutate_topology(topology, rng, op=op, other=topology)
+    assert topology_to_dict(topology) == snapshot
+
+
+def test_unknown_operator_is_rejected():
+    topology = random_topology(0, PROFILE_PRESETS["small"])
+    with pytest.raises(ValueError, match="unknown mutation operator"):
+        mutate_topology(topology, random.Random(0), op="transmogrify")
+
+
+# -- per-operator structure ----------------------------------------------------
+
+
+def _first_mutant(op, seed=0, profile=None, tries=50):
+    profile = profile or PROFILE_PRESETS["small"]
+    for attempt in range(tries):
+        topology = random_topology(seed + attempt, profile)
+        other = random_topology(seed + attempt + 500, profile)
+        mutant = mutate_topology(
+            topology, random.Random(attempt), op=op, other=other
+        )
+        if mutant is not None:
+            return topology, mutant
+    raise AssertionError(f"{op} never applied in {tries} tries")
+
+
+def test_add_feedback_trades_endpoints_for_a_marked_channel():
+    base, mutant = _first_mutant("add_feedback")
+    assert len(mutant.channels) == len(base.channels) + 1
+    assert len(mutant.sources) == len(base.sources) - 1
+    assert len(mutant.sinks) == len(base.sinks) - 1
+    added = set(mutant.channels) - set(base.channels)
+    assert len(added) == 1
+    assert added.pop().tokens >= 1
+
+
+def test_remove_feedback_trades_a_marked_channel_for_endpoints():
+    base, mutant = _first_mutant("remove_feedback")
+    assert len(mutant.channels) == len(base.channels) - 1
+    assert len(mutant.sources) == len(base.sources) + 1
+    assert len(mutant.sinks) == len(base.sinks) + 1
+    removed = set(base.channels) - set(mutant.channels)
+    assert removed.pop().tokens >= 1
+
+
+def test_deepen_path_inserts_one_passthrough_process():
+    base, mutant = _first_mutant("deepen_path")
+    assert len(mutant.processes) == len(base.processes) + 1
+    inserted = (
+        {n.name for n in mutant.processes}
+        - {n.name for n in base.processes}
+    )
+    node = mutant.process(inserted.pop())
+    assert node.schedule.inputs == ("i0",)
+    assert node.schedule.outputs == ("o0",)
+    assert node.uniform
+
+
+def test_widen_fanout_adds_an_output_port_and_a_sink():
+    base, mutant = _first_mutant("widen_fanout")
+    assert len(mutant.sinks) == len(base.sinks) + 1
+    base_out = sum(len(n.schedule.outputs) for n in base.processes)
+    mutant_out = sum(len(n.schedule.outputs) for n in mutant.processes)
+    assert mutant_out == base_out + 1
+
+
+def test_stretch_latency_exceeds_the_profile_cap():
+    """The stretch operator is the fuzzer's way past the drawing
+    profile: some mutant must reach a latency the profile never
+    draws."""
+    cap = PROFILE_PRESETS["small"].max_latency
+    deepest = 0
+    for attempt in range(40):
+        topology = random_topology(attempt, PROFILE_PRESETS["small"])
+        mutant = mutate_topology(
+            topology, random.Random(attempt), op="stretch_latency"
+        )
+        if mutant is None:
+            continue
+        deepest = max(
+            deepest,
+            *(ch.latency for ch in mutant.channels),
+            *(src.latency for src in mutant.sources),
+            *(snk.latency for snk in mutant.sinks),
+        )
+    assert deepest > cap
+
+
+def test_toggle_jitter_leaves_regular_traffic_alone():
+    topology = random_topology(5, REGULAR)
+    assert (
+        mutate_topology(topology, random.Random(0), op="toggle_jitter")
+        is None
+    )
+
+
+def test_splice_requires_matching_traffic():
+    host = random_topology(1, PROFILE_PRESETS["small"])
+    graft = random_topology(2, REGULAR)
+    assert (
+        mutate_topology(
+            host, random.Random(0), op="splice", other=graft
+        )
+        is None
+    )
+    assert (
+        mutate_topology(host, random.Random(0), op="splice") is None
+    )
+
+
+def test_splice_unions_both_parents():
+    base, mutant = _first_mutant("splice")
+    assert len(mutant.processes) > len(base.processes)
+    # Host process names survive the rename pass untouched.
+    host_names = {n.name for n in base.processes}
+    assert host_names <= {n.name for n in mutant.processes}
+
+
+def test_regular_traffic_is_preserved_by_every_operator():
+    for seed in range(12):
+        topology = random_topology(seed, REGULAR)
+        other = random_topology(seed + 100, REGULAR)
+        for op in MUTATION_OPS:
+            mutant = mutate_topology(
+                topology, random.Random(seed), op=op, other=other
+            )
+            if mutant is None:
+                continue
+            assert mutant.traffic == "regular"
+            validate_topology(mutant)  # uniform + jitter-free checks
+
+
+# -- the validator's own teeth -------------------------------------------------
+
+
+def _tiny():
+    schedule = IOSchedule(
+        ("i0",),
+        ("o0",),
+        [SyncPoint(frozenset({"i0"}), frozenset({"o0"}))],
+    )
+    a = ProcessNode("a", schedule, uniform=True)
+    b = ProcessNode("b", schedule, uniform=True)
+    return SystemTopology(
+        name="tiny",
+        seed=0,
+        processes=(a, b),
+        channels=(TopologyChannel("a", "o0", "b", "i0", tokens=1),),
+        sources=(TopologySource("s", "a", "i0"),),
+        sinks=(TopologySink("k", "b", "o0"),),
+    )
+
+
+def test_validate_accepts_the_tiny_topology():
+    validate_topology(_tiny())
+
+
+def test_validate_rejects_unbound_port():
+    from dataclasses import replace
+
+    broken = replace(_tiny(), sources=())
+    with pytest.raises(ValueError, match="unbound"):
+        validate_topology(broken)
+
+
+def test_validate_rejects_double_binding():
+    from dataclasses import replace
+
+    tiny = _tiny()
+    broken = replace(
+        tiny,
+        sources=tiny.sources
+        + (TopologySource("s2", "a", "i0"),),
+    )
+    with pytest.raises(ValueError, match="bound more than once"):
+        validate_topology(broken)
+
+
+def test_validate_rejects_overdeep_reset_marking():
+    from dataclasses import replace
+
+    tiny = _tiny()
+    broken = replace(
+        tiny,
+        channels=(replace(tiny.channels[0], tokens=9),),
+    )
+    with pytest.raises(ValueError, match="reset marking"):
+        validate_topology(broken)
+
+
+def test_validate_rejects_unmarked_cycle():
+    from dataclasses import replace
+
+    tiny = _tiny()
+    # Close b -> a with zero tokens and strip a's source / b's sink:
+    # the a -> b -> a loop now has no credit anywhere.
+    broken = replace(
+        tiny,
+        channels=(
+            replace(tiny.channels[0], tokens=0),
+            TopologyChannel("b", "o0", "a", "i0", tokens=0),
+        ),
+        sources=(),
+        sinks=(),
+    )
+    with pytest.raises(ValueError, match="cycle"):
+        validate_topology(broken)
+
+
+def test_validate_rejects_duplicate_names():
+    from dataclasses import replace
+
+    tiny = _tiny()
+    broken = replace(
+        tiny, sinks=(replace(tiny.sinks[0], name="a"),)
+    )
+    with pytest.raises(ValueError, match="duplicate"):
+        validate_topology(broken)
+
+
+def test_validate_rejects_wrong_uniform_flag():
+    schedule = IOSchedule(
+        ("i0",),
+        ("o0",),
+        [
+            SyncPoint(frozenset({"i0"}), frozenset()),
+            SyncPoint(frozenset(), frozenset({"o0"})),
+        ],
+    )
+    from dataclasses import replace
+
+    tiny = _tiny()
+    broken = replace(
+        tiny,
+        processes=(
+            ProcessNode("a", schedule, uniform=True),
+            tiny.processes[1],
+        ),
+    )
+    with pytest.raises(ValueError, match="uniform"):
+        validate_topology(broken)
+
+
+def test_every_random_topology_validates():
+    for seed in range(25):
+        validate_topology(
+            random_topology(seed, PROFILE_PRESETS["small"])
+        )
+        validate_topology(random_topology(seed, REGULAR))
