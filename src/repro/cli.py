@@ -33,8 +33,16 @@ Subcommands:
   structured ``crash``/``timeout`` outcomes), ``--checkpoint FILE
   [--resume]`` streams outcomes into a resumable campaign journal
   (:mod:`repro.verify.campaign`), and ``--chaos SPEC`` injects
-  seeded worker faults to exercise exactly that machinery; Ctrl-C
-  prints the partial summary, flushes the journal, and exits 130;
+  seeded worker faults to exercise exactly that machinery;
+  ``--events FILE`` streams telemetry (stage spans, fault events,
+  cache/corpus counters — :mod:`repro.verify.telemetry`) into an
+  append-only JSONL file and ``--metrics-json FILE`` exports the
+  aggregated rollup; Ctrl-C prints the partial summary, flushes the
+  journal, the event-stream tail and the partial rollup, and exits
+  130;
+* ``report`` — analyze one or more ``--events`` streams (stage
+  breakdown, per-style time share, slowest cases, fault timeline,
+  mutation-operator yield) or ``--compare`` two of them run-over-run;
 * ``coverage-diff`` — compare two ``--coverage-json`` artifacts and
   exit nonzero when the new batch's histogram support shrank
   (CI trend tracking).
@@ -46,6 +54,7 @@ import argparse
 import json
 import pathlib
 import sys
+import time
 
 from .core.compiler import compile_schedule, program_summary
 from .core.io import export_wrapper, load_schedule
@@ -124,6 +133,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flush_telemetry(session, writer, metrics_path, wall_s) -> None:
+    """Land the telemetry artifacts: close the event stream (clean,
+    fsynced tail) and write the rollup as ``--metrics-json``.  Shared
+    by the normal, interrupted-batch and Ctrl-C exit paths, so a
+    partial campaign still leaves valid, parseable files."""
+    from .verify import write_atomic
+
+    if writer is not None:
+        writer.close()
+    if metrics_path is not None:
+        path = pathlib.Path(metrics_path)
+        if path.parent != pathlib.Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        write_atomic(
+            path,
+            json.dumps(
+                session.rollup.to_dict(wall_s),
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+        )
+        print(f"wrote metrics JSON to {path}")
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     # Imported lazily: the verify machinery drags in the RTL simulator
     # and multiprocessing, which the synthesis subcommands never need.
@@ -138,6 +172,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         parse_chaos,
         run_case,
         styles_for_traffic,
+        telemetry,
         write_atomic,
     )
 
@@ -255,6 +290,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    # Telemetry is opt-in (liveness-only: outcomes, coverage and
+    # journals are byte-identical either way) — a session only exists
+    # when a sink was asked for.
+    session = None
+    writer = None
+    if args.events is not None or args.metrics_json is not None:
+        session = telemetry.activate(telemetry.TelemetrySession())
+        if args.events is not None:
+            writer = telemetry.EventWriter(
+                args.events,
+                session.t0,
+                meta={
+                    "cases": args.cases,
+                    "seed": args.seed,
+                    "jobs": args.jobs,
+                    "profile": args.profile,
+                    "traffic": args.traffic,
+                    "engine": args.engine,
+                    "gen": args.gen,
+                },
+            )
+            session.attach_writer(writer)
     try:
         try:
             report = BatchRunner(
@@ -267,6 +324,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(report.summary())
+        if session is not None:
+            print(session.rollup.render(report.duration_s))
+            _flush_telemetry(
+                session, writer, args.metrics_json, report.duration_s
+            )
         if report.coverage is not None:
             if args.coverage:
                 print(report.coverage.render())
@@ -288,9 +350,68 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return 0 if report.ok else 1
     except KeyboardInterrupt:
         # A second Ctrl-C (or one outside the runner's window): the
-        # journal, if any, was flushed per case — just exit cleanly.
+        # journal, if any, was flushed per case — land the partial
+        # telemetry the same way before exiting.
         print("interrupted", file=sys.stderr)
+        if session is not None:
+            _flush_telemetry(
+                session,
+                writer,
+                args.metrics_json,
+                time.monotonic() - session.t0,
+            )
         return 130
+    finally:
+        if session is not None:
+            telemetry.deactivate()
+            if writer is not None:
+                writer.close()
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .verify import telemetry
+
+    if args.compare is not None:
+        loaded = []
+        for name in args.compare:
+            header, records = telemetry.read_events(name)
+            if header is None:
+                print(
+                    f"error: {name}: not a telemetry event stream "
+                    "(missing or invalid header line)",
+                    file=sys.stderr,
+                )
+                return 2
+            loaded.append((header, records))
+        print(
+            telemetry.render_compare(
+                loaded[0], loaded[1], labels=tuple(args.compare)
+            )
+        )
+        return 0
+    if not args.events:
+        print(
+            "error: need an event stream (or --compare OLD NEW)",
+            file=sys.stderr,
+        )
+        return 2
+    status = 0
+    for index, name in enumerate(args.events):
+        header, records = telemetry.read_events(name)
+        if header is None:
+            print(
+                f"error: {name}: not a telemetry event stream "
+                "(missing or invalid header line)",
+                file=sys.stderr,
+            )
+            status = 2
+            continue
+        if len(args.events) > 1:
+            if index:
+                print()
+            print(f"== {name} ==")
+        print(telemetry.render_report(header, records, top=args.top))
+    return status
 
 
 def _cmd_coverage_diff(args: argparse.Namespace) -> int:
@@ -525,6 +646,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     verify.add_argument(
+        "--events", default=None, metavar="FILE",
+        help=(
+            "stream telemetry (stage spans, fault events, cache and "
+            "corpus counters) into an append-only JSONL file — a "
+            "header line plus one record per line; analyze with "
+            "'repro report FILE'"
+        ),
+    )
+    verify.add_argument(
+        "--metrics-json", default=None, metavar="FILE",
+        help=(
+            "write the aggregated telemetry rollup (stage timings, "
+            "per-style simulate shares, worker fault tables, cache "
+            "and corpus counters, slowest cases) as JSON; also "
+            "written for the completed prefix on Ctrl-C"
+        ),
+    )
+    verify.add_argument(
         "--checkpoint", default=None, metavar="FILE",
         help=(
             "stream finished outcomes into a resumable JSONL campaign "
@@ -547,6 +686,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay one saved topology JSON instead of a batch",
     )
     verify.set_defaults(fn=_cmd_verify)
+
+    report = sub.add_parser(
+        "report",
+        help=(
+            "analyze verify --events telemetry streams: stage "
+            "breakdown, per-style time share, slowest cases, fault "
+            "timeline, mutation-operator yield"
+        ),
+    )
+    report.add_argument(
+        "events", nargs="*",
+        help="telemetry event stream(s) written by verify --events",
+    )
+    report.add_argument(
+        "--compare", nargs=2, default=None, metavar=("OLD", "NEW"),
+        help=(
+            "compare two event streams run-over-run: per-stage "
+            "totals with ratios (regressions past 1.25x flagged) "
+            "and fault/shrink counter deltas"
+        ),
+    )
+    report.add_argument(
+        "--top", type=int, default=10,
+        help="slowest-case entries to list (default: 10)",
+    )
+    report.set_defaults(fn=_cmd_report)
 
     coverage_diff = sub.add_parser(
         "coverage-diff",

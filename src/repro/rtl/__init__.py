@@ -40,8 +40,10 @@ from .compile_sim import (
     CompiledSimulator,
     VectorLane,
     VectorSimulator,
+    cache_stats,
     compile_design,
     compile_vector_design,
+    reset_cache_stats,
 )
 from .netlist import BitBlaster, Netlist, bit_blast
 from .simulator import (
@@ -91,6 +93,7 @@ __all__ = [
     "all_of",
     "any_of",
     "bit_blast",
+    "cache_stats",
     "check",
     "clog2",
     "compile_design",
@@ -101,5 +104,6 @@ __all__ = [
     "lint_design",
     "lint_module",
     "mux",
+    "reset_cache_stats",
     "tech_map",
 ]

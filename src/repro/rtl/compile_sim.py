@@ -50,6 +50,7 @@ instead of served stale.
 from __future__ import annotations
 
 import re
+import time
 import weakref
 from collections import OrderedDict
 
@@ -452,6 +453,38 @@ def kernel_cache_info() -> tuple[int, int]:
     return len(_KERNEL_CACHE), KERNEL_CACHE_MAX
 
 
+# Engine counters, process-local like the caches they describe.
+# ``hits``/``misses`` count kernel-cache consults (scalar + vector
+# compiles both; a plan-memo short-circuit is a ``memo_hits`` instead,
+# since it never reaches the kernel cache), ``compile_ms`` the
+# wall-clock milliseconds spent exec-compiling missed kernels, and
+# ``vector_packed``/``vector_fallback`` how many combinational items
+# the vector emitter lowered to the eager SWAR form vs the per-lane
+# fallback loop (the lane-fallback rate is structural: it only moves
+# on cache misses).
+_ENGINE_STATS: dict[str, float] = {}
+
+
+def reset_cache_stats() -> None:
+    """Zero every engine counter (the caches themselves are kept)."""
+    _ENGINE_STATS.update(
+        hits=0, misses=0, memo_hits=0, compile_ms=0.0,
+        vector_packed=0, vector_fallback=0,
+    )
+
+
+reset_cache_stats()
+
+
+def cache_stats() -> dict[str, float]:
+    """Snapshot of the engine counters: ``hits``, ``misses``,
+    ``memo_hits``, ``compile_ms``, ``vector_packed``,
+    ``vector_fallback``.  Counters are cumulative per process; pair
+    with :func:`reset_cache_stats` (or diff two snapshots) to scope a
+    measurement."""
+    return dict(_ENGINE_STATS)
+
+
 def _emit_comb_line(
     item: _CombItem,
     const_slots: dict[int, int],
@@ -613,6 +646,7 @@ def compile_design(design: Design | Module) -> _Plan:
     structure = _structure(design)
     memoized = _PLAN_MEMO.get(design.top)
     if memoized is not None and memoized[0] == structure:
+        _ENGINE_STATS["memo_hits"] += 1
         return memoized[1]
     elab = _Elaboration(design)
     source, rom_tables, dead_slots = _emit(elab)
@@ -624,13 +658,19 @@ def compile_design(design: Design | Module) -> _Plan:
     )
     kernel = _KERNEL_CACHE.get(key)
     if kernel is None:
+        _ENGINE_STATS["misses"] += 1
+        compile_started = time.perf_counter()
         kernel = _Kernel(
             len(elab.names), source, rom_tables, dead_slots
         )
+        _ENGINE_STATS["compile_ms"] += (
+            time.perf_counter() - compile_started
+        ) * 1e3
         _KERNEL_CACHE[key] = kernel
         if len(_KERNEL_CACHE) > KERNEL_CACHE_MAX:
             _KERNEL_CACHE.popitem(last=False)
     else:
+        _ENGINE_STATS["hits"] += 1
         _KERNEL_CACHE.move_to_end(key)
     name_slot: dict[str, int] = {}
     for slot, name in enumerate(elab.names):
@@ -1239,9 +1279,11 @@ def _vemit_comb_line(
 ) -> str:
     if item.rom is None:
         if _expr_size(item.expr) >= _LANE_FALLBACK_NODES:
+            _ENGINE_STATS["vector_fallback"] += 1
             return _vemit_lane_fallback(
                 item, const_slots, used, ctx, widths, fragment
             )
+        _ENGINE_STATS["vector_packed"] += 1
         kind, value = _vlower(
             item.expr, item.local, const_slots, used, ctx
         )
@@ -1538,6 +1580,7 @@ def compile_vector_design(
     per_module = _VECTOR_PLAN_MEMO.setdefault(design.top, {})
     memoized = per_module.get(variant)
     if memoized is not None and memoized[0] == structure:
+        _ENGINE_STATS["memo_hits"] += 1
         return memoized[1]
     elab = _Elaboration(design)
     name_slot: dict[str, int] = {}
@@ -1559,11 +1602,17 @@ def compile_vector_design(
     key = (n_slots, source, tuple(rom_tables), dead_slots)
     kernel = _KERNEL_CACHE.get(key)
     if kernel is None:
+        _ENGINE_STATS["misses"] += 1
+        compile_started = time.perf_counter()
         kernel = _Kernel(n_slots, source, rom_tables, dead_slots)
+        _ENGINE_STATS["compile_ms"] += (
+            time.perf_counter() - compile_started
+        ) * 1e3
         _KERNEL_CACHE[key] = kernel
         if len(_KERNEL_CACHE) > KERNEL_CACHE_MAX:
             _KERNEL_CACHE.popitem(last=False)
     else:
+        _ENGINE_STATS["hits"] += 1
         _KERNEL_CACHE.move_to_end(key)
     masks = [_mask(width) for width in elab.widths]
     if poke_bundle:

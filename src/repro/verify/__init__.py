@@ -77,6 +77,13 @@ topology-shape coverage report (:mod:`repro.verify.coverage`) rendered
 by ``repro verify --coverage`` or exported as JSON for CI trend
 tracking (``repro coverage-diff`` compares two such artifacts and
 fails on shrinking support).
+
+Campaigns are observable end to end (:mod:`repro.verify.telemetry`):
+``repro verify --events FILE`` streams stage spans, fault events and
+cache/corpus counters into an append-only JSONL file, ``--metrics-json
+FILE`` exports the aggregated rollup, and ``repro report`` analyzes
+either.  Telemetry is liveness-only — outcomes, coverage and journals
+are byte-identical with it on or off.
 """
 
 from .styles import (
@@ -167,6 +174,18 @@ from .runner import (
     run_cases_supervised,
 )
 from .shrink import shrink_case
+from . import telemetry
+from .telemetry import (
+    EVENTS_VERSION,
+    STAGE_SPANS,
+    EventWriter,
+    Rollup,
+    TelemetrySession,
+    read_events,
+    render_compare,
+    render_report,
+    rollup_from_records,
+)
 from .supervise import (
     MAX_BACKOFF,
     SupervisedPool,
@@ -201,6 +220,8 @@ __all__ = [
     "DEFAULT_LANES",
     "DEFAULT_STYLES",
     "Divergence",
+    "EVENTS_VERSION",
+    "EventWriter",
     "ExceptionOracle",
     "GEN_MODES",
     "LaneRTLShell",
@@ -212,12 +233,15 @@ __all__ = [
     "REGULAR_STYLES",
     "RTL_STYLES",
     "RelayOccupancyOracle",
+    "Rollup",
     "SHIFTREG_STYLES",
+    "STAGE_SPANS",
     "StaticActivation",
     "StreamPrefixOracle",
     "StyleRun",
     "StyleSpec",
     "SupervisedPool",
+    "TelemetrySession",
     "VerifyCase",
     "WorkerFault",
     "backoff_delay",
@@ -243,9 +267,13 @@ __all__ = [
     "perturb_style_set",
     "plan_static_activation",
     "plan_topology_activations",
+    "read_events",
     "register_style",
     "registered_styles",
+    "render_compare",
+    "render_report",
     "reproducer_dict",
+    "rollup_from_records",
     "run_case",
     "run_cases_supervised",
     "run_cases_vectorized",
@@ -260,6 +288,7 @@ __all__ = [
     "style_specs",
     "styles_for_traffic",
     "support_total",
+    "telemetry",
     "throughput_slack",
     "topology_digest",
     "topology_features",

@@ -38,6 +38,7 @@ from ..lis.stream import Sink
 from ..lis.system import System
 from ..lis.throughput import MarkedGraph
 from ..sched.generate import SystemTopology, TopologyVariant
+from . import telemetry
 from .regular import StaticActivation, plan_topology_activations
 from .styles import (
     ALL_STYLES,
@@ -349,15 +350,17 @@ def simulate_topology(
     exception.  ``stalls`` is an optional mid-run stall plan
     (:mod:`repro.lis.stall`) applied once the system is wired."""
     try:
-        system, shells, sinks = build_system(
-            topology, style, trace=trace, engine=engine,
-            activations=activations,
-        )
-        if stalls:
-            apply_stall_plan(system, stalls)
-        result = Simulation(system).run(
-            cycles, deadlock_window=deadlock_window
-        )
+        with telemetry.span("build", style=style):
+            system, shells, sinks = build_system(
+                topology, style, trace=trace, engine=engine,
+                activations=activations,
+            )
+            if stalls:
+                apply_stall_plan(system, stalls)
+        with telemetry.span("simulate", style=style):
+            result = Simulation(system).run(
+                cycles, deadlock_window=deadlock_window
+            )
     except Exception as exc:  # any failure is a finding, not a crash
         return StyleRun(
             streams={}, traces={}, periods={}, executed=0,
@@ -493,27 +496,32 @@ def run_case(
     # data types.
     from .oracles import run_pipeline
 
-    outcome = CaseOutcome(
-        index=case.index,
-        seed=case.seed,
-        topology_stats=case.topology.stats(),
-    )
-    if runs is None:
-        runs = run_styles(
-            case.topology,
-            case.styles,
-            case.cycles,
-            case.deadlock_window,
-            engine=case.engine,
+    with telemetry.span("case", case=case.index, seed=case.seed):
+        outcome = CaseOutcome(
+            index=case.index,
+            seed=case.seed,
+            topology_stats=case.topology.stats(),
         )
-    for style, run in runs.items():
-        outcome.cycles_executed[style] = run.executed
-    reference = next(
-        (s for s in case.styles if runs[s].error is None), None
-    )
-    if reference is not None:
-        outcome.sink_tokens = sum(
-            len(stream) for stream in runs[reference].streams.values()
+        if runs is None:
+            runs = run_styles(
+                case.topology,
+                case.styles,
+                case.cycles,
+                case.deadlock_window,
+                engine=case.engine,
+            )
+        for style, run in runs.items():
+            outcome.cycles_executed[style] = run.executed
+        reference = next(
+            (s for s in case.styles if runs[s].error is None), None
         )
-    run_pipeline(case, runs, outcome)
+        if reference is not None:
+            outcome.sink_tokens = sum(
+                len(stream)
+                for stream in runs[reference].streams.values()
+            )
+        # Per-oracle spans come from run_pipeline itself; perturbation
+        # oracles re-simulate variants, so their simulate spans nest
+        # inside (and are double-counted by) their oracle span.
+        run_pipeline(case, runs, outcome)
     return outcome

@@ -44,6 +44,7 @@ from ..sched.generate import (
     topology_to_dict,
     validate_topology,
 )
+from . import telemetry
 from .coverage import CoverageReport, case_bins
 
 #: Candidates scored per case slot: one fresh random draw plus up to
@@ -195,27 +196,54 @@ def generate_guided_topologies(
     report = CoverageReport()
     pool: list[SystemTopology] = list(corpus)[-POOL_LIMIT:]
     chosen: list[SystemTopology] = []
+    observed = telemetry.active() is not None
     for index, case_seed in enumerate(case_seeds):
         fresh = random_topology(case_seed, profile)
         candidates = [fresh]
+        # Per-candidate mutation operator, None for the fresh draw.
+        # The op is drawn *here* — the exact call mutate_topology would
+        # make for op=None, on the same rng at the same point — so the
+        # schedule is byte-identical while telemetry can attribute
+        # wins and fresh bins per operator.
+        ops: list[str | None] = [None]
         if pool and index % FRESH_EVERY != 0:
             for _ in range(CANDIDATES_PER_CASE):
                 parent = pool[mutation_rng.randrange(len(pool))]
                 other = pool[mutation_rng.randrange(len(pool))]
+                op = MUTATION_OPS[
+                    mutation_rng.randrange(len(MUTATION_OPS))
+                ]
                 mutant = mutate_topology(
                     parent,
                     mutation_rng,
+                    op=op,
                     other=other,
                     max_latency=MUTATION_LATENCY_BOUND,
                 )
                 if mutant is not None:
                     candidates.append(mutant)
+                    ops.append(op)
+                if observed:
+                    telemetry.count(f"corpus.op.{op}.candidates")
         best = max(
             range(len(candidates)),
             key=lambda i: novelty_score(report, candidates[i]),
         )
         winner = candidates[best]
-        if report.observe(winner) > 0:
+        winner_op = ops[best]
+        if observed and len(candidates) > 1:
+            telemetry.count("corpus.tournaments")
+            if winner_op is None:
+                telemetry.count("corpus.fresh_won")
+            else:
+                telemetry.count("corpus.mutant_won")
+                telemetry.count(f"corpus.op.{winner_op}.won")
+        gained = report.observe(winner)
+        if gained > 0:
+            if observed and winner_op is not None:
+                telemetry.count(
+                    f"corpus.op.{winner_op}.fresh_bins", gained
+                )
             pool.append(winner)
             if len(pool) > POOL_LIMIT:
                 del pool[0]

@@ -38,6 +38,7 @@ from typing import Any, Mapping
 from ..lis.relay_station import RELAY_CAPACITY
 from ..lis.throughput import MarkedGraph
 from ..sched.generate import SystemTopology
+from . import telemetry
 from .cases import (
     CaseOutcome,
     Divergence,
@@ -386,9 +387,17 @@ def run_pipeline(
     pipeline: tuple[Oracle, ...] | None = None,
 ) -> CaseOutcome:
     """Fold ``pipeline`` (default: :func:`default_pipeline`) over one
-    case's style runs, accumulating checks and divergences."""
+    case's style runs, accumulating checks and divergences.
+
+    Each oracle runs under its own telemetry ``oracle`` span (tagged
+    with the oracle's class name), so the stage total is the sum of
+    the per-oracle spans — there is deliberately no wrapper span
+    around the fold."""
     for oracle in (
         default_pipeline() if pipeline is None else pipeline
     ):
-        oracle.check(case, runs, outcome)
+        with telemetry.span(
+            "oracle", oracle=type(oracle).__name__
+        ):
+            oracle.check(case, runs, outcome)
     return outcome

@@ -32,6 +32,7 @@ from ..sched.generate import (
     topology_to_dict,
     variant_to_dict,
 )
+from . import telemetry
 from .cases import CaseOutcome, VerifyCase, run_case
 from .chaos import ChaosConfig
 from .coverage import CoverageReport
@@ -517,6 +518,36 @@ def _fault_outcome(case: VerifyCase, fault: WorkerFault) -> CaseOutcome:
     )
 
 
+def _emit_outcome_telemetry(
+    outcome: CaseOutcome, chaos: ChaosConfig | None
+) -> None:
+    """Fault (and flaky-recovery) events for one finalized outcome.
+
+    Runs parent-side because a crashed worker cannot report anything;
+    the chaos plan lives in the parent, so injected faults are tagged
+    ``injected=true`` — the chaos CI smoke asserts injected vs organic
+    counts from the metrics rollup instead of grepping the summary."""
+    injected = chaos is not None and outcome.index in chaos.faulted
+    if outcome.faulted:
+        telemetry.event(
+            "fault",
+            case=outcome.index,
+            status=outcome.status,
+            attempts=outcome.attempts,
+            injected=injected,
+        )
+        telemetry.count(
+            "fault.injected" if injected else "fault.organic"
+        )
+    elif outcome.attempts > 1:
+        telemetry.event(
+            "fault.recovered",
+            case=outcome.index,
+            attempts=outcome.attempts,
+            injected=injected,
+        )
+
+
 def run_cases_supervised(
     cases: list[VerifyCase],
     *,
@@ -600,7 +631,15 @@ class BatchRunner:
 
     def run(self) -> BatchReport:
         config = self.config
-        cases = make_cases(config)
+        session = telemetry.active()
+        # Parent-process engine activity (in-process execution and
+        # shrinks, activation planning) reaches the rollup via this
+        # whole-run delta; worker-side deltas ride the supervise relay.
+        engine_before = (
+            telemetry.engine_stats() if session is not None else None
+        )
+        with telemetry.span("generate", gen=config.gen):
+            cases = make_cases(config)
         started = time.perf_counter()
         journal = None
         outcomes_by_index: dict[int, CaseOutcome] = {}
@@ -619,6 +658,8 @@ class BatchRunner:
 
             def record(outcome: CaseOutcome) -> None:
                 outcomes_by_index[outcome.index] = outcome
+                if session is not None:
+                    _emit_outcome_telemetry(outcome, config.chaos)
                 if journal is not None:
                     journal.record(outcome)
 
@@ -647,6 +688,8 @@ class BatchRunner:
                 self._persist_corpus(report, cases)
             return report
         finally:
+            if engine_before is not None:
+                telemetry.emit_engine_delta(engine_before)
             if journal is not None:
                 journal.close()
 

@@ -36,6 +36,7 @@ from ..sched.generate import (
     TopologySource,
 )
 from ..core.schedule import IOSchedule
+from . import telemetry
 from .cases import VerifyCase, run_case
 from .perturb import case_variants
 
@@ -305,7 +306,21 @@ def shrink_case(case: VerifyCase, max_attempts: int = 120) -> VerifyCase:
     candidate still fails, restarting the greedy loop each time —
     costs at most ``max_attempts`` simulations."""
     budget = _AttemptBudget(max_attempts)
-    current = _reduce(case, _variants, budget)
-    if current.variants is None and current.perturb > 0:
-        current = _pin_variants(current, budget)
+    with telemetry.span("shrink", case=case.index):
+        # Candidate executions replay the case probes (case / build /
+        # simulate / oracle) hundreds of times; mute them so stage
+        # totals and slowest-case tables describe the batch proper,
+        # with all minimization time attributed to this span.
+        session = telemetry.active()
+        if session is not None:
+            telemetry.deactivate()
+        try:
+            current = _reduce(case, _variants, budget)
+            if current.variants is None and current.perturb > 0:
+                current = _pin_variants(current, budget)
+        finally:
+            if session is not None:
+                telemetry.activate(session)
+    telemetry.count("shrink.attempts", budget.used)
+    telemetry.count("shrink.budget", budget.limit)
     return current

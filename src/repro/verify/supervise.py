@@ -31,6 +31,15 @@ any picklable module-level callable — and makes no ordering promise:
 results arrive in completion order, each as a ``(payload, result)``
 pair, with ``on_result`` fired as they land (the campaign journal
 hangs off that hook).
+
+When the parent has an active telemetry session
+(:mod:`repro.verify.telemetry`), each worker runs its task under a
+fresh buffered session and ships the collected records back inside a
+:class:`_Relayed` envelope over the existing result pipe; the parent
+unwraps and ingests them, and additionally emits ``supervise.*``
+lifecycle events (spawn / crash / timeout / retry, tagged with the
+worker pid).  None of this machinery runs when telemetry is off — the
+envelope is never created — so results are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -43,6 +52,8 @@ from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _wait_ready
 from typing import Any, Callable, Sequence
+
+from . import telemetry
 
 __all__ = [
     "MAX_BACKOFF",
@@ -91,9 +102,26 @@ class _WorkerError:
         self.detail = detail
 
 
-def _worker_main(conn, worker, worker_args) -> None:
+class _Relayed:
+    """A worker result plus the telemetry records its task emitted —
+    the pipe envelope used only while the parent session is active."""
+
+    __slots__ = ("result", "records")
+
+    def __init__(self, result: Any, records: list) -> None:
+        self.result = result
+        self.records = records
+
+
+def _worker_main(conn, worker, worker_args, relay_telemetry=False) -> None:
     """Worker loop: receive ``(attempt, payload)``, run, send result.
-    A ``None`` message (or a closed pipe) is the shutdown signal."""
+    A ``None`` message (or a closed pipe) is the shutdown signal.
+
+    With ``relay_telemetry`` each task runs under a fresh buffered
+    session (replacing whatever session a fork inherited, so parent
+    records are never double-counted) whose drained records — plus the
+    task's engine-counter movement — ride back in a :class:`_Relayed`
+    envelope."""
     while True:
         try:
             item = conn.recv()
@@ -102,12 +130,22 @@ def _worker_main(conn, worker, worker_args) -> None:
         if item is None:
             return
         attempt, payload = item
+        session = None
+        if relay_telemetry:
+            session = telemetry.activate(
+                telemetry.TelemetrySession(buffered=True)
+            )
+            engine_before = telemetry.engine_stats()
         try:
             result = worker(payload, attempt, *worker_args)
         except KeyboardInterrupt:
             return
         except BaseException as exc:
             result = _WorkerError(f"{type(exc).__name__}: {exc}")
+        if session is not None:
+            telemetry.emit_engine_delta(engine_before)
+            telemetry.deactivate()
+            result = _Relayed(result, session.drain())
         try:
             conn.send(result)
         except (BrokenPipeError, EOFError, KeyboardInterrupt):
@@ -134,11 +172,11 @@ class _Worker:
 
     __slots__ = ("process", "conn", "task", "deadline")
 
-    def __init__(self, ctx, worker, worker_args) -> None:
+    def __init__(self, ctx, worker, worker_args, relay=False) -> None:
         parent_conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
             target=_worker_main,
-            args=(child_conn, worker, worker_args),
+            args=(child_conn, worker, worker_args, relay),
             daemon=True,
         )
         self.process.start()
@@ -206,9 +244,15 @@ class SupervisedPool:
     # -- internals -------------------------------------------------------------
 
     def _spawn(self) -> _Worker:
-        return _Worker(self._ctx, self.worker, self.worker_args)
+        # Relay worker telemetry only while the parent session exists:
+        # the envelope (and its cost) never appears with telemetry off.
+        relay = telemetry.active() is not None
+        worker = _Worker(self._ctx, self.worker, self.worker_args, relay)
+        telemetry.event("supervise.spawn", pid=worker.process.pid)
+        return worker
 
     def _dispatch(self, worker: _Worker, task: _Task) -> None:
+        telemetry.count("supervise.dispatch")
         worker.conn.send((task.attempts, task.payload))
         worker.task = task
         worker.deadline = None
@@ -247,7 +291,9 @@ class SupervisedPool:
             if on_result is not None:
                 on_result(task.payload, result)
 
-        def fault(task: _Task, kind: str, detail: str) -> None:
+        def fault(
+            task: _Task, kind: str, detail: str, pid: int | None = None
+        ) -> None:
             nonlocal outstanding
             task.attempts += 1
             if self.split is not None:
@@ -255,10 +301,14 @@ class SupervisedPool:
                 if subs:
                     # Degrade, don't retry: the faulting batch is
                     # replaced by its items, each with a fresh budget.
+                    telemetry.event("supervise.split", pid=pid)
                     outstanding += len(subs) - 1
                     pending.extend(_Task(sub) for sub in subs)
                     return
             if task.attempts <= self.retries:
+                telemetry.event(
+                    "supervise.retry", pid=pid, attempts=task.attempts
+                )
                 ready = time.monotonic() + backoff_delay(
                     task.attempts, self.backoff
                 )
@@ -276,7 +326,17 @@ class SupervisedPool:
             code = worker.process.exitcode
             workers.remove(worker)
             if task is not None:
-                fault(task, "crash", f"worker died (exit code {code})")
+                telemetry.event(
+                    "supervise.crash",
+                    pid=worker.process.pid,
+                    detail=f"exit code {code}",
+                )
+                fault(
+                    task,
+                    "crash",
+                    f"worker died (exit code {code})",
+                    pid=worker.process.pid,
+                )
 
         def on_deadline(worker: _Worker) -> None:
             task, worker.task = worker.task, None
@@ -288,10 +348,16 @@ class SupervisedPool:
             worker.discard()
             workers.remove(worker)
             if task is not None:
+                telemetry.event(
+                    "supervise.timeout",
+                    pid=worker.process.pid,
+                    detail=f"exceeded {budget:.1f}s",
+                )
                 fault(
                     task,
                     "timeout",
                     f"exceeded {budget:.1f}s wall clock",
+                    pid=worker.process.pid,
                 )
 
         try:
@@ -341,11 +407,23 @@ class SupervisedPool:
                             on_dead(worker)
                             continue
                         task, worker.task = worker.task, None
+                        if isinstance(result, _Relayed):
+                            session = telemetry.active()
+                            if session is not None:
+                                for record in result.records:
+                                    session.add(record)
+                            result = result.result
                         if isinstance(result, _WorkerError):
+                            telemetry.event(
+                                "supervise.crash",
+                                pid=worker.process.pid,
+                                detail=f"raised: {result.detail}",
+                            )
                             fault(
                                 task,
                                 "crash",
                                 f"worker raised: {result.detail}",
+                                pid=worker.process.pid,
                             )
                         else:
                             finalize(task, result)

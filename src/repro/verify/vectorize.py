@@ -40,6 +40,7 @@ from ..core.equivalence import RTLShell
 from ..core.rtlgen.common import sanitize
 from ..lis.port import DEFAULT_PORT_DEPTH
 from ..rtl.compile_sim import VectorLane, VectorSimulator
+from . import telemetry
 from .cases import (
     CaseOutcome,
     StyleRun,
@@ -337,68 +338,70 @@ def _run_style_lanes(
     spec = get_style(style)
     lanes = len(cases)
     first = cases[0].topology
-    parts = {
-        node.name: spec.rtl_parts(node) for node in first.processes
-    }
-    sims = {
-        node.name: VectorSimulator(
-            parts[node.name][0],
-            lanes,
-            poke_bundle=_control_bundle(node.schedule),
-            peek_bundle=_status_bundle(node.schedule),
-        )
-        for node in first.processes
-    }
-    records = [_LaneRecord(case) for case in cases]
-    for lane, record in enumerate(records):
-        try:
-            record.build(style, parts, sims, lane, trace)
-        except Exception as exc:
-            record.fail(exc)
-
-    sim_list = list(sims.values())
-    for sim in sim_list:
-        sim.broadcast("rst", 1)
-        sim.step()
-        sim.broadcast("rst", 0)
-
-    cycles = cases[0].cycles
-    window = cases[0].deadlock_window
-    live = [r for r in records if not r.done]
-    for _ in range(cycles):
-        if not live:
-            break
-        for record in live:
+    with telemetry.span("build", style=style, lanes=lanes):
+        parts = {
+            node.name: spec.rtl_parts(node) for node in first.processes
+        }
+        sims = {
+            node.name: VectorSimulator(
+                parts[node.name][0],
+                lanes,
+                poke_bundle=_control_bundle(node.schedule),
+                peek_bundle=_status_bundle(node.schedule),
+            )
+            for node in first.processes
+        }
+        records = [_LaneRecord(case) for case in cases]
+        for lane, record in enumerate(records):
             try:
-                cycle = record.executed
-                for fn in record.produce:
-                    fn(cycle)
-                for fn in record.consume:
-                    fn(cycle)
+                record.build(style, parts, sims, lane, trace)
             except Exception as exc:
                 record.fail(exc)
-        live = [r for r in live if not r.done]
+
+    with telemetry.span("simulate", style=style, lanes=lanes):
+        sim_list = list(sims.values())
         for sim in sim_list:
-            sim.settle()
-        for record in live:
-            try:
-                for fn in record.deciders:
-                    fn(record.executed)
-            except Exception as exc:
-                record.fail(exc)
-        for sim in sim_list:
+            sim.broadcast("rst", 1)
             sim.step()
-        for record in live:
-            if record.done:
-                continue
-            try:
-                for fn in record.commit:
-                    fn()
-                record.executed += 1
-                record.tick_deadlock(window)
-            except Exception as exc:
-                record.fail(exc)
-        live = [r for r in live if not r.done]
+            sim.broadcast("rst", 0)
+
+        cycles = cases[0].cycles
+        window = cases[0].deadlock_window
+        live = [r for r in records if not r.done]
+        for _ in range(cycles):
+            if not live:
+                break
+            for record in live:
+                try:
+                    cycle = record.executed
+                    for fn in record.produce:
+                        fn(cycle)
+                    for fn in record.consume:
+                        fn(cycle)
+                except Exception as exc:
+                    record.fail(exc)
+            live = [r for r in live if not r.done]
+            for sim in sim_list:
+                sim.settle()
+            for record in live:
+                try:
+                    for fn in record.deciders:
+                        fn(record.executed)
+                except Exception as exc:
+                    record.fail(exc)
+            for sim in sim_list:
+                sim.step()
+            for record in live:
+                if record.done:
+                    continue
+                try:
+                    for fn in record.commit:
+                        fn()
+                    record.executed += 1
+                    record.tick_deadlock(window)
+                except Exception as exc:
+                    record.fail(exc)
+            live = [r for r in live if not r.done]
 
     return [record.harvest(trace) for record in records]
 

@@ -18,8 +18,10 @@ from repro.core.schedule import IOSchedule, SyncPoint
 from repro.core.synthesis import SYNTH_STYLES, synthesize_wrapper
 from repro.rtl.compile_sim import (
     CompiledSimulator,
+    cache_stats,
     compile_design,
     kernel_cache_info,
+    reset_cache_stats,
 )
 from repro.rtl.module import Design, Module
 from repro.rtl.simulator import (
@@ -303,6 +305,64 @@ class TestKernelCache:
         assert plan_a.kernel is not plan_b.kernel
         cached, cap = kernel_cache_info()
         assert 0 < cached <= cap
+
+
+class TestCacheStats:
+    @staticmethod
+    def _counter(name: str, width: int) -> Module:
+        # Each test picks an otherwise-unused register width so its
+        # first compile is a guaranteed kernel-cache miss no matter
+        # what ran before (the kernel cache itself is process-wide;
+        # reset_cache_stats only zeroes the counters).
+        m = Module(name)
+        m.add_clock()
+        rst = m.input("rst")
+        en = m.input("en")
+        count = m.output("q", width)
+        m.register(count, count + 1, enable=en, reset=rst)
+        return m
+
+    def test_fresh_compile_counts_a_timed_miss(self):
+        reset_cache_stats()
+        compile_design(self._counter("cs0", 21))
+        stats = cache_stats()
+        assert stats["misses"] >= 1
+        assert stats["hits"] == 0
+        assert stats["compile_ms"] > 0
+
+    def test_structural_twin_counts_a_hit(self):
+        reset_cache_stats()
+        compile_design(self._counter("cs1", 22))
+        compile_design(self._counter("cs1b", 22))
+        stats = cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+
+    def test_plan_memo_hit_is_separate_from_kernel_hits(self):
+        reset_cache_stats()
+        m = self._counter("cs3", 23)
+        compile_design(m)
+        compile_design(m)  # same object, unchanged: plan memo
+        stats = cache_stats()
+        assert stats["memo_hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == 0
+
+    def test_reset_zeroes_every_counter(self):
+        compile_design(self._counter("cs4", 24))
+        reset_cache_stats()
+        stats = cache_stats()
+        assert set(stats) == {
+            "hits", "misses", "memo_hits", "compile_ms",
+            "vector_packed", "vector_fallback",
+        }
+        assert all(value == 0 for value in stats.values())
+
+    def test_snapshot_is_a_copy(self):
+        reset_cache_stats()
+        before = cache_stats()
+        before["misses"] = 999
+        assert cache_stats()["misses"] == 0
 
 
 class TestDeadNetPruning:
