@@ -21,7 +21,10 @@ Subcommands:
   ``--perturb-styles all`` runs every variant under every wrapper
   style); ``--engine vectorized`` packs same-shape cases into the
   word-level lanes of one bit-parallel RTL simulation
-  (:mod:`repro.verify.vectorize`) with identical results;
+  (:mod:`repro.verify.vectorize`) with identical results, batching
+  the behavioural harness through NumPy when available and covering
+  ``rtl-shiftreg`` via lane-indexed activation ROMs — ``--lanes N``
+  sets the batch width (default 32, results lane-count independent);
   ``--list-styles`` prints the style registry;
   ``--coverage`` / ``--coverage-json`` report topology-shape
   histograms; ``--gen coverage [--corpus DIR]`` switches topology
@@ -224,6 +227,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             perturb_dynamic=bool(
                 data.get("perturb_dynamic", args.perturb_dynamic)
             ),
+            # Liveness-only, but replayed so lane-width-sensitive
+            # faults reproduce under the recorded batching.
+            lanes=int(data.get("lanes", args.lanes)),
             # Pinned variants replay verbatim; without them --perturb
             # re-derives from the topology and seed.
             variants=(
@@ -270,6 +276,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             cases=args.cases,
             seed=args.seed,
             jobs=args.jobs,
+            lanes=args.lanes,
             cycles=args.cycles,
             profile=args.profile,
             traffic=args.traffic,
@@ -305,6 +312,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                     "cases": args.cases,
                     "seed": args.seed,
                     "jobs": args.jobs,
+                    "lanes": args.lanes,
                     "profile": args.profile,
                     "traffic": args.traffic,
                     "engine": args.engine,
@@ -604,6 +612,14 @@ def build_parser() -> argparse.ArgumentParser:
             "compiled, or the REPRO_RTL_ENGINE environment override); "
             "'vectorized' packs same-shape cases into word-level "
             "lanes of one bit-parallel simulation"
+        ),
+    )
+    verify.add_argument(
+        "--lanes", type=int, default=32, metavar="N",
+        help=(
+            "lane width for --engine vectorized: same-shape cases "
+            "batched per packed kernel and harness pass (default 32, "
+            "useful to 128+; results are lane-count independent)"
         ),
     )
     verify.add_argument(

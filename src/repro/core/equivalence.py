@@ -102,11 +102,7 @@ class RTLShell(Shell):
         super().__init__(pearl, port_depth)
         self.module = module
         self.engine = engine
-        self._script = (
-            _script_from_program(program)
-            if program is not None
-            else _script_from_schedule(pearl.schedule)
-        )
+        self._script = self._build_script(program)
         self._script_pos = 0
         self._rtl_run_left = 0
         self._phase_next = 0
@@ -127,6 +123,17 @@ class RTLShell(Shell):
         self._push_names = [f"{port}_push" for port in self._out_names]
         self.rtl = self._make_rtl()
         self._apply_reset()
+
+    def _build_script(self, program: SPProgram | None):
+        """The expected-operation script (overridden by the
+        lane-batched shell in :mod:`repro.verify.vectorize`, which
+        shares one script list across a whole lane batch — the shell
+        never mutates the list, only its position into it)."""
+        return (
+            _script_from_program(program)
+            if program is not None
+            else _script_from_schedule(self.pearl.schedule)
+        )
 
     def _make_rtl(self):
         """The RTL simulation backend behind this shell (overridden by

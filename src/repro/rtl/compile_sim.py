@@ -1725,6 +1725,39 @@ class VectorSimulator:
         slot = self._slot(name)
         self._env[slot] = (value & self._masks[slot]) * self._lane_lsb
 
+    def poke_control_packed(self, packed: int) -> None:
+        """Drive every lane's poke bundle from one packed integer.
+
+        ``packed`` holds lane ``k``'s control word at bit offset
+        ``k * stride`` (the environment's native layout), so a batched
+        harness can assemble all lanes' handshake bits off-simulator
+        and install them in one slot write instead of ``lanes``
+        read-modify-write :meth:`VectorLane.poke_control` calls.
+        """
+        if self._in_slot is None:
+            raise RuntimeError(
+                "simulator was compiled without a poke bundle"
+            )
+        if self._dead_stale:
+            self._refresh_dead()
+        self._env[self._in_slot] = (
+            packed & self._masks[self._in_slot] * self._lane_lsb
+        )
+
+    def peek_status_packed(self) -> int:
+        """Read every lane's peek bundle as one packed integer (lane
+        ``k``'s status word at bit offset ``k * stride``)."""
+        if self._out_slot is None:
+            raise RuntimeError(
+                "simulator was compiled without a peek bundle"
+            )
+        if (
+            self._dead_stale
+            and self._out_slot in self._kernel.dead_slots
+        ):
+            self._refresh_dead()
+        return self._env[self._out_slot]
+
     # -- execution ---------------------------------------------------------------
 
     def settle(self) -> None:

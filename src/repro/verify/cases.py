@@ -250,6 +250,11 @@ class VerifyCase:
     # shrinker pins derived variants here to minimize the failing set,
     # and reproducer JSON carries them verbatim).
     variants: tuple[TopologyVariant, ...] | None = None
+    # Lane width the vectorized engine batches this case with.
+    # Liveness-only metadata: results are lane-count independent, so
+    # this rides along for replay fidelity (reproducer JSON, --repro)
+    # but stays out of campaign fingerprints.
+    lanes: int = 32
 
 
 @dataclass(frozen=True)

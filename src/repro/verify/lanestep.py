@@ -1,0 +1,765 @@
+"""Array-of-cases stepper: the lane batch's behavioural side in NumPy.
+
+The lane-batched vectorized engine (:mod:`repro.verify.vectorize`)
+shares one compiled RTL kernel across W same-shape cases, but its
+original drive loop still stepped W Python systems object-by-object —
+ports, relay stations, sources, sinks and pearls each cost a Python
+call per lane per cycle, and PR 9's telemetry showed that harness
+dominating the ``simulate`` span while the SWAR kernels idled.
+
+This module lowers that behavioural side into structure-of-arrays
+NumPy state: one ``(W,)`` (or ``(W, depth)``) array per structural
+element, shared across every lane of the chunk, driven by one
+Python-level pass per cycle for *all* lanes.  Source jitter schedules
+and sink stall patterns become precomputed ``(W, cycles)`` masks, the
+wrapper handshakes become packed integer words installed with one
+whole-slot poke (:meth:`VectorSimulator.poke_control_packed`), and the
+MixPearl accumulator hash runs as vectorized ``int64`` arithmetic.
+
+Fidelity contract: the demuxed per-lane results are **byte-identical**
+to the per-lane object driver.  Anything the stepper cannot reproduce
+exactly — a monkeypatched :class:`MixPearl`, instrumented systems,
+non-MixPearl pearls, a strobe/script divergence, a pop on an empty
+FIFO, a push on a full one (each of which the scalar driver turns
+into a per-lane error record with exact text) — makes it *bail*: the
+attempt is abandoned with every lane's Python objects untouched, and
+the caller re-runs the chunk on the retained object driver, which
+reproduces the scalar byte stream including error text.  The NumPy
+dependency is optional: without it :func:`drive_lanes` reports
+unavailable and the object driver runs as before.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+try:  # optional accelerator: the object driver remains the fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via availability flag
+    _np = None
+
+from .cases import MixPearl
+
+__all__ = ["HAVE_NUMPY", "drive_lanes"]
+
+HAVE_NUMPY = _np is not None
+
+#: The pristine pearl hook, captured at import: if a test (or user
+#: extension) monkeypatches ``MixPearl.on_sync``, the vectorized hash
+#: below would silently bypass the patch, so the stepper bails.
+_PRISTINE_ON_SYNC = MixPearl.on_sync
+
+_MIX = 0x9E3779B9
+_MASK = 0xFFFFFFFF
+_VOID = -1  # token sentinel: real tokens are non-negative ints
+_MAX_TOKEN = 1 << 62
+
+
+class _Bail(Exception):
+    """Internal: abandon the NumPy attempt, fall back to objects."""
+
+
+def _pack_words(words: "Any", nbytes: int) -> int:
+    """(W,) int64 words -> one packed int, lane k at byte k*nbytes."""
+    lanes = len(words)
+    raw = (
+        words.astype("<u8")
+        .view(_np.uint8)
+        .reshape(lanes, 8)[:, :nbytes]
+        .tobytes()
+    )
+    return int.from_bytes(raw, "little")
+
+
+def _unpack_words(packed: int, nbytes: int, lanes: int) -> "Any":
+    """One packed int -> (W,) int64 words, lane k at byte k*nbytes."""
+    raw = packed.to_bytes(lanes * nbytes, "little")
+    buf = _np.zeros((lanes, 8), _np.uint8)
+    buf[:, :nbytes] = _np.frombuffer(raw, _np.uint8).reshape(
+        lanes, nbytes
+    )
+    return buf.view("<u8").ravel().astype(_np.int64)
+
+
+def _tile(pattern: Sequence[bool], cycles: int) -> "Any":
+    return _np.resize(_np.asarray(list(pattern), bool), cycles)
+
+
+class _Wires:
+    """All link data/stop wires of the batch, keyed by link name."""
+
+    def __init__(self, names: Sequence[str], lanes: int) -> None:
+        self.index = {name: k for k, name in enumerate(names)}
+        self.data = _np.full((len(names), lanes), _VOID, _np.int64)
+        self.stop = _np.zeros((len(names), lanes), bool)
+
+
+class _InPortSoA:
+    """One structural input port across all lanes."""
+
+    def __init__(self, ports, wires: _Wires, lanes: int) -> None:
+        first = next(p for p in ports if p is not None)
+        self.depth = first.depth
+        self.link = wires.index[first.link.name]
+        self.values = _np.zeros((lanes, self.depth), _np.int64)
+        self.fl = _np.zeros(lanes, _np.int64)
+        self.hd = _np.zeros(lanes, _np.int64)
+        self.pp = _np.zeros(lanes, _np.int64)
+        self.arrived = _np.full(lanes, _VOID, _np.int64)
+        for lane, port in enumerate(ports):
+            if port is None:
+                continue
+            if port.depth != self.depth or port.link.name != first.link.name:
+                raise _Bail("input port structure differs across lanes")
+            initial = list(port._fifo)
+            for slot, value in enumerate(initial):
+                self.values[lane, slot] = _checked_token(value)
+            self.fl[lane] = len(initial)
+
+    def produce(self, wires: _Wires) -> None:
+        wires.stop[self.link] = self.fl >= self.depth
+
+    def consume(self, wires: _Wires, live) -> None:
+        incoming = wires.data[self.link]
+        accept = live & (self.fl < self.depth) & (incoming != _VOID)
+        self.arrived = _np.where(accept, incoming, _VOID)
+
+    def pop(self, lane_idx):
+        """Head values for ``lane_idx`` lanes; marks them popped."""
+        if (self.fl[lane_idx] - self.pp[lane_idx] <= 0).any():
+            raise _Bail("pop on empty input port")
+        vals = self.values[lane_idx, self.hd[lane_idx]]
+        self.pp[lane_idx] += 1
+        return vals
+
+    def commit(self) -> None:
+        adv = self.pp
+        self.hd = (self.hd + adv) % self.depth
+        self.fl -= adv
+        self.pp = _np.zeros_like(self.pp)
+        lane_idx = _np.nonzero(self.arrived != _VOID)[0]
+        if len(lane_idx):
+            slot = (self.hd[lane_idx] + self.fl[lane_idx]) % self.depth
+            self.values[lane_idx, slot] = self.arrived[lane_idx]
+            self.fl[lane_idx] += 1
+            self.arrived[lane_idx] = _VOID
+
+
+class _OutPortSoA:
+    """One structural output port across all lanes."""
+
+    def __init__(self, ports, wires: _Wires, lanes: int) -> None:
+        first = next(p for p in ports if p is not None)
+        self.depth = first.depth
+        self.link = wires.index[first.link.name]
+        self.values = _np.zeros((lanes, self.depth), _np.int64)
+        self.fl = _np.zeros(lanes, _np.int64)
+        self.hd = _np.zeros(lanes, _np.int64)
+        self.pushed_val = _np.zeros(lanes, _np.int64)
+        self.pushed = _np.zeros(lanes, _np.int64)
+        self.sent = _np.zeros(lanes, bool)
+        self._all = _np.arange(lanes)
+        for lane, port in enumerate(ports):
+            if port is None:
+                continue
+            if port.depth != self.depth or port.link.name != first.link.name:
+                raise _Bail("output port structure differs across lanes")
+            if port._fifo or port._pushed:
+                raise _Bail("output port not empty at start")
+
+    def produce(self, wires: _Wires) -> None:
+        vals = self.values[self._all, self.hd]
+        wires.data[self.link] = _np.where(self.fl > 0, vals, _VOID)
+
+    def consume(self, wires: _Wires, live) -> None:
+        stop = wires.stop[self.link]
+        self.sent = live & (self.fl > 0) & ~stop
+
+    def push(self, lane_idx, vals) -> None:
+        if (
+            self.fl[lane_idx] + self.pushed[lane_idx] >= self.depth
+        ).any():
+            raise _Bail("push on full output port")
+        self.pushed_val[lane_idx] = vals
+        self.pushed[lane_idx] = 1
+
+    def commit(self) -> None:
+        adv = self.sent.astype(_np.int64)
+        self.hd = (self.hd + adv) % self.depth
+        self.fl -= adv
+        lane_idx = _np.nonzero(self.pushed)[0]
+        if len(lane_idx):
+            slot = (self.hd[lane_idx] + self.fl[lane_idx]) % self.depth
+            self.values[lane_idx, slot] = self.pushed_val[lane_idx]
+            self.fl[lane_idx] += 1
+            self.pushed[lane_idx] = 0
+
+
+class _RelaySoA:
+    """One structural relay station across all lanes."""
+
+    def __init__(self, stations, wires: _Wires, lanes: int) -> None:
+        first = next(s for s in stations if s is not None)
+        self.up = wires.index[first.upstream.name]
+        self.down = wires.index[first.downstream.name]
+        self.buf = _np.zeros((lanes, 2), _np.int64)
+        self.occ = _np.zeros(lanes, _np.int64)
+        self.hd = _np.zeros(lanes, _np.int64)
+        self.max_occ = _np.zeros(lanes, _np.int64)
+        self.popping = _np.zeros(lanes, bool)
+        self.arr_val = _np.full(lanes, _VOID, _np.int64)
+        self._all = _np.arange(lanes)
+        for station in stations:
+            if station is None:
+                continue
+            if (
+                station.upstream.name != first.upstream.name
+                or station.downstream.name != first.downstream.name
+            ):
+                raise _Bail("relay structure differs across lanes")
+            if station._buffer:
+                raise _Bail("relay station not empty at start")
+
+    def produce(self, wires: _Wires) -> None:
+        vals = self.buf[self._all, self.hd]
+        wires.data[self.down] = _np.where(self.occ > 0, vals, _VOID)
+        wires.stop[self.up] = self.occ >= 2
+
+    def consume(self, wires: _Wires, live) -> None:
+        down_stop = wires.stop[self.down]
+        up_data = wires.data[self.up]
+        self.popping = live & (self.occ > 0) & ~down_stop
+        arriving = live & (up_data != _VOID) & (self.occ < 2)
+        self.arr_val = _np.where(arriving, up_data, _VOID)
+        next_occ = (
+            self.occ - self.popping + arriving.astype(_np.int64)
+        )
+        self.max_occ = _np.where(
+            live, _np.maximum(self.max_occ, next_occ), self.max_occ
+        )
+
+    def commit(self) -> None:
+        adv = self.popping.astype(_np.int64)
+        self.hd = (self.hd + adv) % 2
+        self.occ -= adv
+        lane_idx = _np.nonzero(self.arr_val != _VOID)[0]
+        if len(lane_idx):
+            slot = (self.hd[lane_idx] + self.occ[lane_idx]) % 2
+            self.buf[lane_idx, slot] = self.arr_val[lane_idx]
+            self.occ[lane_idx] += 1
+            self.arr_val[lane_idx] = _VOID
+
+
+class _SourceSoA:
+    """One structural source across all lanes.
+
+    Token streams and gap patterns vary per lane (jitter is lane
+    data, not shape); gaps are materialized up front into a
+    ``(W, cycles)`` availability mask, tokens reduce to a per-lane
+    ``(base, count)`` pair.
+    """
+
+    def __init__(
+        self, entries, wires: _Wires, lanes: int, cycles: int
+    ) -> None:
+        # entries: (Source block, topology SourceSpec) per lane.
+        first_block, _ = next(e for e in entries if e is not None)
+        self.link = wires.index[first_block.link.name]
+        lane_tokens: list[tuple[int, int]] = [(0, 0)] * lanes
+        self.avail = _np.zeros((lanes, cycles), bool)
+        for lane, entry in enumerate(entries):
+            if entry is None:
+                continue
+            block, spec = entry
+            if block.link.name != first_block.link.name:
+                raise _Bail("source structure differs across lanes")
+            # The stream is range(base, base + n_tokens) of plain
+            # ints, so one bounds check covers every token and the
+            # pending value is just ``base + sent`` — no value matrix.
+            # A source sends at most one token per cycle, so anything
+            # past ``cycles`` can never be observed and a stream at
+            # least that long never starves; truncating keeps the
+            # bookkeeping O(1) in ``n_tokens``.
+            count = min(spec.n_tokens, cycles)
+            base = spec.base
+            if type(base) is not int or not (
+                0 <= base and base + count <= _MAX_TOKEN
+            ):
+                raise _Bail(
+                    f"token stream {base!r}+{count} outside the "
+                    "int64 lane range"
+                )
+            lane_tokens[lane] = (base, count)
+            self.avail[lane] = _tile(block._gaps, cycles)
+        self.base = _np.array(
+            [b for b, _c in lane_tokens], _np.int64
+        )
+        self.n = _np.array([c for _b, c in lane_tokens], _np.int64)
+        self.st = _np.zeros(lanes, _np.int64)
+        self.sent = _np.zeros(lanes, bool)
+
+    def produce(self, wires: _Wires, cycle: int) -> None:
+        offer = self.avail[:, cycle] & (self.st < self.n)
+        wires.data[self.link] = _np.where(
+            offer, self.base + self.st, _VOID
+        )
+
+    def consume(self, wires: _Wires, live) -> None:
+        self.sent = (
+            live
+            & (wires.data[self.link] != _VOID)
+            & ~wires.stop[self.link]
+        )
+
+    def commit(self) -> None:
+        self.st += self.sent
+
+
+class _SinkSoA:
+    """One structural sink across all lanes."""
+
+    def __init__(
+        self, sinks, wires: _Wires, lanes: int, cycles: int
+    ) -> None:
+        first = next(s for s in sinks if s is not None)
+        self.link = wires.index[first.link.name]
+        self.accepting = _np.zeros((lanes, cycles), bool)
+        for lane, sink in enumerate(sinks):
+            if sink is None:
+                continue
+            if sink.link.name != first.link.name:
+                raise _Bail("sink structure differs across lanes")
+            if sink._limit is not None:
+                raise _Bail("sink token limits are not vectorized")
+            if sink.received:
+                raise _Bail("sink not empty at start")
+            self.accepting[lane] = _tile(sink._accepts, cycles)
+        # Per-cycle capture: slot ``cycle`` holds the token taken that
+        # cycle or _VOID; the writeback compresses each lane's row in
+        # arrival order.  One where() per cycle beats a nonzero +
+        # fancy scatter on every tick.
+        self.received = _np.full((lanes, cycles), _VOID, _np.int64)
+
+    def produce(self, wires: _Wires, cycle: int) -> None:
+        wires.stop[self.link] = ~self.accepting[:, cycle]
+
+    def consume(self, wires: _Wires, live, cycle: int) -> None:
+        value = wires.data[self.link]
+        taken = live & (value != _VOID) & self.accepting[:, cycle]
+        self.received[:, cycle] = _np.where(taken, value, _VOID)
+
+    def commit(self) -> None:
+        pass
+
+    def stream(self, lane: int) -> list:
+        row = self.received[lane]
+        return row[row != _VOID].tolist()
+
+
+class _NodeSoA:
+    """One process node: script tables, pearl accumulators, the shared
+    vector simulator, and the node's ports."""
+
+    def __init__(
+        self,
+        name: str,
+        shells,
+        sim,
+        wires: _Wires,
+        lanes: int,
+        cycles: int,
+        trace: bool,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        first = next(s for s in shells if s is not None)
+        if sim.stride % 8 or sim.stride > 64:
+            raise _Bail("lane stride outside the packed-word bridge")
+        self.nbytes = sim.stride // 8
+        schedule = first.pearl.schedule
+        self.n_in = len(schedule.inputs)
+        self.n_out = len(schedule.outputs)
+        script = first._script
+        for shell in shells:
+            if shell is None:
+                continue
+            if type(shell.pearl) is not MixPearl:
+                raise _Bail("non-MixPearl pearl")
+            # Lane batches share one script list per node; identity
+            # short-circuits the elementwise dataclass compare.
+            if shell._script is not script and shell._script != script:
+                raise _Bail("wrapper script differs across lanes")
+        self.S = len(script)
+        self.in_tab = _np.array(
+            [e.in_mask for e in script], _np.int64
+        )
+        self.out_tab = _np.array(
+            [e.out_mask for e in script], _np.int64
+        )
+        self.run_tab = _np.array([e.run for e in script], _np.int64)
+        self.sync_tab = _np.array(
+            [e.kind == "sync" for e in script], bool
+        )
+        self.point_tab = _np.array(
+            [e.point_index for e in script], _np.int64
+        )
+        # Output-bit ranks: for sync entry s and schedule output j,
+        # the XOR salt index MixPearl uses for that port — its rank in
+        # sorted(point.outputs) — or 0 when the entry doesn't push it.
+        self.rank_tab = _np.zeros(
+            (self.S, max(self.n_out, 1)), _np.int64
+        )
+        for s, entry in enumerate(script):
+            if entry.kind != "sync":
+                continue
+            point = schedule.points[entry.point_index]
+            expected = set(
+                schedule.outputs_from_mask(entry.out_mask)
+            )
+            if expected != set(point.outputs):
+                raise _Bail("script/point output sets diverge")
+            popped = {
+                schedule.inputs[b]
+                for b in range(self.n_in)
+                if entry.in_mask >> b & 1
+            }
+            point_inputs = (
+                set(point.inputs) if entry.kind == "sync" else set()
+            )
+            if entry.kind == "sync" and popped != point_inputs:
+                raise _Bail("script/point input sets diverge")
+            ranks = {
+                port: rank
+                for rank, port in enumerate(sorted(point.outputs))
+            }
+            for j, port in enumerate(schedule.outputs):
+                self.rank_tab[s, j] = ranks.get(port, 0)
+        # Pop processing in sorted-name order reproduces the pearl's
+        # sorted(popped) fold for every entry's port subset.
+        self.in_sorted = sorted(
+            range(self.n_in), key=lambda b: schedule.inputs[b]
+        )
+        self.in_mask_all = (1 << self.n_in) - 1
+        self.push_shift = 1 + self.n_in
+        self.acc = _np.full(
+            lanes, MixPearl._initial_acc(name), _np.int64
+        )
+        self.script_pos = _np.zeros(lanes, _np.int64)
+        self.run_left = _np.zeros(lanes, _np.int64)
+        self.periods = _np.zeros(lanes, _np.int64)
+        self.cw = _np.zeros(lanes, _np.int64)
+        self.trace = (
+            _np.zeros((lanes, cycles), bool) if trace else None
+        )
+        self.in_ports: list[_InPortSoA] = []
+        self.out_ports: list[_OutPortSoA] = []
+
+    def poke(self, live) -> None:
+        bits = _np.zeros_like(self.cw)
+        for pos, port in enumerate(self.in_ports):
+            bits |= (port.fl > 0).astype(_np.int64) << pos
+        for j, port in enumerate(self.out_ports):
+            bits |= (
+                (port.fl < port.depth).astype(_np.int64)
+                << (self.n_in + j)
+            )
+        self.cw = _np.where(live, bits, self.cw)
+        self.sim.poke_control_packed(
+            _pack_words(self.cw, self.nbytes)
+        )
+
+    def decide(self, cycle: int, live, any_enabled) -> None:
+        status = _unpack_words(
+            self.sim.peek_status_packed(), self.nbytes, len(live)
+        )
+        enable = (status & 1) != 0
+        pops = (status >> 1) & self.in_mask_all
+        pushes = status >> self.push_shift
+        strobed = (pops != 0) | (pushes != 0)
+        firing = live & enable & (self.run_left == 0)
+        running = live & enable & (self.run_left > 0)
+        exp_in = self.in_tab[self.script_pos]
+        exp_out = self.out_tab[self.script_pos]
+        # One fused infidelity sweep: idle or free-running lanes must
+        # not strobe, firing lanes must strobe the scripted masks.
+        bad = (
+            ((live & ~enable) | running) & strobed
+        ) | (firing & ((pops != exp_in) | (pushes != exp_out)))
+        if bad.any():
+            if (live & ~enable & strobed).any():
+                raise _Bail("strobes while ip_enable low")
+            if (running & strobed).any():
+                raise _Bail(
+                    "strobes during an expected free-run cycle"
+                )
+            raise _Bail("RTL strobes diverge from the script")
+        sync = firing & self.sync_tab[self.script_pos]
+        if sync.any():
+            for bit in self.in_sorted:
+                popping = sync & (((exp_in >> bit) & 1) != 0)
+                lane_idx = _np.nonzero(popping)[0]
+                if not len(lane_idx):
+                    continue
+                vals = self.in_ports[bit].pop(lane_idx)
+                self.acc[lane_idx] = (
+                    self.acc[lane_idx] * 1000003
+                    + (vals & _MASK)
+                    + _MIX
+                ) & _MASK
+            self.acc = _np.where(
+                sync,
+                (
+                    self.acc * 1000003
+                    + self.point_tab[self.script_pos]
+                    + 1
+                )
+                & _MASK,
+                self.acc,
+            )
+            for j in range(self.n_out):
+                pushing = sync & (((exp_out >> j) & 1) != 0)
+                lane_idx = _np.nonzero(pushing)[0]
+                if not len(lane_idx):
+                    continue
+                ranks = self.rank_tab[self.script_pos[lane_idx], j]
+                vals = (self.acc[lane_idx] ^ (ranks * _MIX)) & _MASK
+                self.out_ports[j].push(lane_idx, vals)
+        self.run_left = _np.where(
+            running, self.run_left - 1, self.run_left
+        )
+        next_run = self.run_tab[self.script_pos]
+        pos1 = self.script_pos + 1
+        wrapped = pos1 >= self.S
+        self.periods += (firing & wrapped).astype(_np.int64)
+        self.run_left = _np.where(firing, next_run, self.run_left)
+        self.script_pos = _np.where(
+            firing, _np.where(wrapped, 0, pos1), self.script_pos
+        )
+        enabled = live & enable
+        if self.trace is not None:
+            self.trace[:, cycle] = enabled
+        any_enabled |= enabled
+
+
+def _checked_token(value: Any) -> int:
+    if type(value) is not int or not 0 <= value < _MAX_TOKEN:
+        raise _Bail(f"token {value!r} outside the int64 lane range")
+    return value
+
+
+def _structure_signature(record) -> tuple:
+    system = record.system
+    return (
+        tuple(
+            (type(block).__name__, block.name)
+            for block in system.blocks
+        ),
+        tuple(link.name for link in system.links),
+    )
+
+
+def drive_lanes(
+    records: Sequence[Any],
+    sims: "dict[str, Any]",
+    cycles: int,
+    window: int | None,
+    trace: bool,
+) -> float | None:
+    """Drive one built lane batch with the NumPy stepper.
+
+    ``records`` are :class:`repro.verify.vectorize._LaneRecord`\\ s
+    whose systems are freshly built (never stepped); ``sims`` maps
+    process name to the batch's shared
+    :class:`~repro.rtl.compile_sim.VectorSimulator`\\ s, already
+    reset.  On success the records' Python objects are updated with
+    the harvested results (sink streams, enable traces, periods,
+    relay peaks, executed/deadlocked) and the kernel time in seconds
+    is returned.  On *any* infidelity the attempt bails: ``None`` is
+    returned, every record object is untouched (the simulators have
+    been stepped — reset them), and the caller runs the object
+    driver.
+    """
+    if _np is None or MixPearl.on_sync is not _PRISTINE_ON_SYNC:
+        return None
+    lanes = len(records)
+    alive = [record for record in records if not record.done]
+    if not alive:
+        return 0.0
+    try:
+        return _drive(records, sims, lanes, cycles, window, trace)
+    except _Bail:
+        return None
+
+
+def _drive(
+    records, sims, lanes, cycles, window, trace
+) -> float:
+    reference = next(r for r in records if not r.done)
+    signature = _structure_signature(reference)
+    for record in records:
+        if record.done:
+            continue
+        if record.system.instruments:
+            raise _Bail("instrumented system")
+        if _structure_signature(record) != signature:
+            raise _Bail("system structure differs across lanes")
+
+    def column(getter):
+        return [
+            None if record.done else getter(record)
+            for record in records
+        ]
+
+    wires = _Wires(
+        [link.name for link in reference.system.links], lanes
+    )
+    nodes: list[_NodeSoA] = []
+    in_ports: list[_InPortSoA] = []
+    out_ports: list[_OutPortSoA] = []
+    for name, shell in reference.shells.items():
+        node = _NodeSoA(
+            name,
+            column(lambda r: r.shells[name]),
+            sims[name],
+            wires,
+            lanes,
+            cycles,
+            trace,
+        )
+        schedule = shell.pearl.schedule
+        for port_name in schedule.inputs:
+            soa = _InPortSoA(
+                column(lambda r: r.shells[name].in_ports[port_name]),
+                wires,
+                lanes,
+            )
+            node.in_ports.append(soa)
+            in_ports.append(soa)
+        for port_name in schedule.outputs:
+            soa = _OutPortSoA(
+                column(lambda r: r.shells[name].out_ports[port_name]),
+                wires,
+                lanes,
+            )
+            node.out_ports.append(soa)
+            out_ports.append(soa)
+        nodes.append(node)
+    relays = [
+        _RelaySoA(
+            column(lambda r: r.system.relay_stations[k]),
+            wires,
+            lanes,
+        )
+        for k in range(len(reference.system.relay_stations))
+    ]
+    source_specs = {
+        spec.name: spec for spec in reference.case.topology.sources
+    }
+    sources = []
+    for source_name in reference.system.sources:
+        spec_name = source_name
+
+        def source_entry(record, _name=spec_name):
+            block = record.system.sources[_name]
+            spec = {
+                s.name: s for s in record.case.topology.sources
+            }[_name]
+            return block, spec
+
+        if spec_name not in source_specs:
+            raise _Bail("source missing from topology")
+        sources.append(
+            _SourceSoA(column(source_entry), wires, lanes, cycles)
+        )
+    sinks = [
+        _SinkSoA(
+            column(lambda r: r.system.sinks[sink_name]),
+            wires,
+            lanes,
+            cycles,
+        )
+        for sink_name in reference.system.sinks
+    ]
+
+    live = _np.array([not record.done for record in records])
+    executed = _np.zeros(lanes, _np.int64)
+    quiet = _np.zeros(lanes, _np.int64)
+    deadlocked = _np.zeros(lanes, bool)
+    kernel_s = 0.0
+    sim_list = list(sims.values())
+    perf = time.perf_counter
+
+    for cycle in range(cycles):
+        if not live.any():
+            break
+        for source in sources:
+            source.produce(wires, cycle)
+        for port in in_ports:
+            port.produce(wires)
+        for port in out_ports:
+            port.produce(wires)
+        for relay in relays:
+            relay.produce(wires)
+        for sink in sinks:
+            sink.produce(wires, cycle)
+        for port in in_ports:
+            port.consume(wires, live)
+        for port in out_ports:
+            port.consume(wires, live)
+        for relay in relays:
+            relay.consume(wires, live)
+        for source in sources:
+            source.consume(wires, live)
+        for sink in sinks:
+            sink.consume(wires, live, cycle)
+        for node in nodes:
+            node.poke(live)
+        started = perf()
+        for sim in sim_list:
+            sim.settle()
+        kernel_s += perf() - started
+        any_enabled = _np.zeros(lanes, bool)
+        for node in nodes:
+            node.decide(cycle, live, any_enabled)
+        started = perf()
+        for sim in sim_list:
+            sim.step()
+        kernel_s += perf() - started
+        for port in in_ports:
+            port.commit()
+        for port in out_ports:
+            port.commit()
+        for relay in relays:
+            relay.commit()
+        for source in sources:
+            source.commit()
+        executed += live
+        if window is not None:
+            quiet = _np.where(live & any_enabled, 0, quiet + 1)
+            newly = live & (quiet >= window)
+            if newly.any():
+                deadlocked |= newly
+                live &= ~newly
+
+    # Success: write the harvested results back into the per-lane
+    # objects so _LaneRecord.harvest() works unchanged.
+    for lane, record in enumerate(records):
+        if record.done:
+            continue
+        record.executed = int(executed[lane])
+        record.deadlocked = bool(deadlocked[lane])
+        record.done = True
+        span = record.executed
+        for node in nodes:
+            shell = record.shells[node.name]
+            shell.periods_completed = int(node.periods[lane])
+            if trace and node.trace is not None:
+                shell.trace_enable = node.trace[lane, :span].tolist()
+        for k, relay in enumerate(relays):
+            record.system.relay_stations[k].max_occupancy = int(
+                relay.max_occ[lane]
+            )
+        for soa, sink_name in zip(sinks, record.sinks):
+            record.sinks[sink_name].received = soa.stream(lane)
+    return kernel_s

@@ -60,6 +60,13 @@ class BatchConfig:
       are drawn once from the master seed so the case list is
       deterministic;
     * ``jobs`` — worker processes (results are job-count independent);
+    * ``lanes`` — lane width for ``engine="vectorized"``: how many
+      same-shape cases share one packed kernel and one batched
+      harness pass (``--lanes``, default 32, useful to 128+ — wider
+      words amortize dispatch further).  Liveness-only: results are
+      lane-count independent, so it stays out of campaign
+      fingerprints and a journal resumes cleanly across ``--lanes``
+      changes;
     * ``cycles`` — simulated cycles per case and style;
     * ``styles`` — wrapper styles to cross-check; ``None`` (the
       default) resolves by traffic regime: the five random-traffic
@@ -115,8 +122,8 @@ class BatchConfig:
       completed batch persists its interesting survivors (plus any
       shrunk failure reproducers) back into it.
 
-    ``timeout``, ``retries``, ``retry_backoff`` and ``jobs`` affect
-    liveness only — never results.  The generated case list — and so
+    ``timeout``, ``retries``, ``retry_backoff``, ``jobs`` and
+    ``lanes`` affect liveness only — never results.  The generated case list — and so
     the whole report — is a pure function of ``(seed, cases, gen,
     profile, traffic)`` plus, for ``--gen coverage``, the corpus
     contents at generation time.
@@ -125,6 +132,10 @@ class BatchConfig:
     cases: int = 50
     seed: int = 0
     jobs: int = 1
+    # Lane width for the vectorized engine; mirrors
+    # repro.verify.vectorize.DEFAULT_LANES (kept literal so importing
+    # this module never pulls the vectorized machinery in).
+    lanes: int = 32
     cycles: int = 300
     styles: tuple[str, ...] | None = None
     profile: TopologyProfile | str = "small"
@@ -148,6 +159,8 @@ class BatchConfig:
             raise ValueError("need at least one case")
         if self.jobs < 1:
             raise ValueError("need at least one job")
+        if self.lanes < 1:
+            raise ValueError("need at least one lane")
         if self.cycles < 1:
             raise ValueError("need at least one cycle")
         if self.deadlock_window is not None and self.deadlock_window < 1:
@@ -262,6 +275,7 @@ def make_cases(config: BatchConfig) -> list[VerifyCase]:
             perturb_floorplan=config.perturb_floorplan,
             perturb_styles=config.perturb_styles,
             perturb_dynamic=config.perturb_dynamic,
+            lanes=config.lanes,
         )
         for index, (case_seed, topology) in enumerate(
             zip(seeds, topologies)
@@ -282,6 +296,9 @@ def reproducer_dict(minimal: VerifyCase) -> dict:
     # engine-dependent failures.
     reproducer["seed"] = minimal.seed
     reproducer["engine"] = minimal.engine
+    # Liveness-only, but recorded so a replay exercises the same lane
+    # batching (e.g. a fault that only manifests at one lane width).
+    reproducer["lanes"] = minimal.lanes
     if minimal.variants is not None or minimal.perturb:
         reproducer["perturb"] = (
             len(minimal.variants)
@@ -741,8 +758,6 @@ class BatchRunner:
             or config.chaos is not None
         )
         if supervised:
-            from .vectorize import DEFAULT_LANES
-
             run_cases_supervised(
                 cases,
                 jobs=config.jobs,
@@ -751,7 +766,7 @@ class BatchRunner:
                 backoff=config.retry_backoff,
                 chaos=config.chaos,
                 lanes=(
-                    DEFAULT_LANES
+                    config.lanes
                     if config.engine == "vectorized"
                     else None
                 ),
@@ -763,7 +778,7 @@ class BatchRunner:
             # identical to the scalar path.
             from .vectorize import chunk_cases, run_chunk
 
-            for chunk in chunk_cases(cases):
+            for chunk in chunk_cases(cases, config.lanes):
                 for outcome in run_chunk(chunk):
                     record(outcome)
         else:

@@ -30,6 +30,7 @@ from ..core.rtlgen import (
     generate_shiftreg_wrapper,
     generate_sp_wrapper,
 )
+from ..core.rtlgen.shiftreg import generate_shiftreg_lane_wrapper
 from ..core.wrappers import (
     CombinationalWrapper,
     FSMWrapper,
@@ -73,9 +74,15 @@ class StyleSpec:
       for SP wrappers, the expected operation stream) the builder
       wraps an :class:`RTLShell` around.  The lane-batched vectorized
       engine (:mod:`repro.verify.vectorize`) uses it to compile one
-      shared lane-packed kernel per process shape; styles without it
-      (or needing a per-case planned activation) fall back to the
-      scalar path under ``--engine vectorized``.
+      shared lane-packed kernel per process shape;
+    * ``rtl_lane_parts`` — for RTL styles whose module depends on
+      per-case planned data (``needs_activation``), ``(node,
+      lane_activations) -> (module, program | None)`` builds one
+      *lane-indexed* module covering a whole batch: the per-lane plans
+      move into ROM contents selected by a ``lane_id`` input, so
+      same-shape cases still share one compiled kernel.  Styles with
+      neither hook fall back to the scalar path under ``--engine
+      vectorized``.
     """
 
     name: str
@@ -86,6 +93,7 @@ class StyleSpec:
     uses_engine: bool
     builder: Callable[..., Shell]
     rtl_parts: Callable[..., tuple] | None = None
+    rtl_lane_parts: Callable[..., tuple] | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in STYLE_KINDS:
@@ -267,6 +275,17 @@ def _build_shiftreg(
     )
 
 
+def _rtl_shiftreg_lane_parts(node, lane_enables):
+    # ``lane_enables`` holds per-lane full-horizon activation bit
+    # sequences (None for lanes whose planning failed); the wrapper
+    # replays them from a lane-indexed ROM so the whole batch shares
+    # one module and hence one compiled vector kernel.
+    module = generate_shiftreg_lane_wrapper(
+        node.schedule, lane_enables, name=f"srl_{node.name}"
+    )
+    return module, None
+
+
 def _build_rtl_shiftreg(
     pearl, node, port_depth, engine, activation
 ) -> Shell:
@@ -347,6 +366,7 @@ register_style(StyleSpec(
     needs_activation=True,
     uses_engine=True,
     builder=_build_rtl_shiftreg,
+    rtl_lane_parts=_rtl_shiftreg_lane_parts,
 ))
 
 

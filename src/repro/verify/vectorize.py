@@ -23,28 +23,45 @@ stops being driven — its RTL keeps stepping in the packed word, which
 is harmless because no other lane can see it.
 
 What vectorizes: RTL-in-the-loop styles that publish their generated
-module via :attr:`~repro.verify.styles.StyleSpec.rtl_parts` and need
-no per-case planned activation (``rtl-sp``, ``rtl-fsm``).
-Behavioural styles, ``rtl-shiftreg`` (its activation — and therefore
-its module — is planned per case from the FSM reference run), and
-singleton shape buckets fall back to the scalar path, where
-``engine="vectorized"`` degrades to the compiled engine.
+module via :attr:`~repro.verify.styles.StyleSpec.rtl_parts`
+(``rtl-sp``, ``rtl-fsm``), plus styles whose per-case planned data
+lifts into a lane-indexed module via
+:attr:`~repro.verify.styles.StyleSpec.rtl_lane_parts`:
+``rtl-shiftreg``'s activation plan — formerly baked into per-case
+ring registers — becomes ROM contents addressed by a ``lane_id``
+input, so same-shape regular-traffic cases share one kernel.
+Behavioural styles and singleton shape buckets fall back to the
+scalar path, where ``engine="vectorized"`` degrades to the compiled
+engine.
+
+The behavioural half of a chunk (ports, relay stations, sources,
+sinks, pearls) is itself batched: when NumPy is available the
+structure-of-arrays stepper in :mod:`repro.verify.lanestep` drives
+all W lanes with one Python-level pass per cycle, falling back to the
+per-lane object loop whenever it cannot reproduce the scalar byte
+stream exactly.  Lane width is a first-class knob (``--lanes``,
+default :data:`DEFAULT_LANES`): wider words amortize kernel dispatch
+and harness passes further at the cost of bigger packed ints.
 """
 
 from __future__ import annotations
 
+import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Sequence
 
 from ..core.equivalence import RTLShell
 from ..core.rtlgen.common import sanitize
+from ..core.rtlgen.shiftreg import validate_activation
 from ..lis.port import DEFAULT_PORT_DEPTH
 from ..rtl.compile_sim import VectorLane, VectorSimulator
-from . import telemetry
+from . import lanestep, telemetry
 from .cases import (
     CaseOutcome,
     StyleRun,
     VerifyCase,
+    _plan_activations,
     build_system,
     relay_peak_occupancy,
     run_case,
@@ -75,21 +92,44 @@ def vectorizable_style(name: str) -> bool:
         spec = get_style(name)
     except ValueError:
         return False
-    return (
-        spec.kind == "rtl"
-        and spec.rtl_parts is not None
-        and not spec.needs_activation
-    )
+    if spec.kind != "rtl":
+        return False
+    if spec.rtl_parts is not None and not spec.needs_activation:
+        return True
+    # Styles with per-case planned data vectorize when they can lift
+    # that data into a lane-indexed module shared by the batch.
+    return spec.rtl_lane_parts is not None
 
 
 def shape_key(case: VerifyCase) -> tuple:
     """Bucketing key: cases with equal keys lower every process to
-    identical wrapper RTL (same schedules under the same names) and
-    share one drive loop (same cycles/window/styles)."""
+    identical wrapper RTL (same schedules under the same names), share
+    one drive loop (same cycles/window/styles), and — because the key
+    covers the traffic regime and the full wiring structure (channels,
+    source/sink attachment, port depth) — plan compatible activation
+    shapes, so regular-traffic ``rtl-shiftreg`` lanes never share a
+    bucket with structurally incompatible plans.  Per-lane *data*
+    (source jitter, token values, sink stalls) deliberately stays out:
+    that is exactly what varies across the lanes of a batch."""
     return (
         case.cycles,
         case.deadlock_window,
         case.styles,
+        case.topology.traffic,
+        case.topology.port_depth,
+        tuple(
+            (ch.producer, ch.out_port, ch.consumer, ch.in_port,
+             ch.latency, ch.tokens)
+            for ch in case.topology.channels
+        ),
+        tuple(
+            (src.name, src.consumer, src.in_port, src.latency)
+            for src in case.topology.sources
+        ),
+        tuple(
+            (sink.name, sink.producer, sink.out_port, sink.latency)
+            for sink in case.topology.sinks
+        ),
         tuple(
             (
                 node.name,
@@ -171,8 +211,10 @@ class LaneRTLShell(RTLShell):
         lane: VectorLane,
         program=None,
         port_depth: int = DEFAULT_PORT_DEPTH,
+        script_cache: dict | None = None,
     ) -> None:
         self._lane_view = lane
+        self._script_cache = script_cache
         super().__init__(
             pearl, module, program=program, port_depth=port_depth,
             engine="vectorized",
@@ -180,6 +222,21 @@ class LaneRTLShell(RTLShell):
         n_inputs = len(pearl.schedule.inputs)
         self._in_mask = (1 << n_inputs) - 1
         self._push_shift = 1 + n_inputs
+
+    def _build_script(self, program):
+        # Every lane of a batch runs the same node script; building
+        # (and later cross-checking) it once per node instead of once
+        # per lane keeps batch setup O(script) rather than O(lanes ×
+        # script).  Sharing the list is safe: shells only index it.
+        cache = self._script_cache
+        if cache is None:
+            return super()._build_script(program)
+        script = cache.get(self.pearl.name)
+        if script is None:
+            script = cache[self.pearl.name] = super()._build_script(
+                program
+            )
+        return script
 
     def _make_rtl(self):
         return self._lane_view
@@ -253,6 +310,7 @@ class _LaneRecord:
         sims: dict[str, VectorSimulator],
         lane: int,
         trace: bool,
+        script_cache: dict | None = None,
     ) -> None:
         topology = self.case.topology
 
@@ -264,6 +322,7 @@ class _LaneRecord:
                 sims[node.name].lane(lane),
                 program=program,
                 port_depth=topology.port_depth,
+                script_cache=script_cache,
             )
 
         system, shells, sinks = build_system(
@@ -330,18 +389,108 @@ class _LaneRecord:
         )
 
 
+def _build_lane_parts(
+    spec, style, first, cases, records, plans
+) -> dict[str, tuple]:
+    """Per-node (module, program) for an activation-planned style:
+    validate every lane's plan (failures become that lane's error
+    record, with the scalar build path's exact text) and lower the
+    surviving plans into one lane-indexed module per node."""
+    cycles = cases[0].cycles
+    lane_plans: list[Any] = (
+        list(plans) if plans is not None else [None] * len(cases)
+    )
+    for lane, plan in enumerate(lane_plans):
+        record = records[lane]
+        if isinstance(plan, str):
+            # Planning already failed for this lane's topology; the
+            # string is the scalar path's exact error record text.
+            record.error = plan
+            record.done = True
+            lane_plans[lane] = None
+            continue
+        try:
+            for node in first.processes:
+                activation = None if plan is None else plan.get(node.name)
+                if activation is None:
+                    raise ValueError(
+                        f"style {style!r} needs a planned static "
+                        "activation; compute one with "
+                        "repro.verify.regular.plan_topology_activations"
+                    )
+                validate_activation(
+                    node.schedule, activation.pattern, activation.prefix
+                )
+        except Exception as exc:
+            record.fail(exc)
+            lane_plans[lane] = None
+    return {
+        node.name: spec.rtl_lane_parts(
+            node,
+            [
+                None if plan is None
+                else plan[node.name].activation(cycles)
+                for plan in lane_plans
+            ],
+        )
+        for node in first.processes
+    }
+
+
+# Wrapper synthesis memo for the static (no-activation) RTL styles:
+# chunks of one same-shape bucket share node objects, so re-deriving
+# the module + expected program per chunk is pure waste — and a fresh
+# Module per chunk would also defeat the vector engine's per-module
+# elaboration memo.  Keyed weakly by node so retired topologies drop
+# their modules; activation-planned styles stay uncached (their ROM
+# bakes in per-chunk lane plans).
+_PARTS_MEMO: "weakref.WeakKeyDictionary[Any, dict[str, tuple]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _node_parts(spec, node) -> tuple:
+    per_node = _PARTS_MEMO.setdefault(node, {})
+    parts = per_node.get(spec.name)
+    if parts is None:
+        parts = per_node[spec.name] = spec.rtl_parts(node)
+    return parts
+
+
 def _run_style_lanes(
-    cases: Sequence[VerifyCase], style: str, trace: bool = True
+    cases: Sequence[VerifyCase],
+    style: str,
+    trace: bool = True,
+    plans: Sequence[Any] | None = None,
+    harness: str = "auto",
 ) -> list[StyleRun]:
     """Simulate same-shape ``cases`` under one vectorizable RTL style
-    in lane lockstep; one :class:`StyleRun` per case, in order."""
+    in lane lockstep; one :class:`StyleRun` per case, in order.
+
+    ``plans`` (activation-planned styles only) carries one entry per
+    lane: a per-process :class:`StaticActivation` mapping, or the
+    planning-failure error string that lane should report.
+
+    ``harness`` selects the behavioural driver: ``"auto"`` (the
+    default) tries the NumPy structure-of-arrays stepper and falls
+    back to the per-lane object loop, ``"numpy"`` demands the stepper
+    (raising when it is unavailable or bails — test hook), and
+    ``"scalar"`` forces the object loop.
+    """
     spec = get_style(style)
     lanes = len(cases)
     first = cases[0].topology
     with telemetry.span("build", style=style, lanes=lanes):
-        parts = {
-            node.name: spec.rtl_parts(node) for node in first.processes
-        }
+        records = [_LaneRecord(case) for case in cases]
+        if spec.needs_activation:
+            parts = _build_lane_parts(
+                spec, style, first, cases, records, plans
+            )
+        else:
+            parts = {
+                node.name: _node_parts(spec, node)
+                for node in first.processes
+            }
         sims = {
             node.name: VectorSimulator(
                 parts[node.name][0],
@@ -351,57 +500,106 @@ def _run_style_lanes(
             )
             for node in first.processes
         }
-        records = [_LaneRecord(case) for case in cases]
+        script_cache: dict = {}
         for lane, record in enumerate(records):
+            if record.done:
+                continue
             try:
-                record.build(style, parts, sims, lane, trace)
+                record.build(
+                    style, parts, sims, lane, trace,
+                    script_cache=script_cache,
+                )
             except Exception as exc:
                 record.fail(exc)
+        if spec.needs_activation:
+            # Each lane's wrapper selects its own activation playback
+            # out of the shared plan ROM.
+            for sim in sims.values():
+                for lane in range(lanes):
+                    sim.poke_lane(lane, "lane_id", lane)
 
     with telemetry.span("simulate", style=style, lanes=lanes):
         sim_list = list(sims.values())
-        for sim in sim_list:
-            sim.broadcast("rst", 1)
-            sim.step()
-            sim.broadcast("rst", 0)
+
+        def reset_all() -> None:
+            for sim in sim_list:
+                sim.broadcast("rst", 1)
+                sim.step()
+                sim.broadcast("rst", 0)
 
         cycles = cases[0].cycles
         window = cases[0].deadlock_window
-        live = [r for r in records if not r.done]
-        for _ in range(cycles):
-            if not live:
-                break
-            for record in live:
-                try:
-                    cycle = record.executed
-                    for fn in record.produce:
-                        fn(cycle)
-                    for fn in record.consume:
-                        fn(cycle)
-                except Exception as exc:
-                    record.fail(exc)
-            live = [r for r in live if not r.done]
-            for sim in sim_list:
-                sim.settle()
-            for record in live:
-                try:
-                    for fn in record.deciders:
-                        fn(record.executed)
-                except Exception as exc:
-                    record.fail(exc)
-            for sim in sim_list:
-                sim.step()
-            for record in live:
-                if record.done:
-                    continue
-                try:
-                    for fn in record.commit:
-                        fn()
-                    record.executed += 1
-                    record.tick_deadlock(window)
-                except Exception as exc:
-                    record.fail(exc)
-            live = [r for r in live if not r.done]
+        started = time.perf_counter()
+        reset_all()
+        kernel_s: float | None = None
+        if harness != "scalar":
+            kernel_s = lanestep.drive_lanes(
+                records, sims, cycles, window, trace
+            )
+            if kernel_s is None and harness == "numpy":
+                raise RuntimeError(
+                    "NumPy lane harness unavailable or bailed for "
+                    "this chunk"
+                )
+        numpy_drove = kernel_s is not None
+        if kernel_s is None:
+            # Object loop: per-lane Python systems in lockstep.  Also
+            # the fidelity fallback — a lanestep bail leaves the lane
+            # records untouched, so re-reset the shared kernels and
+            # drive the (never-stepped) systems the scalar way.
+            reset_all()
+            kernel_s = 0.0
+            perf = time.perf_counter
+            live = [r for r in records if not r.done]
+            for _ in range(cycles):
+                if not live:
+                    break
+                for record in live:
+                    try:
+                        cycle = record.executed
+                        for fn in record.produce:
+                            fn(cycle)
+                        for fn in record.consume:
+                            fn(cycle)
+                    except Exception as exc:
+                        record.fail(exc)
+                live = [r for r in live if not r.done]
+                t0 = perf()
+                for sim in sim_list:
+                    sim.settle()
+                kernel_s += perf() - t0
+                for record in live:
+                    try:
+                        for fn in record.deciders:
+                            fn(record.executed)
+                    except Exception as exc:
+                        record.fail(exc)
+                t0 = perf()
+                for sim in sim_list:
+                    sim.step()
+                kernel_s += perf() - t0
+                for record in live:
+                    if record.done:
+                        continue
+                    try:
+                        for fn in record.commit:
+                            fn()
+                        record.executed += 1
+                        record.tick_deadlock(window)
+                    except Exception as exc:
+                        record.fail(exc)
+                live = [r for r in live if not r.done]
+        total_s = time.perf_counter() - started
+        telemetry.gauge("vectorize.lanes", lanes)
+        telemetry.count("vectorize.kernel_us", kernel_s * 1e6)
+        telemetry.count(
+            "vectorize.harness_us", max(total_s - kernel_s, 0.0) * 1e6
+        )
+        telemetry.count(
+            "vectorize.numpy_chunks"
+            if numpy_drove
+            else "vectorize.object_chunks"
+        )
 
     return [record.harvest(trace) for record in records]
 
@@ -418,15 +616,15 @@ def run_chunk(chunk: Sequence[VerifyCase]) -> list[CaseOutcome]:
     sinking the batch."""
     if len(chunk) == 1:
         return [run_case(chunk[0])]
-    lane_runs = {
-        style: _run_style_lanes(chunk, style)
-        for style in chunk[0].styles
-        if vectorizable_style(style)
-    }
-    outcomes: list[CaseOutcome] = []
-    for position, case in enumerate(chunk):
-        rest = [s for s in case.styles if s not in lane_runs]
-        scalar_runs = (
+    lane_styles = [
+        style for style in chunk[0].styles if vectorizable_style(style)
+    ]
+    # Scalar styles first, per case: the FSM reference run they
+    # contain feeds the activation planning the lane styles may need.
+    per_case_scalar: list[dict[str, StyleRun]] = []
+    for case in chunk:
+        rest = [s for s in case.styles if s not in lane_styles]
+        per_case_scalar.append(
             run_styles(
                 case.topology,
                 rest,
@@ -437,6 +635,41 @@ def run_chunk(chunk: Sequence[VerifyCase]) -> list[CaseOutcome]:
             if rest
             else {}
         )
+    plans: list[Any] | None = None
+    if any(get_style(s).needs_activation for s in lane_styles):
+        # One planning pass per lane, reusing that lane's FSM run;
+        # planning is deterministic, so a failure here is the exact
+        # error the scalar path would pin on the dependent styles.
+        plans = []
+        for case, scalar_runs in zip(chunk, per_case_scalar):
+            try:
+                plans.append(
+                    _plan_activations(
+                        case.topology,
+                        case.cycles,
+                        case.deadlock_window,
+                        scalar_runs,
+                        engine=case.engine,
+                    )
+                )
+            except Exception as exc:
+                plans.append(
+                    "static activation planning failed: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+    lane_runs = {
+        style: _run_style_lanes(
+            chunk,
+            style,
+            plans=(
+                plans if get_style(style).needs_activation else None
+            ),
+        )
+        for style in lane_styles
+    }
+    outcomes: list[CaseOutcome] = []
+    for position, case in enumerate(chunk):
+        scalar_runs = per_case_scalar[position]
         runs = {
             style: (
                 lane_runs[style][position]

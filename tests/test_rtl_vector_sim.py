@@ -17,6 +17,10 @@ import random
 
 import pytest
 
+from repro.core.rtlgen.shiftreg import (
+    generate_shiftreg_lane_wrapper,
+    generate_shiftreg_wrapper,
+)
 from repro.core.schedule import IOSchedule, SyncPoint
 from repro.core.synthesis import SYNTH_STYLES, synthesize_wrapper
 from repro.rtl.compile_sim import (
@@ -226,6 +230,140 @@ class TestBroadcast:
                     )
             a.step()
             b.step()
+
+
+class TestShiftregLaneROM:
+    """The lane-indexed activation ROM wrapper: one module for a whole
+    batch, each lane replaying its own plan."""
+
+    @staticmethod
+    def _full(prefix, pattern, horizon):
+        bits = list(prefix)
+        while len(bits) < horizon:
+            bits.extend(pattern)
+        return bits[:horizon]
+
+    def _random_plan(self, rng, period):
+        """A valid plan: the cyclic pattern fires exactly one period
+        per loop (validation requires a whole number of loops), with
+        random idle padding and a random one-shot prefix."""
+        pattern = [True] * period + [False] * rng.randrange(0, 5)
+        rng.shuffle(pattern)
+        prefix = tuple(
+            rng.random() < 0.5 for _ in range(rng.randrange(0, 4))
+        )
+        return prefix, tuple(pattern)
+
+    def test_lane_rom_matches_scalar_shiftreg_wrappers(self):
+        """Lane k of the ROM wrapper strobes exactly like a scalar
+        shift-register wrapper built from lane k's plan (prefix +
+        cyclic pattern, expanded to the full horizon)."""
+        schedule = _reference_schedule()
+        rng = random.Random(11)
+        lanes, cycles = 5, 48
+        plans = [
+            self._random_plan(rng, schedule.period_cycles)
+            for _ in range(lanes)
+        ]
+        lane_enables = [
+            self._full(prefix, pattern, cycles)
+            for prefix, pattern in plans
+        ]
+        vec = VectorSimulator(
+            generate_shiftreg_lane_wrapper(
+                schedule, lane_enables, name="srl_rom_parity"
+            ),
+            lanes,
+        )
+        scalars = []
+        outputs: list[str] = []
+        for k, (prefix, pattern) in enumerate(plans):
+            module = generate_shiftreg_wrapper(
+                schedule,
+                activation=list(pattern),
+                name=f"sr_rom_{k}",
+                prefix=prefix,
+            )
+            outputs = [p.name for p in module.output_ports]
+            scalars.append(CompiledSimulator(module))
+        for scalar in scalars:
+            scalar.poke("rst", 1)
+            scalar.step()
+            scalar.poke("rst", 0)
+        vec.broadcast("rst", 1)
+        vec.step()
+        vec.broadcast("rst", 0)
+        for lane in range(lanes):
+            vec.poke_lane(lane, "lane_id", lane)
+        for cycle in range(cycles):
+            for scalar in scalars:
+                scalar.settle()
+            vec.settle()
+            for lane, scalar in enumerate(scalars):
+                for name in outputs:
+                    assert vec.peek_lane(lane, name) == scalar.peek(
+                        name
+                    ), f"cycle {cycle}, lane {lane}, signal {name!r}"
+            for scalar in scalars:
+                scalar.step()
+            vec.step()
+
+    def test_dead_lane_never_strobes(self):
+        """A lane whose plan is None (planning failed) gets all-zero
+        ROM words: it must never enable, pop or push."""
+        schedule = _reference_schedule()
+        rng = random.Random(3)
+        cycles = 32
+        prefix, pattern = self._random_plan(rng, schedule.period_cycles)
+        lane_enables = [
+            self._full(prefix, pattern, cycles),
+            None,
+        ]
+        vec = VectorSimulator(
+            generate_shiftreg_lane_wrapper(
+                schedule, lane_enables, name="srl_rom_dead"
+            ),
+            2,
+        )
+        vec.broadcast("rst", 1)
+        vec.step()
+        vec.broadcast("rst", 0)
+        vec.poke_lane(0, "lane_id", 0)
+        vec.poke_lane(1, "lane_id", 1)
+        strobes = (
+            "ip_enable",
+            *(f"{name}_pop" for name in schedule.inputs),
+            *(f"{name}_push" for name in schedule.outputs),
+        )
+        live_fired = False
+        for _cycle in range(cycles):
+            vec.settle()
+            for name in strobes:
+                assert vec.peek_lane(1, name) == 0
+                live_fired |= bool(vec.peek_lane(0, name))
+            vec.step()
+        assert live_fired  # the live lane genuinely ran
+
+    def test_full_horizon_equals_static_activation_playback(self):
+        """ROM address space: the horizon never wraps within a run of
+        ``cycles`` cycles, even for single-cycle horizons."""
+        schedule = _reference_schedule()
+        for horizon in (1, 2, 7):
+            lane_enables = [[True] * horizon]
+            vec = VectorSimulator(
+                generate_shiftreg_lane_wrapper(
+                    schedule, lane_enables, name=f"srl_h{horizon}"
+                ),
+                1,
+            )
+            vec.broadcast("rst", 1)
+            vec.step()
+            vec.broadcast("rst", 0)
+            vec.poke_lane(0, "lane_id", 0)
+            for _ in range(horizon):
+                vec.settle()
+                assert vec.peek_lane(0, "ip_enable") == 1
+                vec.step()
 
 
 class TestEngineDispatch:

@@ -9,12 +9,13 @@ against :func:`simulate_topology` under both scalar engines.
 
 from __future__ import annotations
 
+import json
 import random as random_mod
 from dataclasses import replace
 
 import pytest
 
-from repro.sched.generate import random_topology
+from repro.sched.generate import PROFILE_PRESETS, random_topology
 from repro.verify import (
     BatchConfig,
     BatchRunner,
@@ -23,7 +24,17 @@ from repro.verify import (
     make_cases,
     run_case,
 )
-from repro.verify.cases import simulate_topology
+from repro.verify.campaign import (
+    config_fingerprint,
+    open_journal,
+    outcome_to_record,
+)
+from repro.verify.cases import (
+    _plan_activations,
+    run_styles,
+    simulate_topology,
+)
+from repro.verify.runner import reproducer_dict
 from repro.verify.vectorize import (
     DEFAULT_LANES,
     _run_style_lanes,
@@ -84,6 +95,37 @@ def _same_shape_cases(count, cycles=120, styles=STYLES, **kwargs):
     ]
 
 
+def _regular_topologies(count):
+    """The first ``count`` seeds whose regular-traffic topology has at
+    least one source and one sink."""
+    preset = PROFILE_PRESETS["regular"]
+    found = []
+    for seed in range(400):
+        topology = random_topology(seed, preset)
+        if topology.sources and topology.sinks:
+            found.append(topology)
+            if len(found) == count:
+                return found
+    raise AssertionError(f"fewer than {count} usable regular seeds")
+
+
+def _value_variant(topology, offset):
+    """Same shape *and* same timing (regular traffic admits no jitter
+    or backpressure), different token values."""
+    sources = tuple(
+        replace(src, base=src.base + offset)
+        for src in topology.sources
+    )
+    return replace(topology, sources=sources)
+
+
+def _outcome_blob(outcomes):
+    """Canonical bytes of a result list, for byte-identity checks."""
+    return json.dumps(
+        [outcome_to_record(o) for o in outcomes], sort_keys=True
+    ).encode()
+
+
 def _assert_outcomes_equal(vectorized, scalar):
     assert len(vectorized) == len(scalar)
     for got, want in zip(vectorized, scalar):
@@ -133,10 +175,15 @@ class TestVectorizableStyles:
         assert vectorizable_style("rtl-sp")
         assert vectorizable_style("rtl-fsm")
 
+    def test_rtl_shiftreg_vectorizes_via_lane_rom(self):
+        # Its per-case activation plan lifts into a lane-indexed ROM
+        # module shared by the batch.
+        assert vectorizable_style("rtl-shiftreg")
+
     def test_everything_else_falls_back(self):
-        # Behavioural styles have no RTL; rtl-shiftreg's module embeds
-        # a per-case activation plan; unknown names are scalar errors.
-        for name in ("sp", "fsm", "comb", "shiftreg", "rtl-shiftreg",
+        # Behavioural styles have no RTL (shiftreg's plan is
+        # behavioural too); unknown names are scalar errors.
+        for name in ("sp", "fsm", "comb", "shiftreg",
                      "no-such-style"):
             assert not vectorizable_style(name)
 
@@ -331,3 +378,203 @@ class TestRunnerDispatch:
         assert all(
             c.engine == "vectorized" for c in make_cases(config)
         )
+
+
+# -- rtl-shiftreg lane parity --------------------------------------------------
+
+
+class TestShiftregLaneParity:
+    STYLES = ("fsm", "shiftreg", "rtl-shiftreg")
+
+    def test_twenty_regular_topologies_match_scalar(self):
+        """rtl-shiftreg through the lane-indexed ROM stays outcome
+        identical to scalar runs over 20 seeded regular topologies,
+        each batched as three same-shape value variants."""
+        cases = []
+        for topology in _regular_topologies(20):
+            for copy in range(3):
+                cases.append(
+                    VerifyCase(
+                        index=len(cases),
+                        seed=7000 + len(cases),
+                        cycles=60,
+                        topology=_value_variant(topology, copy * 32),
+                        styles=self.STYLES,
+                    )
+                )
+        buckets = bucket_cases(cases)
+        assert len(buckets) <= 20
+        assert all(len(b) % 3 == 0 for b in buckets)
+        _assert_outcomes_equal(
+            run_cases_vectorized(cases),
+            [run_case(c) for c in cases],
+        )
+
+    def test_starved_lane_gets_its_own_plan(self):
+        """A lane whose source runs dry fires differently, so its ROM
+        words must come from *its* activation plan — outcomes still
+        match scalar exactly."""
+        base = _regular_topologies(1)[0]
+        cases = [
+            VerifyCase(
+                index=index,
+                seed=7100 + index,
+                cycles=80,
+                topology=_value_variant(base, index * 16),
+                styles=self.STYLES,
+            )
+            for index in range(4)
+        ]
+        starved = replace(
+            cases[2].topology,
+            sources=tuple(
+                replace(src, n_tokens=3)
+                for src in cases[2].topology.sources
+            ),
+        )
+        cases[2] = replace(cases[2], topology=starved)
+        _assert_outcomes_equal(
+            run_cases_vectorized(cases),
+            [run_case(c) for c in cases],
+        )
+
+
+# -- lane-width independence ---------------------------------------------------
+
+
+class TestLaneWidthIndependence:
+    def test_lane_width_sweep_is_byte_identical(self):
+        """One batch re-run at --lanes 8/32/64/128 serializes to the
+        same bytes as the scalar reference every time."""
+        cases = _same_shape_cases(16, cycles=60)
+        want = _outcome_blob([run_case(c) for c in cases])
+        for lanes in (8, 32, 64, 128):
+            got = _outcome_blob(run_cases_vectorized(cases, lanes=lanes))
+            assert got == want, f"lanes={lanes} diverged from scalar"
+
+    def test_full_width_128_lane_chunk(self):
+        """128 cases at --lanes 128 run as one full-width chunk and
+        match a narrow-lane run of the same batch."""
+        cases = _same_shape_cases(
+            128, cycles=30, styles=("fsm", "rtl-sp")
+        )
+        assert [len(c) for c in chunk_cases(cases, lanes=128)] == [128]
+        assert _outcome_blob(
+            run_cases_vectorized(cases, lanes=128)
+        ) == _outcome_blob(run_cases_vectorized(cases, lanes=16))
+
+
+# -- NumPy harness vs scalar harness -------------------------------------------
+
+
+class TestHarnessParity:
+    @pytest.mark.parametrize("style", ["rtl-sp", "rtl-fsm"])
+    def test_numpy_harness_equals_object_loop(self, style):
+        """Forcing the structure-of-arrays stepper and forcing the
+        per-lane object loop produce equal StyleRuns — the speedup is
+        never allowed to change a result."""
+        cases = _same_shape_cases(6, cycles=100)
+        assert _run_style_lanes(
+            cases, style, harness="numpy"
+        ) == _run_style_lanes(cases, style, harness="scalar")
+
+    def test_numpy_harness_equals_object_loop_for_shiftreg(self):
+        """Same, for the activation-planned style: both harnesses see
+        identical per-lane plans and agree on every StyleRun."""
+        base = _regular_topologies(1)[0]
+        cases = [
+            VerifyCase(
+                index=index,
+                seed=7200 + index,
+                cycles=60,
+                topology=_value_variant(base, index * 8),
+                styles=("fsm", "rtl-shiftreg"),
+            )
+            for index in range(4)
+        ]
+        plans = [
+            _plan_activations(
+                case.topology,
+                case.cycles,
+                case.deadlock_window,
+                run_styles(
+                    case.topology, ("fsm",), case.cycles,
+                    case.deadlock_window,
+                ),
+            )
+            for case in cases
+        ]
+        numpy_runs = _run_style_lanes(
+            cases, "rtl-shiftreg", plans=plans, harness="numpy"
+        )
+        scalar_runs = _run_style_lanes(
+            cases, "rtl-shiftreg", plans=plans, harness="scalar"
+        )
+        assert numpy_runs == scalar_runs
+        assert all(run.error is None for run in numpy_runs)
+
+    def test_forced_numpy_harness_raises_on_bail(self, monkeypatch):
+        """harness="numpy" is a test hook: when the stepper bails (a
+        patched pearl hook fails the pristine check) it must raise
+        instead of silently falling back."""
+        original = MixPearl.on_sync
+        monkeypatch.setattr(
+            MixPearl,
+            "on_sync",
+            lambda self, point, popped: original(self, point, popped),
+        )
+        with pytest.raises(RuntimeError, match="lane harness"):
+            _run_style_lanes(
+                _same_shape_cases(2, cycles=40), "rtl-sp",
+                harness="numpy",
+            )
+
+
+# -- the --lanes knob ----------------------------------------------------------
+
+
+class TestLanesKnob:
+    def test_lanes_must_be_positive(self):
+        with pytest.raises(ValueError, match="lane"):
+            BatchConfig(cases=1, lanes=0)
+
+    def test_make_cases_stamps_lane_width(self):
+        config = BatchConfig(cases=3, lanes=48, shrink=False)
+        assert all(c.lanes == 48 for c in make_cases(config))
+
+    def test_fingerprint_is_lane_independent(self, tmp_path):
+        """lanes is liveness-only: fingerprints ignore it and a
+        journal written under one width resumes under another."""
+        widths = (1, 8, 32, 128)
+        prints = [
+            config_fingerprint(
+                BatchConfig(cases=4, seed=9, styles=("fsm",), lanes=w)
+            )
+            for w in widths
+        ]
+        assert all(p == prints[0] for p in prints)
+
+        path = tmp_path / "campaign.jsonl"
+        journal, _ = open_journal(
+            path,
+            BatchConfig(cases=4, seed=9, styles=("fsm",), lanes=8),
+            resume=False,
+        )
+        journal.close()
+        journal, done = open_journal(
+            path,
+            BatchConfig(cases=4, seed=9, styles=("fsm",), lanes=64),
+            resume=True,
+        )
+        journal.close()
+        assert done == {}
+        with pytest.raises(ValueError, match="different campaign"):
+            open_journal(
+                path,
+                BatchConfig(cases=4, seed=10, styles=("fsm",), lanes=8),
+                resume=True,
+            )
+
+    def test_reproducer_records_lane_width(self):
+        case = replace(_same_shape_cases(1)[0], lanes=48)
+        assert reproducer_dict(case)["lanes"] == 48
